@@ -1,0 +1,1 @@
+"""Benchmark suite: one module per experiment id (see DESIGN.md §4)."""

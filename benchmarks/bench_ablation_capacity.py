@@ -1,0 +1,114 @@
+"""Experiment CAP-1 — ablation of the model's capacity constant.
+
+Section 1: "the capacity bound of O(log n) messages per node per round is
+a natural choice: it is small enough to ensure scalability and any smaller
+would require unnecessarily complicated techniques…".  This ablation makes
+the statement quantitative: the same MIS workload runs under capacity
+multipliers 0.5x–8x (capacity = mult·⌈log₂ n⌉).
+
+* above ~2x the ledger is clean and extra capacity buys almost nothing
+  (the algorithms are round-bound, not bandwidth-bound);
+* below it, violations appear — the w.h.p. load bounds of the primitives
+  genuinely need their log n headroom, which is the paper's "any smaller
+  would require unnecessarily complicated techniques" in numbers.
+"""
+
+import pytest
+
+from repro import Enforcement, NCCConfig, NCCRuntime
+from repro.algorithms import MISAlgorithm
+from repro.analysis.reporting import format_table
+from repro.baselines.sequential import is_maximal_independent_set
+from repro.graphs import generators
+
+from .conftest import run_once
+
+SEED = 9
+N = 64
+
+
+def run_with_capacity(mult: float):
+    g = generators.forest_union(N, 2, seed=SEED)
+    cfg = NCCConfig(
+        seed=SEED,
+        capacity_multiplier=mult,
+        enforcement=Enforcement.COUNT,
+        extras={"lightweight_sync": True},
+    )
+    rt = NCCRuntime(N, cfg)
+    res = MISAlgorithm(rt, g).run()
+    assert is_maximal_independent_set(g, res.members)
+    return rt, res
+
+
+def test_capacity_ablation(benchmark, report):
+    rows = []
+    for mult in (0.5, 1.0, 2.0, 4.0, 8.0):
+        rt, res = run_with_capacity(mult)
+        rows.append(
+            [
+                mult,
+                rt.net.capacity,
+                res.rounds,
+                rt.net.stats.violation_count,
+                rt.net.stats.max_received_per_round,
+            ]
+        )
+    # Ample capacity: clean ledger.  The default (4x) must be clean.
+    by_mult = {r[0]: r for r in rows}
+    assert by_mult[4.0][3] == 0
+    assert by_mult[8.0][3] == 0
+    # Starved capacity must be *visible* in the ledger (the model's point).
+    assert by_mult[0.5][3] > 0
+    # Rounds are capacity-insensitive once the ledger is clean.
+    assert abs(by_mult[8.0][2] - by_mult[4.0][2]) <= 0.2 * by_mult[4.0][2]
+    report(
+        format_table(
+            ["capacity mult", "capacity", "rounds", "violations", "max recv/round"],
+            rows,
+            title=f"CAP-1  Capacity ablation (MIS, n={N}; model: O(log n) per round)",
+        )
+        + "\n  the paper's O(log n) capacity needs a small constant of headroom;"
+        + "\n  once clean, extra capacity buys nothing — the algorithms are"
+        + "\n  round-bound, not bandwidth-bound."
+    )
+    run_once(benchmark, lambda: None)
+
+
+def test_identification_constant_ablation(benchmark, report):
+    """Section 4.2's trial constant q: starving it must surface as
+    second-step work or failures, not silent wrong answers."""
+    from repro.algorithms.identification import (
+        identification_family,
+        run_identification,
+    )
+
+    g = generators.forest_union(48, 3, seed=SEED)
+    playing = [u for u in range(48) if u % 2 == 0]
+    rows = []
+    for q in (8, 32, 128, 512):
+        cfg = NCCConfig(seed=SEED, enforcement=Enforcement.COUNT, extras={"lightweight_sync": True})
+        rt = NCCRuntime(48, cfg)
+        fam = identification_family(rt, 7, q, tag=("ablate", q))
+        learners = [u for u in range(48) if u % 2 == 1]
+        candidates = {u: list(g.neighbors(u)) for u in learners}
+        potential = {
+            v: [w for w in g.neighbors(v) if w % 2 == 1] for v in playing
+        }
+        res = run_identification(rt, g, learners, candidates, potential, fam)
+        wrong = 0
+        for u in learners:
+            true_red = {v for v in g.neighbors(u) if v % 2 == 1}
+            wrong += len(set(res.red_neighbors.get(u, ())) - true_red)
+        rows.append([q, len(res.unsuccessful), wrong])
+        assert wrong == 0, "starved trials must degrade to unsuccessful, not wrong"
+    # generous q: nobody fails
+    assert rows[-1][1] == 0
+    report(
+        format_table(
+            ["q (trials)", "unsuccessful learners", "wrong identifications"],
+            rows,
+            title="CAP-1b  Identification trial-count ablation (Lemma 4.2)",
+        )
+    )
+    run_once(benchmark, lambda: None)

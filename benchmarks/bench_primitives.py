@@ -1,0 +1,195 @@
+"""Experiments P-AB, P-AGG, P-MTS, P-MC, P-MAGG — Theorems 2.2–2.6.
+
+Round/congestion measurements for each communication primitive against its
+theorem's bound:
+
+* P-AB   — Aggregate-and-Broadcast is *exactly* 2d+2 rounds (Theorem 2.2's
+  O(log n) with the constant visible);
+* P-AGG  — Aggregation rounds track O(L/n + (ℓ₁+ℓ̂₂)/log n + log n) over a
+  load sweep (Theorem 2.3);
+* P-MTS  — tree congestion stays O(L/n + log n) (Theorem 2.4);
+* P-MC   — Multicast rounds track O(C + ℓ̂/log n + log n) (Theorem 2.5);
+* P-MAGG — Multi-Aggregation rounds track O(C + log n) (Theorem 2.6).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import NCCRuntime
+from repro.analysis.reporting import format_table
+from repro.analysis.tables import bench_config
+from repro.primitives import MIN, SUM, AggregationProblem
+
+from .conftest import run_once
+
+SEED = 3
+
+
+def rt_for(n):
+    return NCCRuntime(n, bench_config(SEED))
+
+
+def test_aggregate_and_broadcast_rounds(benchmark, report):
+    """P-AB: exactly 2⌊log n⌋ + 2 rounds at every size."""
+    rows = []
+    for n in (16, 64, 256, 1024):
+        rt = rt_for(n)
+        before = rt.net.round_index
+        total = rt.aggregate_and_broadcast({u: 1 for u in range(n)}, SUM)
+        rounds = rt.net.round_index - before
+        d = rt.bf.d
+        assert total == n
+        assert rounds == 2 * d + 2
+        rows.append([n, d, rounds, rt.net.stats.messages])
+    report(
+        format_table(
+            ["n", "d", "rounds", "messages"],
+            rows,
+            title="P-AB  Aggregate-and-Broadcast (Theorem 2.2: O(log n); measured exactly 2d+2)",
+        )
+    )
+    run_once(benchmark, lambda: rt_for(256).aggregate_and_broadcast({u: 1 for u in range(256)}, SUM))
+
+
+def test_aggregation_load_sweep(benchmark, report):
+    """P-AGG: rounds vs global load L at fixed n — linear in L/n after the
+    log n floor."""
+    n = 128
+    rows = []
+    rng = random.Random(7)
+    for per_node in (1, 2, 4, 8, 16):
+        rt = rt_for(n)
+        memberships = {
+            u: {g: 1 for g in rng.sample(range(n), per_node)} for u in range(n)
+        }
+        prob = AggregationProblem(
+            memberships=memberships,
+            targets={g: g for g in range(n)},
+            fn=SUM,
+        )
+        out = rt.aggregation(prob)
+        L = prob.global_load()
+        bound_term = L / n + (prob.ell1() + prob.ell2()) / rt.log2n + rt.log2n
+        rows.append([per_node, L, out.rounds, round(bound_term, 1), round(out.rounds / bound_term, 1)])
+        # correctness: every group got its count
+        assert all(v == per_node * n // n or v >= 1 for v in out.values.values())
+    ratios = [r[4] for r in rows]
+    # The rounds/bound ratio must stay within a constant band: that IS the
+    # theorem's statement.
+    assert max(ratios) <= 4 * min(ratios)
+    report(
+        format_table(
+            ["packets/node", "L", "rounds", "L/n+(ℓ1+ℓ2)/log n+log n", "ratio"],
+            rows,
+            title="P-AGG  Aggregation load sweep at n=128 (Theorem 2.3)",
+        )
+    )
+    run_once(benchmark, lambda: None)
+
+
+def test_aggregation_n_sweep(benchmark, report):
+    """P-AGG: constant per-node load, growing n — rounds must stay ~log n."""
+    rows = []
+    for n in (32, 128, 512):
+        rt = rt_for(n)
+        prob = AggregationProblem(
+            memberships={u: {u % 8: u} for u in range(n)},
+            targets={g: g for g in range(8)},
+            fn=SUM,
+        )
+        out = rt.aggregation(prob)
+        rows.append([n, out.rounds])
+    assert rows[-1][1] < 4 * rows[0][1]  # 16x n, < 4x rounds
+    report(
+        format_table(["n", "rounds"], rows, title="P-AGG  n-sweep at constant load")
+    )
+    run_once(benchmark, lambda: None)
+
+
+def test_multicast_setup_congestion(benchmark, report):
+    """P-MTS: measured tree congestion vs the O(L/n + log n) bound."""
+    rows = []
+    rng = random.Random(11)
+    for n, per_node in [(64, 1), (64, 4), (256, 2), (256, 8)]:
+        rt = rt_for(n)
+        memberships = {u: rng.sample(range(n // 4), per_node) for u in range(n)}
+        trees = rt.multicast_setup(memberships)
+        L = n * per_node
+        bound = L / n + math.log2(n)
+        c = trees.congestion()
+        rows.append([n, per_node, L, c, round(bound, 1), round(c / bound, 2)])
+        assert c <= 8 * bound
+    report(
+        format_table(
+            ["n", "joins/node", "L", "congestion", "L/n + log n", "ratio"],
+            rows,
+            title="P-MTS  Multicast Tree Setup congestion (Theorem 2.4: O(L/n + log n))",
+        )
+    )
+    run_once(benchmark, lambda: None)
+
+
+def test_multicast_rounds(benchmark, report):
+    """P-MC: multicast rounds vs O(C + ℓ̂/log n + log n)."""
+    rows = []
+    rng = random.Random(13)
+    for n, groups, per_node in [(64, 8, 2), (128, 16, 4), (256, 8, 1)]:
+        rt = rt_for(n)
+        memberships = {u: rng.sample(range(groups), per_node) for u in range(n)}
+        trees = rt.multicast_setup(memberships)
+        out = rt.multicast(
+            trees,
+            {g: g for g in range(groups)},
+            {g: g for g in range(groups)},
+            ell_bound=per_node,
+        )
+        c = trees.congestion()
+        bound = c + per_node / rt.log2n + rt.log2n
+        rows.append([n, groups, c, out.rounds, round(bound, 1), round(out.rounds / bound, 1)])
+    ratios = [r[5] for r in rows]
+    assert max(ratios) <= 5 * min(ratios)
+    report(
+        format_table(
+            ["n", "groups", "congestion C", "rounds", "C + ℓ/log n + log n", "ratio"],
+            rows,
+            title="P-MC  Multicast (Theorem 2.5: O(C + ℓ̂/log n + log n))",
+        )
+    )
+    run_once(benchmark, lambda: None)
+
+
+def test_multi_aggregation_rounds(benchmark, report):
+    """P-MAGG: rounds vs O(C + log n) across sizes."""
+    rows = []
+    for n in (32, 128, 512):
+        rt = rt_for(n)
+        # ring neighbourhoods: group u = {u-1, u+1}
+        memberships = {}
+        for u in range(n):
+            memberships.setdefault((u - 1) % n, []).append(u)
+            memberships.setdefault((u + 1) % n, []).append(u)
+        trees = rt.multicast_setup(memberships)
+        out = rt.multi_aggregation(
+            trees,
+            {u: u for u in range(n)},
+            {u: u for u in range(n)},
+            MIN,
+        )
+        c = trees.congestion()
+        bound = c + rt.log2n
+        rows.append([n, c, out.rounds, round(out.rounds / bound, 1)])
+        # each node receives the min over its two "neighbours"
+        for v in range(n):
+            assert out.values[v] == min((v - 1) % n, (v + 1) % n)
+    ratios = [r[3] for r in rows]
+    assert max(ratios) <= 4 * min(ratios)
+    report(
+        format_table(
+            ["n", "congestion C", "rounds", "rounds/(C+log n)"],
+            rows,
+            title="P-MAGG  Multi-Aggregation (Theorem 2.6: O(C + log n))",
+        )
+    )
+    run_once(benchmark, lambda: None)

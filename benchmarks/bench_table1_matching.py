@@ -1,0 +1,63 @@
+"""Experiment T1-MM — Table 1 row 4 / Theorem 5.4:
+maximal matching in O((a + log n) log n).
+
+Same sweep structure as T1-MIS: the two problems share the bound and the
+broadcast-tree machinery, so their round counts should land in the same
+regime (the table makes that comparison explicit).
+"""
+
+import pytest
+
+from repro.analysis import tables
+from repro.analysis.complexity import rank_models
+from repro.analysis.reporting import format_table
+
+from .conftest import run_once
+
+SEED = 1
+
+
+def test_matching_n_sweep(benchmark, report):
+    rows = [tables.run_matching_row(n, a=2, seed=SEED) for n in (32, 64, 128, 256)]
+    assert all(r["correct"] for r in rows)
+    assert all(r["violations"] == 0 for r in rows)
+
+    params = [{"n": r["n"], "a": r["a"]} for r in rows]
+    rounds = [r["rounds"] for r in rows]
+    fits = rank_models(params, rounds)
+    by_name = {f.model: f for f in fits}
+    assert by_name["(a + log n) log n"].rmse <= by_name["n"].rmse
+
+    # Cross-row comparison with MIS (same bound): within a small factor.
+    mis_rows = [tables.run_mis_row(n, a=2, seed=SEED) for n in (32, 64)]
+    for mm_r, mis_r in zip(rows[:2], mis_rows):
+        ratio = mm_r["rounds"] / mis_r["rounds"]
+        assert 0.2 < ratio < 5.0
+
+    report(
+        format_table(
+            ["n", "m", "a", "phases", "rounds", "|M|", "messages"],
+            [
+                [r["n"], r["m"], r["a"], r["phases"], r["rounds"], r["matching_size"], r["messages"]]
+                for r in rows
+            ],
+            title="T1-MM n-sweep  (paper bound: O((a + log n) log n), Theorem 5.4)",
+        )
+        + "\n  model fits (best first): "
+        + "; ".join(f"{f.model} nrmse={f.rmse:.2f}" for f in fits[:3])
+    )
+    run_once(benchmark, lambda: tables.run_matching_row(64, a=2, seed=SEED))
+
+
+def test_matching_arboricity_sweep(benchmark, report):
+    rows = [tables.run_matching_row(96, a=a, seed=SEED) for a in (1, 2, 4, 8)]
+    assert all(r["correct"] for r in rows)
+    assert rows[-1]["rounds"] < 6 * rows[0]["rounds"]
+    report(
+        format_table(
+            ["a", "rounds", "phases", "|M|"],
+            [[r["a"], r["rounds"], r["phases"], r["matching_size"]] for r in rows],
+            title="T1-MM arboricity sweep at n=96",
+        )
+    )
+    run_once(benchmark, lambda: tables.run_matching_row(48, a=4, seed=SEED))

@@ -1,0 +1,45 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark measures two things:
+
+* **wall time** via pytest-benchmark (``benchmark.pedantic`` with a single
+  iteration — the simulations are deterministic, repetition adds nothing);
+* **model rounds / messages** — the quantities the paper actually bounds —
+  collected into report tables that are re-emitted after the run via
+  ``pytest_terminal_summary`` (so they survive pytest's output capture).
+
+Report tables are exactly the rows EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+def add_report(text: str) -> None:
+    """Queue a table for the end-of-run summary."""
+    _REPORTS.append(text)
+
+
+@pytest.fixture
+def report():
+    return add_report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    tw = terminalreporter
+    tw.section("NCC reproduction experiment tables")
+    for block in _REPORTS:
+        tw.write_line("")
+        for line in block.splitlines():
+            tw.write_line(line)
+    _REPORTS.clear()
+
+
+def run_once(benchmark, fn):
+    """Benchmark a deterministic heavyweight callable exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Section 6's closing remark, made runnable: computing without knowing n−1
+identifiers.
+
+The NCC model assumes every node knows all identifiers, but the paper
+closes by noting that its algorithms only need the input-graph neighbours
+plus Θ(log n) random nodes.  This example exercises the substrate behind
+that remark: starting from random contact lists and the *introduction rule*
+(you may only message identifiers you have learned), the nodes
+
+1. elect the minimum identifier by flooding minima over their contacts
+   (O(log n) rounds — measured and printed),
+2. keep the flooding's parent pointers as an O(log n)-depth aggregation
+   tree, and
+3. run Aggregate-and-Broadcast over that tree — the backbone primitive
+   every algorithm in the paper leans on for synchronization — at the same
+   O(log n) cost as the full-knowledge butterfly version (also measured).
+
+Run:  python examples/contact_bootstrap.py [n]
+"""
+
+import math
+import sys
+
+from repro import NCCRuntime
+from repro.analysis.tables import bench_config
+from repro.overlay import (
+    bootstrap_aggregation_tree,
+    random_contact_lists,
+    tree_aggregate_broadcast,
+)
+from repro.primitives import SUM
+
+
+def main(n: int = 256) -> None:
+    contacts = random_contact_lists(n, 2.0, seed=17)
+    k = len(contacts[0])
+    print(f"{n} nodes, each knowing only {k} random contacts (2·log₂ n = {2 * math.log2(n):.0f})")
+
+    rt = NCCRuntime(n, bench_config(seed=4))
+    tree = bootstrap_aggregation_tree(rt, contacts)
+    print(
+        f"\nbootstrap: leader {tree.leader} elected; flooding converged in "
+        f"{tree.converged_round} rounds (log₂ n = {math.log2(n):.1f})"
+    )
+    print(f"aggregation tree: depth {tree.depth}, {len(tree.tree_levels())} levels")
+
+    before = rt.net.round_index
+    total = tree_aggregate_broadcast(rt, tree, {u: 1 for u in range(n)}, SUM)
+    tree_rounds = rt.net.round_index - before
+    assert total == n
+    print(f"\nknowledge-free A&B: counted {total} nodes in {tree_rounds} rounds")
+
+    rt2 = NCCRuntime(n, bench_config(seed=4))
+    before = rt2.net.round_index
+    rt2.aggregate_and_broadcast({u: 1 for u in range(n)}, SUM)
+    bf_rounds = rt2.net.round_index - before
+    print(f"full-knowledge butterfly A&B (Theorem 2.2): {bf_rounds} rounds")
+    print(
+        f"\nsame O(log n) regime — the model's all-identifiers assumption is a"
+        f"\nconvenience, not a requirement, exactly as Section 6 claims."
+    )
+    print(f"capacity violations: {rt.net.stats.violation_count}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 256)

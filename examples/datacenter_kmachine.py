@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Data-center scenario: the k-machine conversion of Appendix A.
+
+A large graph is stored across k servers (random vertex partition, as in
+the k-machine model of Klauck et al. [36]).  Instead of designing a new
+k-machine algorithm, the servers *simulate* the NCC MST algorithm —
+Corollary 2: a T-round NCC execution costs Õ(nT/k²) k-machine rounds, which
+is how the paper recovers the MST bound of Pandurangan et al. [51].
+
+The conversion runs live: the same NCC execution is observed under several
+k values, and the table shows the k² scaling of the simulation cost.
+
+Run:  python examples/datacenter_kmachine.py [n]
+"""
+
+import sys
+
+from repro import NCCRuntime
+from repro.algorithms import MSTAlgorithm
+from repro.analysis.reporting import format_table
+from repro.analysis.tables import bench_config
+from repro.baselines.sequential import kruskal_msf
+from repro.graphs import generators, weights
+from repro.kmachine import KMachineSimulation
+
+
+def main(n: int = 48) -> None:
+    g = weights.with_random_weights(
+        generators.forest_union(n, 2, seed=21), seed=22
+    )
+    print(f"graph to process: n={g.n}, m={g.m} (stored across k servers)")
+
+    rows = []
+    for k in (2, 4, 8, 16):
+        rt = NCCRuntime(n, bench_config(seed=5))
+        sim = KMachineSimulation(rt.net, k, seed=99)
+        result = MSTAlgorithm(rt, g).run()
+        cost = sim.detach()
+        assert result.edges == kruskal_msf(g)
+        rows.append(
+            [
+                k,
+                cost.ncc_rounds,
+                cost.kmachine_rounds,
+                cost.cross_messages,
+                cost.local_messages,
+                round(cost.kmachine_rounds / cost.ncc_rounds, 2),
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["k servers", "NCC rounds T", "k-machine rounds", "cross msgs", "local msgs", "overhead"],
+            rows,
+            title="MST via NCC simulation on k machines (Corollary 2: Õ(nT/k²))",
+        )
+    )
+    print(
+        "\nreading: the overhead column shrinks toward 1 as k grows — with"
+        "\nmore servers the per-link load falls like 1/k², leaving only the"
+        "\nlockstep floor of one k-machine round per NCC round."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 48)

@@ -1,0 +1,53 @@
+"""repro — Distributed Computation in Node-Capacitated Networks (SPAA 2019).
+
+A from-scratch Python reproduction of the Node-Capacitated Clique (NCC)
+model, its communication primitives, and the paper's graph algorithms
+(MST, O(a)-orientation, BFS, MIS, maximal matching, O(a)-coloring), plus
+the comparison substrates (sequential and naive baselines, Congested Clique
+separation experiments, the k-machine simulation of Appendix A).
+
+Quickstart::
+
+    from repro import NCCRuntime, InputGraph
+    from repro.algorithms import MSTAlgorithm
+    from repro.graphs import generators, weights
+
+    g = generators.random_connected(64, extra_edge_prob=0.05, seed=1)
+    g = weights.with_random_weights(g, seed=2)
+    rt = NCCRuntime(g.n, seed=3)
+    mst = MSTAlgorithm(rt, g).run()
+    print(len(mst.edges), rt.net.stats.rounds)
+"""
+
+from .config import DEFAULT_CONFIG, Enforcement, NCCConfig
+from .errors import (
+    CapacityError,
+    ConfigurationError,
+    InputGraphError,
+    MessageSizeError,
+    ProtocolError,
+    ReproError,
+    SimulationLimitError,
+)
+from .ncc.graph_input import InputGraph
+from .ncc.network import NCCNetwork
+from .runtime import NCCRuntime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NCCRuntime",
+    "NCCNetwork",
+    "NCCConfig",
+    "DEFAULT_CONFIG",
+    "Enforcement",
+    "InputGraph",
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "MessageSizeError",
+    "ProtocolError",
+    "SimulationLimitError",
+    "InputGraphError",
+    "__version__",
+]

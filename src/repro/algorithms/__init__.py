@@ -1,0 +1,56 @@
+"""Graph algorithms for the Node-Capacitated Clique (Sections 3–5).
+
+Every algorithm takes an :class:`~repro.runtime.NCCRuntime` and an
+:class:`~repro.ncc.graph_input.InputGraph` and moves all information
+exclusively through the communication primitives and capacity-respecting
+direct exchanges, so the runtime's round counter measures the paper's
+quantity of interest.
+
+=====================  =================================  ==============
+Algorithm              Paper result                       Module
+=====================  =================================  ==============
+MST                    O(log⁴ n) (Theorem 3.2)            ``mst``
+O(a)-orientation       O((a+log n) log n) (Theorem 4.12)  ``orientation``
+Broadcast trees        O(a+log n) setup (Lemma 5.1)       ``broadcast_trees``
+BFS tree               O((a+D+log n) log n) (Thm 5.2)     ``bfs``
+MIS                    O((a+log n) log n) (Thm 5.3)       ``mis``
+Maximal matching       O((a+log n) log n) (Thm 5.4)       ``matching``
+O(a)-coloring          O((a+log n) log^{3/2} n) (Thm 5.5) ``coloring``
+=====================  =================================  ==============
+
+Symbols are imported lazily so that loading one algorithm does not pull in
+the whole package.
+"""
+
+from importlib import import_module
+
+_LAZY = {
+    "MSTAlgorithm": ".mst",
+    "MSTResult": ".mst",
+    "ConnectedComponentsAlgorithm": ".components",
+    "ComponentsResult": ".components",
+    "FindMinOutcome": ".findmin",
+    "OrientationAlgorithm": ".orientation",
+    "Orientation": ".orientation",
+    "run_identification": ".identification",
+    "IdentificationResult": ".identification",
+    "build_broadcast_trees": ".broadcast_trees",
+    "BroadcastTrees": ".broadcast_trees",
+    "BFSAlgorithm": ".bfs",
+    "BFSResult": ".bfs",
+    "MISAlgorithm": ".mis",
+    "MISResult": ".mis",
+    "MatchingAlgorithm": ".matching",
+    "MatchingResult": ".matching",
+    "ColoringAlgorithm": ".coloring",
+    "ColoringResult": ".coloring",
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.algorithms' has no attribute {name!r}")
+    return getattr(import_module(module, __name__), name)

@@ -1,0 +1,107 @@
+"""Broadcast trees: multicast trees for A_{id(u)} = N(u) (Section 5, Lemma 5.1).
+
+The naive setup — every node joins the group of every neighbour — costs
+O(d̄ + ∆/log n + log n), which is Θ(n/log n) on a star.  Lemma 5.1's trick:
+first compute an O(a)-orientation; then for every directed edge ``u → v``
+the *tail* ``u`` injects both join-packets (u into A_{id(v)} and v into
+A_{id(u)}), so every node injects at most 2·outdeg = O(a) packets and the
+setup takes O(a + log n) rounds with tree congestion O(a + log n), w.h.p.
+
+These trees let any subset S of nodes talk to all their neighbours in
+O(Σ_{u∈S} d(u)/n + log n) rounds via Multi-Aggregation (Corollary 1) —
+the workhorse of the BFS/MIS/matching algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..butterfly.routing import TreeSet
+from ..ncc.graph_input import InputGraph
+from ..primitives.functions import Aggregate
+from ..runtime import NCCRuntime
+from .orientation import Orientation, OrientationAlgorithm
+
+
+@dataclass
+class BroadcastTrees:
+    """Per-node broadcast trees over the input graph."""
+
+    trees: TreeSet
+    orientation: Orientation
+    #: rounds spent building the trees (excluding the orientation).
+    setup_rounds: int
+    #: rounds spent computing the orientation.
+    orientation_rounds: int
+
+    def congestion(self) -> int:
+        return self.trees.congestion()
+
+
+def build_broadcast_trees(
+    rt: NCCRuntime,
+    graph: InputGraph,
+    orientation: Orientation | None = None,
+) -> BroadcastTrees:
+    """Build broadcast trees for every node's neighbourhood (Lemma 5.1).
+
+    Computes an O(a)-orientation first unless one is supplied.  Group keys
+    are plain node identifiers: group ``u`` = ``N(u)`` with source ``u``.
+    """
+    if orientation is None:
+        orientation = OrientationAlgorithm(rt, graph).run()
+    orientation_rounds = orientation.rounds
+
+    start = rt.net.round_index
+    injections: dict[int, list[tuple[int, int]]] = {}
+    for u in range(graph.n):
+        pairs: list[tuple[int, int]] = []
+        for v in orientation.out_neighbors[u]:
+            pairs.append((v, u))  # u joins A_{id(v)}
+            pairs.append((u, v))  # u injects v's membership of A_{id(u)}
+        if pairs:
+            injections[u] = pairs
+    trees = rt.multicast_setup_delegated(
+        injections,
+        tag=rt.shared.fresh_tag("broadcast-trees"),
+        kind="broadcast-trees",
+    )
+    setup_rounds = rt.net.round_index - start
+    return BroadcastTrees(
+        trees=trees,
+        orientation=orientation,
+        setup_rounds=setup_rounds,
+        orientation_rounds=orientation_rounds,
+    )
+
+
+def neighborhood_multi_aggregate(
+    rt: NCCRuntime,
+    bt: BroadcastTrees,
+    packets: Mapping[int, Any],
+    fn: Aggregate,
+    *,
+    annotate: Callable | None = None,
+    kind: str = "corollary1",
+) -> dict[int, Any]:
+    """Corollary 1: every node in S = packets.keys() multicasts to its
+    neighbourhood; every node receives the f-aggregate of the packets of
+    its senders.  Runs in O(Σ_{u∈S} d(u)/n + log n) rounds.
+
+    Nodes with empty neighbourhoods have no tree and nothing to send; they
+    are silently skipped (their packet reaches nobody, as in the paper).
+    """
+    live = {u: p for u, p in packets.items() if u in bt.trees.root}
+    if not live:
+        return {}
+    out = rt.multi_aggregation(
+        bt.trees,
+        live,
+        {u: u for u in live},
+        fn,
+        annotate=annotate,
+        tag=rt.shared.fresh_tag("corollary1"),
+        kind=kind,
+    )
+    return out.values

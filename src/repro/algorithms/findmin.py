@@ -1,0 +1,245 @@
+"""FindMin: each component leader learns its lightest outgoing edge.
+
+Section 3, following King–Kutten–Thorup [35] with the broadcast-and-echo
+replaced by multicasts (leader → component) and aggregations
+(component → leader) over the component multicast trees.
+
+The search key of an edge ``e = {a, b}`` combines weight and identifier,
+
+    κ(e) = (w(e) << arcbits) | id(a, b),        a < b,
+
+so binary search over κ finds the minimum-weight outgoing edge with
+deterministic tie-breaking (the paper's FindMin searches weights; folding
+the identifier into the key also recovers *which* edge attains the minimum,
+which Section 3 needs before it can join multicast group ``A_{id(v)}``).
+
+Each binary-search step asks every component "do you have an outgoing edge
+with κ in [lo, mid)?" and answers it with the parity sketches of Section 3:
+node ``u`` XOR-accumulates, per trial ``t``, the bit ``h_t(id(u, v))`` into
+an *up* vector and ``h_t(id(v, u))`` into a *down* vector over its
+qualifying incident edges; the component XOR (computed by one Aggregation
+run for all components simultaneously) makes internal edges cancel, so the
+vectors differ only if an outgoing edge qualifies — each trial detects a
+difference with probability ≥ 1/2.
+
+Lemma 3.1: O(log W log n) multicast/aggregation iterations per invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..hashing.kwise import KWiseHash
+from ..ncc.graph_input import InputGraph
+from ..primitives.aggregation import AggregationProblem
+from ..primitives.functions import XOR
+from ..runtime import NCCRuntime
+
+#: Direction markers: the up- and down-sketches travel in *separate*
+#: aggregation groups so that each message stays within the O(log n)-bit
+#: budget (one packed T-bit vector per packet instead of two).
+_UP, _DOWN = 0, 1
+
+
+@dataclass
+class FindMinOutcome:
+    """Lightest outgoing edges per component leader."""
+
+    #: leader -> (weight, a, b) with a < b; exactly one of a, b lies in the
+    #: component (the caller resolves which via the leader it knows).
+    lightest: dict[int, tuple[int, int, int]]
+    #: number of binary-search iterations executed (all components lockstep)
+    iterations: int
+
+
+class EdgeSketcher:
+    """Precomputed per-arc trial parities, shared by one MST run.
+
+    The paper agrees on Θ(log n) hash functions once (Section 3: the
+    necessary O(log³ n) bits are retrieved beforehand); this object holds
+    them and caches, for every directed arc, the packed T-bit parity vector
+    ``bits(arc) = Σ_t h_t(id(arc)) << t`` so that each search step costs one
+    XOR per qualifying incident edge.
+    """
+
+    def __init__(self, graph: InputGraph, hashes: Sequence[KWiseHash]):
+        self.graph = graph
+        self.hashes = tuple(hashes)
+        self.trials = len(self.hashes)
+        self._cache: dict[int, int] = {}
+        # κ layout: weight in the high bits, undirected edge id below.
+        self.arcbits = 2 * graph.idbits + 1
+
+    def kappa(self, u: int, v: int) -> int:
+        """Search key of the undirected edge {u, v}."""
+        return (self.graph.weight(u, v) << self.arcbits) | self.graph.edge_id(u, v)
+
+    def kappa_max(self) -> int:
+        wbits = max(1, self.graph.max_weight().bit_length())
+        return 1 << (wbits + self.arcbits)
+
+    def decode(self, kappa: int) -> tuple[int, int, int]:
+        """κ → (weight, a, b) with a < b."""
+        weight = kappa >> self.arcbits
+        a, b = self.graph.arc_of_id(kappa & ((1 << self.arcbits) - 1))
+        return weight, a, b
+
+    def arc_bits(self, u: int, v: int) -> int:
+        """Packed parity vector of the directed arc (u, v)."""
+        arc = self.graph.arc_id(u, v)
+        cached = self._cache.get(arc)
+        if cached is None:
+            bits = 0
+            for t, h in enumerate(self.hashes):
+                bits |= h.bit(arc) << t
+            cached = self._cache[arc] = bits
+        return cached
+
+    def local_parities(self, u: int, lo: int, hi: int) -> tuple[int, int]:
+        """(h↑(u), h↓(u)) packed vectors over incident edges with κ∈[lo,hi)."""
+        up = down = 0
+        g = self.graph
+        for v in g.neighbors(u):
+            if lo <= self.kappa(u, v) < hi:
+                up ^= self.arc_bits(u, v)
+                down ^= self.arc_bits(v, u)
+        return up, down
+
+
+def make_sketcher(rt: NCCRuntime, graph: InputGraph, *, tag: object) -> EdgeSketcher:
+    """Agree on the run's sketch hash family (one charged agreement).
+
+    T = 4·⌈log₂ n⌉ trials: each range test misses an existing outgoing edge
+    with probability 2^-T, and one MST run performs
+    O(phases · components · log(W n²)) ≈ polylog(n)·n tests, so the union
+    bound stays ≪ 1 (a miss sends the binary search into the wrong half and
+    yields a suboptimal—though still outgoing—edge).  The T parity bits plus
+    the routing envelope fit the 8·log n message budget.
+    """
+    trials = 4 * rt.log2n
+    hashes = rt.shared.hash_family((tag, "findmin-sketch"), trials, 2)
+    return EdgeSketcher(graph, hashes)
+
+
+def find_lightest_edges(
+    rt: NCCRuntime,
+    graph: InputGraph,
+    leader_of: Sequence[int],
+    comp_trees,
+    sketcher: EdgeSketcher,
+    active_leaders: set[int],
+    *,
+    kind: str = "findmin",
+) -> FindMinOutcome:
+    """One FindMin invocation for every active component in lockstep.
+
+    ``leader_of[u]`` is the component leader known to node ``u``;
+    ``comp_trees`` are the current component multicast trees (group key =
+    leader id, members = component minus leader).  Components not in
+    ``active_leaders`` are skipped entirely.
+
+    Returns the lightest outgoing edge per component; components with no
+    outgoing edge (= finished connected components) are absent.
+    """
+    net, bf = rt.net, rt.bf
+    kmax = sketcher.kappa_max()
+
+    # Per-component binary-search state [lo, hi).  Members *mirror* this
+    # state: every component member knows kmax, so the leader only needs to
+    # multicast one bit per iteration — the outcome of the previous test —
+    # and each member reproduces [lo, hi) locally.  This keeps the query
+    # multicast within the O(log n)-bit message budget (a (lo, mid) pair of
+    # κ values would need ~2(log W + 2 log n) bits).
+    state: dict[int, tuple[int, int]] = {c: (0, kmax) for c in active_leaders}
+    alive: dict[int, bool] = {c: True for c in active_leaders}
+    prev_outcome: dict[int, int] = {}
+    prev_testers: set[int] = set()
+    iterations = 0
+
+    with net.phase(kind):
+        # Existence test + binary search share the same iteration shape:
+        # the first iteration tests [0, kmax) (mid = hi), later ones test
+        # the lower half [lo, mid).
+        first = True
+        while True:
+            tests: dict[int, tuple[int, int]] = {}
+            for c, (lo, hi) in state.items():
+                if not alive[c]:
+                    continue
+                if first:
+                    tests[c] = (lo, hi)
+                elif hi - lo > 1:
+                    tests[c] = (lo, (lo + hi) // 2)
+            if not tests and not prev_testers:
+                break
+            if tests:
+                iterations += 1
+
+            # Leader -> component: 1-bit multicast ("activate" on the first
+            # iteration, previous-test outcome afterwards).  Members update
+            # their mirrored range from it.  Singleton components have no
+            # tree and nothing to multicast.
+            packets: dict[int, int] = {}
+            for c in (tests if first else prev_testers):
+                if c in comp_trees.root:
+                    packets[c] = 1 if first else prev_outcome[c]
+            if packets:
+                rt.multicast(
+                    comp_trees,
+                    packets,
+                    {c: c for c in packets},
+                    ell_bound=1,
+                    tag=rt.shared.fresh_tag("findmin-mc"),
+                    kind=kind + ":query",
+                )
+            if not tests:
+                break  # final outcome delivered; search is over
+
+            # Component -> leader: XOR-aggregate the parity vectors.  Up and
+            # down sketches ride in separate groups (message-size budget).
+            memberships: dict[int, dict[tuple[int, int], int]] = {}
+            for u in range(graph.n):
+                c = leader_of[u]
+                if c in tests:
+                    lo, hi = tests[c]
+                    up, down = sketcher.local_parities(u, lo, hi)
+                    memberships[u] = {(c, _UP): up, (c, _DOWN): down}
+            targets: dict[tuple[int, int], int] = {}
+            for c in tests:
+                targets[(c, _UP)] = c
+                targets[(c, _DOWN)] = c
+            problem = AggregationProblem(
+                memberships=memberships,
+                targets=targets,
+                fn=XOR,
+                ell2_bound=2,
+            )
+            outcome = rt.aggregation(
+                problem, tag=rt.shared.fresh_tag("findmin-agg"), kind=kind + ":echo"
+            )
+
+            # Leaders evaluate their test.
+            for c, (lo, mid) in tests.items():
+                up = outcome.values.get((c, _UP), 0)
+                down = outcome.values.get((c, _DOWN), 0)
+                has_outgoing = up != down
+                prev_outcome[c] = 1 if has_outgoing else 0
+                if first:
+                    if not has_outgoing:
+                        alive[c] = False  # no outgoing edge at all
+                else:
+                    full_lo, full_hi = state[c]
+                    state[c] = (lo, mid) if has_outgoing else (mid, full_hi)
+            prev_testers = set(tests)
+            first = False
+
+    lightest: dict[int, tuple[int, int, int]] = {}
+    for c, ok in alive.items():
+        if not ok:
+            continue
+        lo, hi = state[c]
+        assert hi - lo == 1, "binary search must isolate a single key"
+        weight, a, b = sketcher.decode(lo)
+        lightest[c] = (weight, a, b)
+    return FindMinOutcome(lightest=lightest, iterations=iterations)

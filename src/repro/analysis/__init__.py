@@ -1,0 +1,5 @@
+"""Experiment analysis: complexity-shape fitting, traces, table regeneration."""
+
+from . import complexity, reporting, tables, trace
+
+__all__ = ["complexity", "reporting", "tables", "trace"]

@@ -1,0 +1,106 @@
+"""Phase-level execution traces.
+
+The network attributes every round to the stack of active phase labels
+(``NCCNetwork.phase``), so after a run the statistics contain a full
+breakdown of where the rounds went — FindMin echoes vs tree rebuilds vs
+barriers.  This module turns that ledger into readable reports; the
+quickstart example prints one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..ncc.stats import NetworkStats
+from .reporting import format_table
+
+
+@dataclass(frozen=True)
+class PhaseRow:
+    label: str
+    rounds: int
+    messages: int
+    bits: int
+    entries: int
+    rounds_share: float
+
+    def as_list(self) -> list:
+        return [
+            self.label,
+            self.rounds,
+            self.messages,
+            self.bits,
+            self.entries,
+            f"{100 * self.rounds_share:.1f}%",
+        ]
+
+
+def phase_rows(
+    stats: NetworkStats,
+    *,
+    prefix: str | None = None,
+    top: int | None = None,
+) -> list[PhaseRow]:
+    """Phases sorted by rounds, optionally filtered by a label prefix.
+
+    Shares are relative to the total rounds of the run.  Nested phases
+    overlap (a round inside ``mst:findmin`` is also inside ``mst``), so
+    shares of different nesting levels do not add to 100%; filter by prefix
+    to compare siblings.
+    """
+    total = max(1, stats.rounds)
+    rows = [
+        PhaseRow(
+            label=label,
+            rounds=ps.rounds,
+            messages=ps.messages,
+            bits=ps.bits,
+            entries=ps.entries,
+            rounds_share=ps.rounds / total,
+        )
+        for label, ps in stats.phases.items()
+        if prefix is None or label.startswith(prefix)
+    ]
+    rows.sort(key=lambda r: (-r.rounds, r.label))
+    return rows[:top] if top is not None else rows
+
+
+def phase_report(
+    stats: NetworkStats,
+    *,
+    prefix: str | None = None,
+    top: int | None = 15,
+    title: str = "phase breakdown",
+) -> str:
+    """A formatted table of the run's heaviest phases."""
+    rows = phase_rows(stats, prefix=prefix, top=top)
+    return format_table(
+        ["phase", "rounds", "messages", "bits", "entries", "share"],
+        [r.as_list() for r in rows],
+        title=title,
+    )
+
+
+def compare_runs(
+    runs: Iterable[tuple[str, NetworkStats]],
+    *,
+    title: str = "run comparison",
+) -> str:
+    """Side-by-side totals for several runs (ablation convenience)."""
+    rows = [
+        [
+            name,
+            s.rounds,
+            s.messages,
+            s.bits,
+            s.violation_count,
+            s.dropped,
+        ]
+        for name, s in runs
+    ]
+    return format_table(
+        ["run", "rounds", "messages", "bits", "violations", "dropped"],
+        rows,
+        title=title,
+    )

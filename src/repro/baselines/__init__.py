@@ -1,0 +1,6 @@
+"""Comparison substrates: sequential oracles, naive NCC algorithms, and the
+Congested Clique separation experiments."""
+
+from . import congested_clique, naive, sequential
+
+__all__ = ["sequential", "naive", "congested_clique"]

@@ -1,0 +1,169 @@
+"""Sequential (centralized) baseline algorithms.
+
+These are the correctness oracles the distributed algorithms are tested
+against, and the "who wins" reference points in EXPERIMENTS.md.  All are
+classical textbook algorithms implemented directly on
+:class:`~repro.ncc.graph_input.InputGraph`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Iterable
+
+from ..ncc.graph_input import InputGraph, canonical_edge
+
+
+# ----------------------------------------------------------------------
+# MST (Kruskal with the same (weight, edge-id) tie-breaking as FindMin)
+# ----------------------------------------------------------------------
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.rank = [0] * n
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        return True
+
+
+def kruskal_msf(g: InputGraph) -> set[tuple[int, int]]:
+    """Minimum spanning forest with (weight, id) tie-breaking.
+
+    With this tie-breaking the MSF is *unique*, so the distributed MST's
+    edge set must match it exactly (not only by total weight).
+    """
+    uf = _UnionFind(g.n)
+    edges = sorted(g.edges(), key=lambda e: (g.weight(*e), g.edge_id(*e)))
+    out: set[tuple[int, int]] = set()
+    for u, v in edges:
+        if uf.union(u, v):
+            out.add(canonical_edge(u, v))
+    return out
+
+
+def msf_weight(g: InputGraph) -> int:
+    return sum(g.weight(u, v) for u, v in kruskal_msf(g))
+
+
+# ----------------------------------------------------------------------
+# BFS
+# ----------------------------------------------------------------------
+def bfs_tree(g: InputGraph, source: int) -> tuple[list[int | None], list[int | None]]:
+    """(distances, parents); the parent is the smallest-id predecessor on a
+    shortest path, matching the distributed algorithm's tie-breaking."""
+    dist: list[int | None] = [None] * g.n
+    parent: list[int | None] = [None] * g.n
+    dist[source] = 0
+    frontier = [source]
+    while frontier:
+        nxt: dict[int, int] = {}
+        for u in sorted(frontier):
+            for v in g.neighbors(u):
+                if dist[v] is None and v not in nxt:
+                    nxt[v] = u
+                elif dist[v] is None:
+                    nxt[v] = min(nxt[v], u)
+        for v, p in nxt.items():
+            dist[v] = dist[p] + 1  # type: ignore[operator]
+            parent[v] = p
+        frontier = list(nxt)
+    return dist, parent
+
+
+# ----------------------------------------------------------------------
+# Symmetry-breaking problems: validity checkers + greedy constructions
+# ----------------------------------------------------------------------
+def greedy_mis(g: InputGraph, order: Iterable[int] | None = None) -> set[int]:
+    """Greedy MIS in the given (default: id) order."""
+    chosen: set[int] = set()
+    blocked = [False] * g.n
+    for u in order if order is not None else range(g.n):
+        if not blocked[u]:
+            chosen.add(u)
+            for v in g.neighbors(u):
+                blocked[v] = True
+    return chosen
+
+
+def is_independent_set(g: InputGraph, s: set[int]) -> bool:
+    return all(v not in s for u in s for v in g.neighbors(u))
+
+
+def is_maximal_independent_set(g: InputGraph, s: set[int]) -> bool:
+    if not is_independent_set(g, s):
+        return False
+    for u in range(g.n):
+        if u not in s and not any(v in s for v in g.neighbors(u)):
+            return False
+    return True
+
+
+def greedy_matching(g: InputGraph) -> set[tuple[int, int]]:
+    matched = [False] * g.n
+    out: set[tuple[int, int]] = set()
+    for u, v in g.edges():
+        if not matched[u] and not matched[v]:
+            matched[u] = matched[v] = True
+            out.add((u, v))
+    return out
+
+
+def is_matching(g: InputGraph, m: set[tuple[int, int]]) -> bool:
+    used: set[int] = set()
+    edge_set = set(g.edges())
+    for u, v in m:
+        if canonical_edge(u, v) not in edge_set:
+            return False
+        if u in used or v in used:
+            return False
+        used.add(u)
+        used.add(v)
+    return True
+
+
+def is_maximal_matching(g: InputGraph, m: set[tuple[int, int]]) -> bool:
+    if not is_matching(g, m):
+        return False
+    used = {x for e in m for x in e}
+    return all(u in used or v in used for u, v in g.edges())
+
+
+def greedy_coloring(g: InputGraph, order: Iterable[int] | None = None) -> dict[int, int]:
+    """First-fit coloring; in degeneracy order it uses ≤ degeneracy+1
+    colors ≤ 2a colors."""
+    colors: dict[int, int] = {}
+    for u in order if order is not None else range(g.n):
+        taken = {colors[v] for v in g.neighbors(u) if v in colors}
+        c = 0
+        while c in taken:
+            c += 1
+        colors[u] = c
+    return colors
+
+
+def degeneracy_coloring(g: InputGraph) -> dict[int, int]:
+    from ..graphs.arboricity import degeneracy_order
+
+    order, _ = degeneracy_order(g)
+    return greedy_coloring(g, reversed(order))
+
+
+def is_proper_coloring(g: InputGraph, colors: dict[int, int]) -> bool:
+    if set(colors) != set(range(g.n)):
+        return False
+    return all(colors[u] != colors[v] for u, v in g.edges())

@@ -1,0 +1,26 @@
+"""Butterfly overlay emulation (Section 2.2, "Butterfly Simulation").
+
+Every NCC node with identifier ``i < 2^d`` (``d = ⌊log2 n⌋``) emulates the
+complete column ``i`` of the d-dimensional butterfly.  Straight edges stay
+inside one column — hence inside one NCC node — and cost no NCC message;
+cross edges connect different columns and are realized as real NCC messages.
+Since the butterfly has constant degree, one butterfly communication round
+fits into one NCC round.
+
+:mod:`~repro.butterfly.topology` defines the graph and hosting map;
+:mod:`~repro.butterfly.routing` implements the random-rank combining router
+(Appendix B.2) used by the Aggregation / Multicast-Tree-Setup / Multicast /
+Multi-Aggregation primitives, including token-based termination detection.
+"""
+
+from .topology import BFNode, ButterflyGrid
+from .routing import CombiningRouter, MulticastRouter, RoutingResult, TreeSet
+
+__all__ = [
+    "BFNode",
+    "ButterflyGrid",
+    "CombiningRouter",
+    "MulticastRouter",
+    "RoutingResult",
+    "TreeSet",
+]

@@ -1,0 +1,519 @@
+"""Random-rank routing on the emulated butterfly (Appendix B.2).
+
+Two engines:
+
+* :class:`CombiningRouter` — the *Combining Phase* of the Aggregation
+  Algorithm: packets injected at level-0 nodes travel the unique butterfly
+  path toward their group's target ``(d, h(group))``; packets of one group
+  that meet at a butterfly node are merged with the distributive aggregate;
+  when packets of different groups contend for one edge, the smallest
+  ``(rank, group)`` wins and the rest are delayed (Theorem B.2's protocol).
+  Optionally records the traversed edges per group — those edge sets *are*
+  the multicast trees of Theorem 2.4.
+
+* :class:`MulticastRouter` — the *Spreading Phase* of the Multicast
+  Algorithm: packets start at tree roots on level ``d`` and flow toward
+  level 0 along recorded tree edges, copied at branching nodes, with the
+  same rank-based contention rule.
+
+Termination is detected exactly as in the paper: once a node has forwarded
+everything and received a token over each inbound edge it emits tokens on
+its outbound edges; the run is complete when the far level holds all tokens.
+With ``NCCConfig.extras['lightweight_sync'] = True`` the token wave is
+charged as idle rounds instead of materializing token messages (identical
+round counts, fewer simulated message objects — used by large benchmarks).
+
+Straight butterfly edges connect nodes of one column and therefore stay
+inside one NCC node: they elapse a butterfly round but send no NCC message.
+Cross edges become real messages through :class:`~repro.ncc.network.NCCNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from ..errors import ProtocolError
+from ..ncc.message import Message
+from ..ncc.network import NCCNetwork
+from .topology import BFNode, ButterflyGrid
+
+GroupT = Hashable  # must additionally be orderable; ints / tuples of ints
+
+
+def _group_bits(group: Any) -> int:
+    from ..ncc.message import payload_bits
+
+    return payload_bits(group)
+
+
+@dataclass
+class TreeSet:
+    """Multicast trees recorded by a combining run (Theorem 2.4).
+
+    ``children[g][b]`` lists the level-(b.level − 1) nodes that node ``b``
+    forwards group ``g``'s packets to during a multicast; ``root[g]`` is the
+    level-d tree root ``(d, h(g))``; ``leaf_members[g][column]`` lists the
+    group members whose packets were injected at level-0 ``column`` (their
+    designated leaves ``l(g, u)``).
+    """
+
+    children: dict[GroupT, dict[BFNode, list[BFNode]]] = field(default_factory=dict)
+    root: dict[GroupT, BFNode] = field(default_factory=dict)
+    leaf_members: dict[GroupT, dict[int, list[int]]] = field(default_factory=dict)
+    nodes_touched: dict[GroupT, set[BFNode]] = field(default_factory=dict)
+
+    def add_edge(self, group: GroupT, parent: BFNode, child: BFNode) -> None:
+        kids = self.children.setdefault(group, {}).setdefault(parent, [])
+        if child not in kids:
+            kids.append(child)
+        touched = self.nodes_touched.setdefault(group, set())
+        touched.add(parent)
+        touched.add(child)
+
+    def set_root(self, group: GroupT, root: BFNode) -> None:
+        self.root[group] = root
+        self.nodes_touched.setdefault(group, set()).add(root)
+
+    def add_leaf_member(self, group: GroupT, column: int, member: int) -> None:
+        self.leaf_members.setdefault(group, {}).setdefault(column, []).append(member)
+        self.nodes_touched.setdefault(group, set()).add(BFNode(0, column))
+
+    def congestion(self) -> int:
+        """Max number of trees sharing one butterfly node (Theorem 2.4)."""
+        load: dict[BFNode, int] = {}
+        for touched in self.nodes_touched.values():
+            for b in touched:
+                load[b] = load.get(b, 0) + 1
+        return max(load.values(), default=0)
+
+    def groups(self) -> list[GroupT]:
+        return list(self.root)
+
+    def member_load(self) -> int:
+        """ℓ = max members of one tree mapped to one leaf-serving node."""
+        per_member: dict[int, int] = {}
+        for leafmap in self.leaf_members.values():
+            for members in leafmap.values():
+                for u in members:
+                    per_member[u] = per_member.get(u, 0) + 1
+        return max(per_member.values(), default=0)
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of one routing run."""
+
+    rounds: int
+    results: dict[GroupT, Any]
+    trees: TreeSet | None = None
+
+
+def _lightweight(net: NCCNetwork) -> bool:
+    return bool(net.config.extras.get("lightweight_sync", False))
+
+
+class CombiningRouter:
+    """Downward (level 0 → level d) combining router.
+
+    Parameters
+    ----------
+    rank_of:
+        ``ρ(group)`` — the packet rank; same-group packets always share a
+        rank, and contention prefers smaller ``(rank, group)``.
+    target_col_of:
+        ``h(group)`` — the column of the level-d intermediate target.
+    combine:
+        The distributive aggregate: merges two packet values of one group.
+    record_trees:
+        Record traversed edges into a :class:`TreeSet` (Multicast Tree Setup).
+    kind:
+        Label stamped on the NCC messages (statistics only).
+    """
+
+    def __init__(
+        self,
+        net: NCCNetwork,
+        bf: ButterflyGrid,
+        *,
+        rank_of: Callable[[GroupT], int],
+        target_col_of: Callable[[GroupT], int],
+        combine: Callable[[Any, Any], Any],
+        record_trees: bool = False,
+        kind: str = "combining",
+    ):
+        self.net = net
+        self.bf = bf
+        self.rank_of = rank_of
+        self.target_col_of = target_col_of
+        self.combine = combine
+        self.kind = kind
+        self.trees = TreeSet() if record_trees else None
+        self._queues: dict[BFNode, dict[GroupT, Any]] = {}
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def inject(self, column: int, group: GroupT, value: Any) -> None:
+        """Place a packet at level-0 node ``(0, column)`` (pre-run)."""
+        if self._ran:
+            raise ProtocolError("router already ran")
+        if not 0 <= column < self.bf.columns:
+            raise ValueError(f"column {column} outside [0,{self.bf.columns})")
+        node = BFNode(0, column)
+        q = self._queues.setdefault(node, {})
+        if group in q:
+            q[group] = self.combine(q[group], value)
+        else:
+            q[group] = value
+        if self.trees is not None:
+            self.trees.set_root(group, BFNode(self.bf.d, self.target_col_of(group)))
+            self.trees.nodes_touched.setdefault(group, set()).add(node)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RoutingResult:
+        """Route everything; returns per-group combined values at targets."""
+        if self._ran:
+            raise ProtocolError("router already ran")
+        self._ran = True
+        start_round = self.net.round_index
+        results: dict[GroupT, Any] = {}
+        bf, net = self.bf, self.net
+        d = bf.d
+
+        if d == 0:
+            # Degenerate butterfly: level 0 == level d.
+            for node, pend in self._queues.items():
+                for g, v in pend.items():
+                    results[g] = self.combine(results[g], v) if g in results else v
+            self._queues.clear()
+            return RoutingResult(net.round_index - start_round, results, self.trees)
+
+        lightweight = _lightweight(net)
+
+        # Per-run caches: rank/target hashes are pure per group, and the
+        # contention loop consults them once per pending packet per round.
+        rank_cache: dict[GroupT, int] = {}
+        target_cache: dict[GroupT, int] = {}
+
+        def rank_of(g: GroupT) -> int:
+            r = rank_cache.get(g)
+            if r is None:
+                r = rank_cache[g] = self.rank_of(g)
+            return r
+
+        def target_of(g: GroupT) -> int:
+            t = target_cache.get(g)
+            if t is None:
+                t = target_cache[g] = self.target_col_of(g)
+            return t
+
+        # Token state: number of tokens received over up-edges.  Level-0
+        # nodes are born ready (injection finished before run()).
+        tokens: dict[BFNode, int] = {}
+        token_sent: set[BFNode] = set()
+        # Nodes that may be ready to emit tokens; refilled by events.
+        token_candidates: list[BFNode] = (
+            [] if lightweight else [BFNode(0, c) for c in range(bf.columns)]
+        )
+        done_at_bottom = 0
+        bottom_needed = bf.columns  # every (d, col) must receive 2 tokens
+
+        def node_ready(node: BFNode) -> bool:
+            if node.level >= d or node in token_sent:
+                return False
+            if node in self._queues:
+                return False
+            if node.level == 0:
+                return True
+            return tokens.get(node, 0) >= 2
+
+        while True:
+            # --- select token emissions (candidates from prior rounds;
+            # a token never shares a round with the edge's last data) ---
+            token_sends: list[BFNode] = []
+            if not lightweight:
+                fresh: list[BFNode] = []
+                for node in token_candidates:
+                    if node_ready(node):
+                        fresh.append(node)
+                token_candidates = []
+                for node in fresh:
+                    token_sent.add(node)
+                    token_sends.append(node)
+
+            transmissions: list[tuple[BFNode, BFNode, GroupT, Any]] = []
+            # --- select one data packet per (node, edge) --------------
+            for node in list(self._queues):
+                pend = self._queues[node]
+                best: dict[BFNode, tuple[int, GroupT]] = {}
+                for g in pend:
+                    nxt = bf.down_next(node, target_of(g))
+                    cand = (rank_of(g), g)
+                    if nxt not in best or cand < best[nxt]:
+                        best[nxt] = cand
+                for nxt, (_, g) in best.items():
+                    transmissions.append((node, nxt, g, pend.pop(g)))
+                if not pend:
+                    del self._queues[node]
+                    if not lightweight and node_ready(node):
+                        token_candidates.append(node)
+
+            if not transmissions and not token_sends:
+                if lightweight:
+                    if not self._queues:
+                        break
+                    raise ProtocolError("combining router deadlocked")
+                if done_at_bottom >= bottom_needed:
+                    break
+                raise ProtocolError("combining router deadlocked (tokens)")
+
+            # --- build NCC messages for cross edges -------------------
+            msgs: list[Message] = []
+            local_data: list[tuple[BFNode, BFNode, GroupT, Any]] = []
+            local_tokens: list[BFNode] = []
+            for src, dst, g, val in transmissions:
+                if bf.is_local_edge(src, dst):
+                    local_data.append((src, dst, g, val))
+                else:
+                    msgs.append(
+                        Message(
+                            bf.host(src),
+                            bf.host(dst),
+                            ("D", dst.level, g, val),
+                            kind=self.kind,
+                        )
+                    )
+            for node in token_sends:
+                straight, cross = bf.down_neighbors(node)
+                local_tokens.append(straight)
+                msgs.append(
+                    Message(
+                        bf.host(node),
+                        bf.host(cross),
+                        ("T", cross.level),
+                        kind=self.kind + ":token",
+                    )
+                )
+
+            inboxes = net.exchange(msgs)
+
+            # --- apply arrivals ---------------------------------------
+            def arrive_data(dst: BFNode, g: GroupT, val: Any, src: BFNode) -> None:
+                nonlocal results
+                if self.trees is not None:
+                    self.trees.add_edge(g, dst, src)
+                if dst.level == d:
+                    results[g] = self.combine(results[g], val) if g in results else val
+                else:
+                    q = self._queues.setdefault(dst, {})
+                    q[g] = self.combine(q[g], val) if g in q else val
+
+            def arrive_token(dst: BFNode) -> None:
+                nonlocal done_at_bottom
+                tokens[dst] = tokens.get(dst, 0) + 1
+                if dst.level == d:
+                    if tokens[dst] == 2:
+                        done_at_bottom += 1
+                elif tokens[dst] >= 2 and node_ready(dst):
+                    token_candidates.append(dst)
+
+            for src, dst, g, val in local_data:
+                arrive_data(dst, g, val, src)
+            for dst in local_tokens:
+                arrive_token(dst)
+            for host, received in inboxes.items():
+                for m in received:
+                    tag = m.payload[0]
+                    if tag == "D":
+                        _, lvl, g, val = m.payload
+                        # Reconstruct source from edge structure: the cross
+                        # up-neighbour of (lvl, host) is (lvl-1, host^bit).
+                        dst = BFNode(lvl, host)
+                        src = BFNode(lvl - 1, host ^ (1 << (lvl - 1)))
+                        arrive_data(dst, g, val, src)
+                    else:
+                        _, lvl = m.payload
+                        arrive_token(BFNode(lvl, host))
+
+        if lightweight:
+            # Token wave duration: one hop per level.
+            net.idle_rounds(d + 1)
+
+        return RoutingResult(net.round_index - start_round, results, self.trees)
+
+
+class MulticastRouter:
+    """Upward (level d → level 0) copying router over recorded trees."""
+
+    def __init__(
+        self,
+        net: NCCNetwork,
+        bf: ButterflyGrid,
+        trees: TreeSet,
+        *,
+        rank_of: Callable[[GroupT], int],
+        kind: str = "multicast",
+    ):
+        self.net = net
+        self.bf = bf
+        self.trees = trees
+        self.rank_of = rank_of
+        self.kind = kind
+
+    def run(self, root_packets: dict[GroupT, Any]) -> RoutingResult:
+        """Spread each group's packet from its tree root to all tree leaves.
+
+        Returns ``results[column] = {group: value}`` for every level-0
+        column that is a leaf of some group's tree; the caller maps leaves
+        to group members (the paper's ``l(i, u) → u`` delivery).
+        """
+        net, bf = self.net, self.bf
+        d = bf.d
+        start_round = net.round_index
+        leaf_payloads: dict[int, dict[GroupT, Any]] = {}
+        out_queues: dict[tuple[BFNode, BFNode], dict[GroupT, Any]] = {}
+        pending_nodes: dict[BFNode, int] = {}  # node -> # nonempty out-edges
+
+        def process_arrival(node: BFNode, g: GroupT, val: Any) -> None:
+            if node.level == 0 and g in self.trees.leaf_members and (
+                node.column in self.trees.leaf_members[g]
+            ):
+                leaf_payloads.setdefault(node.column, {})[g] = val
+            for child in self.trees.children.get(g, {}).get(node, ()):  # copies
+                edge = (node, child)
+                q = out_queues.get(edge)
+                if q is None:
+                    q = out_queues[edge] = {}
+                    pending_nodes[node] = pending_nodes.get(node, 0) + 1
+                q[g] = val
+
+        for g, val in root_packets.items():
+            root = self.trees.root.get(g)
+            if root is None:
+                raise ProtocolError(f"no multicast tree for group {g!r}")
+            process_arrival(root, g, val)
+
+        if d == 0:
+            return RoutingResult(
+                net.round_index - start_round,
+                {c: dict(m) for c, m in leaf_payloads.items()},
+            )
+
+        lightweight = _lightweight(net)
+        rank_cache: dict[GroupT, int] = {}
+
+        def rank_of(g: GroupT) -> int:
+            r = rank_cache.get(g)
+            if r is None:
+                r = rank_cache[g] = self.rank_of(g)
+            return r
+
+        tokens: dict[BFNode, int] = {}
+        token_sent: set[BFNode] = set()
+        token_candidates: list[BFNode] = (
+            [] if lightweight else [BFNode(d, c) for c in range(bf.columns)]
+        )
+        done_at_top = 0
+        top_needed = bf.columns
+
+        def node_ready(node: BFNode) -> bool:
+            if node.level <= 0 or node in token_sent:
+                return False
+            if pending_nodes.get(node, 0) > 0:
+                return False
+            if node.level == d:
+                return True
+            return tokens.get(node, 0) >= 2
+
+        while True:
+            token_sends: list[BFNode] = []
+            if not lightweight:
+                fresh = [nd for nd in token_candidates if node_ready(nd)]
+                token_candidates = []
+                for node in fresh:
+                    token_sent.add(node)
+                    token_sends.append(node)
+
+            sends: list[tuple[BFNode, BFNode, GroupT, Any]] = []
+            for edge in list(out_queues):
+                q = out_queues[edge]
+                g = min(q, key=lambda gg: (rank_of(gg), gg))
+                val = q.pop(g)
+                sends.append((edge[0], edge[1], g, val))
+                if not q:
+                    del out_queues[edge]
+                    node = edge[0]
+                    pending_nodes[node] -= 1
+                    if pending_nodes[node] == 0:
+                        del pending_nodes[node]
+                        if not lightweight and node_ready(node):
+                            token_candidates.append(node)
+
+            if not sends and not token_sends:
+                if lightweight:
+                    if not out_queues:
+                        break
+                    raise ProtocolError("multicast router deadlocked")
+                if done_at_top >= top_needed:
+                    break
+                raise ProtocolError("multicast router deadlocked (tokens)")
+
+            msgs: list[Message] = []
+            local_data: list[tuple[BFNode, GroupT, Any]] = []
+            local_tokens: list[BFNode] = []
+            for src, dst, g, val in sends:
+                if bf.is_local_edge(src, dst):
+                    local_data.append((dst, g, val))
+                else:
+                    msgs.append(
+                        Message(
+                            bf.host(src),
+                            bf.host(dst),
+                            ("D", dst.level, g, val),
+                            kind=self.kind,
+                        )
+                    )
+            for node in token_sends:
+                straight, cross = bf.up_neighbors(node)
+                local_tokens.append(straight)
+                msgs.append(
+                    Message(
+                        bf.host(node),
+                        bf.host(cross),
+                        ("T", cross.level),
+                        kind=self.kind + ":token",
+                    )
+                )
+
+            inboxes = net.exchange(msgs)
+
+            def arrive_token(dst: BFNode) -> None:
+                nonlocal done_at_top
+                tokens[dst] = tokens.get(dst, 0) + 1
+                if dst.level == 0:
+                    if tokens[dst] == 2:
+                        done_at_top += 1
+                elif tokens[dst] >= 2 and node_ready(dst):
+                    token_candidates.append(dst)
+
+            for dst, g, val in local_data:
+                process_arrival(dst, g, val)
+            for dst in local_tokens:
+                arrive_token(dst)
+            for host, received in inboxes.items():
+                for m in received:
+                    tag = m.payload[0]
+                    if tag == "D":
+                        _, lvl, g, val = m.payload
+                        process_arrival(BFNode(lvl, host), g, val)
+                    else:
+                        _, lvl = m.payload
+                        arrive_token(BFNode(lvl, host))
+
+        if lightweight:
+            net.idle_rounds(d + 1)
+
+        return RoutingResult(
+            net.round_index - start_round,
+            {c: dict(m) for c, m in leaf_payloads.items()},
+        )

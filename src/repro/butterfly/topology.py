@@ -1,0 +1,150 @@
+"""The d-dimensional butterfly and its hosting on NCC nodes.
+
+Definitions follow Section 2.2 verbatim.  For ``d ∈ N`` the butterfly has
+node set ``[d+1] × [2^d]`` and edges
+
+* straight: ``{(i, α), (i+1, α)}`` for ``i ∈ [d]``,
+* cross:    ``{(i, α), (i+1, β)}`` for ``α, β`` differing exactly at bit
+  ``i``.
+
+Level 0 is the *topmost* level (packet injection), level ``d`` the
+*bottommost* (aggregation targets / multicast roots).  NCC node ``i < 2^d``
+emulates column ``i``; nodes ``i ≥ 2^d`` (when n is not a power of two) own
+no column and take part through their *partner* — the level-0 node of column
+``i − 2^d`` ("identifier differs only in the most significant bit",
+Appendix B.1).
+
+Bit convention: the bit fixed between level ``i`` and ``i+1`` is bit ``i``
+of the column index, so the unique path from ``(0, α)`` to ``(d, β)``
+adjusts bits ``0, 1, …, d−1`` in that order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, NamedTuple
+
+
+class BFNode(NamedTuple):
+    """A butterfly node (level, column).
+
+    A NamedTuple rather than a dataclass: butterfly nodes key the routers'
+    hot dictionaries, and tuple hashing is C-level.
+    """
+
+    level: int
+    column: int
+
+
+class ButterflyGrid:
+    """Topology + hosting map for the butterfly emulated by ``n`` NCC nodes."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = int(n)
+        # d = ⌊log2 n⌋ (Section 2.2); n = 1 gives the degenerate d = 0
+        # butterfly with a single node.
+        self.d = int(math.floor(math.log2(self.n))) if self.n > 1 else 0
+        self.columns = 1 << self.d
+        self.levels = self.d + 1
+
+    # ------------------------------------------------------------------
+    # Hosting
+    # ------------------------------------------------------------------
+    def host(self, node: BFNode) -> int:
+        """NCC node emulating this butterfly node (= its column)."""
+        self._check(node)
+        return node.column
+
+    def emulates(self, ncc_node: int) -> bool:
+        """Does this NCC node emulate a butterfly column?"""
+        return 0 <= ncc_node < self.columns
+
+    def partner(self, ncc_node: int) -> BFNode | None:
+        """Level-0 node serving a non-emulating NCC node, else ``None``."""
+        if self.emulates(ncc_node):
+            return None
+        return BFNode(0, ncc_node - self.columns)
+
+    def partner_of_column(self, column: int) -> int | None:
+        """The non-emulating NCC node attached to level-0 column, if any."""
+        cand = column + self.columns
+        return cand if cand < self.n else None
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    def down_neighbors(self, node: BFNode) -> tuple[BFNode, BFNode]:
+        """(straight, cross) neighbours one level down; only for level < d."""
+        self._check(node)
+        if node.level >= self.d:
+            raise ValueError(f"{node} has no down-neighbours")
+        bit = 1 << node.level
+        return (
+            BFNode(node.level + 1, node.column),
+            BFNode(node.level + 1, node.column ^ bit),
+        )
+
+    def up_neighbors(self, node: BFNode) -> tuple[BFNode, BFNode]:
+        """(straight, cross) neighbours one level up; only for level > 0."""
+        self._check(node)
+        if node.level <= 0:
+            raise ValueError(f"{node} has no up-neighbours")
+        bit = 1 << (node.level - 1)
+        return (
+            BFNode(node.level - 1, node.column),
+            BFNode(node.level - 1, node.column ^ bit),
+        )
+
+    def down_next(self, node: BFNode, target_column: int) -> BFNode:
+        """Next hop on the unique path from ``node`` toward
+        ``(d, target_column)``: fix bit ``node.level``."""
+        self._check(node)
+        if node.level >= self.d:
+            raise ValueError(f"{node} is already at the bottom level")
+        bit = 1 << node.level
+        next_col = (node.column & ~bit) | (target_column & bit)
+        return BFNode(node.level + 1, next_col)
+
+    def is_local_edge(self, a: BFNode, b: BFNode) -> bool:
+        """True when the edge stays inside one NCC node (straight edge)."""
+        return a.column == b.column
+
+    def path_down(self, start_column: int, target_column: int) -> list[BFNode]:
+        """The unique level-0 → level-d path (used by tests/congestion)."""
+        node = BFNode(0, start_column)
+        path = [node]
+        while node.level < self.d:
+            node = self.down_next(node, target_column)
+            path.append(node)
+        return path
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def all_nodes(self) -> Iterator[BFNode]:
+        for level in range(self.levels):
+            for col in range(self.columns):
+                yield BFNode(level, col)
+
+    def level_nodes(self, level: int) -> Iterator[BFNode]:
+        if not 0 <= level <= self.d:
+            raise ValueError(f"level {level} outside [0, {self.d}]")
+        for col in range(self.columns):
+            yield BFNode(level, col)
+
+    def node_count(self) -> int:
+        return self.levels * self.columns
+
+    def edge_count(self) -> int:
+        # Each of the d inter-level layers has 2^d straight + 2^d cross edges.
+        return self.d * self.columns * 2
+
+    # ------------------------------------------------------------------
+    def _check(self, node: BFNode) -> None:
+        if not (0 <= node.level <= self.d and 0 <= node.column < self.columns):
+            raise ValueError(f"{node} outside butterfly (d={self.d})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ButterflyGrid(n={self.n}, d={self.d})"

@@ -1,0 +1,152 @@
+"""Command-line interface: run algorithms and regenerate Table 1 rows.
+
+Usage::
+
+    python -m repro info --n 64
+    python -m repro run mst --n 48 --a 2 --seed 1
+    python -m repro run mis --n 64 --family grid
+    python -m repro table1 --rows MIS,MM --ns 32,64 --a 2
+    python -m repro separation --ns 32,64,128
+
+Everything prints the same row structure the benchmarks and EXPERIMENTS.md
+use, so the CLI is the quickest way to poke at a single configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import tables
+from .analysis.reporting import format_table
+from .config import NCCConfig
+
+
+def _parse_ints(text: str) -> list[int]:
+    return [int(x) for x in text.split(",") if x.strip()]
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    cfg = NCCConfig()
+    n = args.n
+    rows = [
+        ["n", n],
+        ["capacity (msgs/node/round)", cfg.capacity(n)],
+        ["message size (bits)", cfg.message_bits(n)],
+        ["injection batch", cfg.batch_size(n)],
+        ["butterfly dimension d", (n.bit_length() - 1) if n > 1 else 0],
+    ]
+    print(format_table(["model parameter", "value"], rows, title=f"NCC model at n={n}"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    key = args.algorithm.upper()
+    aliases = {"MATCHING": "MM", "COLORING": "COL"}
+    key = aliases.get(key, key)
+    runner = tables.TABLE1_RUNNERS.get(key)
+    if runner is None:
+        print(f"unknown algorithm {args.algorithm!r}; pick one of "
+              f"{', '.join(sorted(tables.TABLE1_RUNNERS))}", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if key == "BFS" and args.family:
+        kwargs["family"] = args.family
+    row = runner(args.n, a=args.a, seed=args.seed, **kwargs)
+    print(format_table(
+        list(row.keys()),
+        [list(row.values())],
+        title=f"{key} on n={args.n} (bound {tables.TABLE1_BOUNDS[key]})",
+    ))
+    return 0 if row["correct"] else 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    rows_req = [r.strip().upper() for r in args.rows.split(",")] if args.rows else sorted(
+        tables.TABLE1_RUNNERS
+    )
+    ns = _parse_ints(args.ns)
+    exit_code = 0
+    for name in rows_req:
+        runner = tables.TABLE1_RUNNERS.get(name)
+        if runner is None:
+            print(f"skipping unknown row {name!r}", file=sys.stderr)
+            exit_code = 2
+            continue
+        results = tables.sweep(runner, ns, a=args.a, seeds=[args.seed])
+        headers = sorted({k for r in results for k in r})
+        print(
+            format_table(
+                headers,
+                [[r.get(h, "") for h in headers] for r in results],
+                title=f"T1-{name}  (bound {tables.TABLE1_BOUNDS[name]})",
+            )
+        )
+        print()
+        if not all(r["correct"] for r in results):
+            exit_code = 1
+    return exit_code
+
+
+def cmd_separation(args: argparse.Namespace) -> int:
+    from .baselines.congested_clique import gossip_congested_clique, gossip_ncc
+    from .runtime import NCCRuntime
+
+    rows = []
+    for n in _parse_ints(args.ns):
+        cc = gossip_congested_clique(n)
+        rt = NCCRuntime(n, tables.bench_config(args.seed))
+        ncc_rounds = gossip_ncc(rt)
+        rows.append([n, cc.rounds, int(cc.bits), ncc_rounds, int(rt.net.stats.bits)])
+    print(
+        format_table(
+            ["n", "CC rounds", "CC bits", "NCC rounds", "NCC bits"],
+            rows,
+            title="Gossip: Congested Clique vs Node-Capacitated Clique",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Node-Capacitated Clique reproduction (SPAA 2019)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="print the model parameters for a given n")
+    p_info.add_argument("--n", type=int, default=64)
+    p_info.set_defaults(fn=cmd_info)
+
+    p_run = sub.add_parser("run", help="run one algorithm and print its row")
+    p_run.add_argument("algorithm", help="mst | bfs | mis | matching | coloring")
+    p_run.add_argument("--n", type=int, default=48)
+    p_run.add_argument("--a", type=int, default=2)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--family", default=None, help="BFS workload: forest | grid")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table 1 rows")
+    p_t1.add_argument("--rows", default=None, help="comma list, e.g. MIS,MM (default all)")
+    p_t1.add_argument("--ns", default="32,64", help="comma list of sizes")
+    p_t1.add_argument("--a", type=int, default=2)
+    p_t1.add_argument("--seed", type=int, default=0)
+    p_t1.set_defaults(fn=cmd_table1)
+
+    p_sep = sub.add_parser("separation", help="gossip model-separation table")
+    p_sep.add_argument("--ns", default="32,64,128")
+    p_sep.add_argument("--seed", type=int, default=0)
+    p_sep.set_defaults(fn=cmd_separation)
+
+    return p
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

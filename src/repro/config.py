@@ -1,0 +1,144 @@
+"""Model configuration for the Node-Capacitated Clique simulator.
+
+The NCC model (Section 1.1 of the paper) lets every node send and receive up
+to ``O(log n)`` messages of ``O(log n)`` bits per synchronous round.  The
+hidden constants matter for a concrete simulation, so they are explicit
+parameters here:
+
+* ``capacity_multiplier`` — a node may send/receive up to
+  ``ceil(capacity_multiplier * log2(n))`` messages per round.
+* ``bits_multiplier`` — each message may carry up to
+  ``ceil(bits_multiplier * log2(n))`` payload bits.
+* ``enforcement`` — what happens when a bound is exceeded (see
+  :class:`Enforcement`).
+
+The defaults are tuned so that, at the experiment scales used in this
+repository (n ≤ 1024), the with-high-probability load bounds of the paper
+hold and the violation ledger stays empty; the test-suite asserts this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any
+
+from .errors import ConfigurationError
+
+
+class Enforcement(str, Enum):
+    """Receive/send-capacity enforcement semantics.
+
+    ``STRICT``
+        Raise :class:`~repro.errors.CapacityError` on any violation.  Used by
+        the test-suite to certify that the chosen constants satisfy the
+        paper's w.h.p. bounds on concrete instances.
+    ``COUNT``
+        Deliver every message but record violations in the statistics ledger.
+        The default for experiments: round counts stay meaningful and the
+        ledger shows whether the run stayed inside the model.
+    ``DROP``
+        Faithful model semantics (Section 1.1): if more messages arrive at a
+        node than its capacity, a uniformly random subset of capacity-many
+        messages is delivered and the rest are dropped by the network.
+    """
+
+    STRICT = "strict"
+    COUNT = "count"
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class NCCConfig:
+    """Parameters of a simulated Node-Capacitated Clique.
+
+    Parameters
+    ----------
+    capacity_multiplier:
+        Per-round message budget is ``ceil(capacity_multiplier * log2 n)``.
+        The paper's algorithms need a small constant > 1 because a node
+        simultaneously forwards butterfly traffic on up to ``log2 n`` cross
+        edges per direction and exchanges a handful of direct messages.
+    bits_multiplier:
+        Per-message payload budget is ``ceil(bits_multiplier * log2 n)`` bits.
+        Edge identifiers are ``2 log2 n`` bits and FindMin sketches carry
+        Θ(log n) single-bit trials, hence the default of 8.
+    enforcement:
+        See :class:`Enforcement`.
+    seed:
+        Master seed for all randomness (shared hash functions, random
+        destinations, coin flips).  Same seed ⇒ identical simulation.
+    max_rounds:
+        Safety valve: simulations abort with
+        :class:`~repro.errors.SimulationLimitError` beyond this many rounds.
+    identification_s_constant / identification_q_constant:
+        The ``s = c`` hash-function count and ``q = 4 e c d* log n`` trial
+        count constants of Section 4.2 (first Identification step).
+    coloring_epsilon:
+        Palette slack ε of Section 5.4; palettes have ``2(1+ε)â`` colors.
+    charge_hash_agreement:
+        If True (default), agreeing on each shared hash family costs a real
+        pipelined broadcast (Section 2.2); if False the agreement is free
+        (useful for unit tests that probe a single primitive's rounds).
+    """
+
+    capacity_multiplier: float = 4.0
+    bits_multiplier: float = 8.0
+    enforcement: Enforcement = Enforcement.COUNT
+    seed: int = 0
+    max_rounds: int = 2_000_000
+    identification_s_constant: int = 7
+    identification_q_constant: int = 7
+    coloring_epsilon: float = 0.5
+    charge_hash_agreement: bool = True
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_multiplier <= 0:
+            raise ConfigurationError("capacity_multiplier must be positive")
+        if self.bits_multiplier <= 0:
+            raise ConfigurationError("bits_multiplier must be positive")
+        if self.max_rounds <= 0:
+            raise ConfigurationError("max_rounds must be positive")
+        if self.identification_s_constant < 4:
+            # Lemma 4.2 requires s >= 4.
+            raise ConfigurationError("identification_s_constant must be >= 4 (Lemma 4.2)")
+        if self.identification_q_constant < 1:
+            raise ConfigurationError("identification_q_constant must be >= 1")
+        if self.coloring_epsilon <= 0:
+            raise ConfigurationError("coloring_epsilon must be positive")
+        if not isinstance(self.enforcement, Enforcement):
+            object.__setattr__(self, "enforcement", Enforcement(self.enforcement))
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def log2n(self, n: int) -> int:
+        """``ceil(log2 n)``, at least 1 — the model's fundamental unit."""
+        if n < 2:
+            return 1
+        return max(1, math.ceil(math.log2(n)))
+
+    def capacity(self, n: int) -> int:
+        """Per-round per-node message budget (send and receive each)."""
+        return max(1, math.ceil(self.capacity_multiplier * self.log2n(n)))
+
+    def message_bits(self, n: int) -> int:
+        """Per-message payload budget in bits.
+
+        Floored at 32: the model's O(log n) hides constants that dominate
+        at tiny n, and every protocol envelope needs a few dozen bits.
+        """
+        return max(32, math.ceil(self.bits_multiplier * self.log2n(n)))
+
+    def batch_size(self, n: int) -> int:
+        """``ceil(log n)`` — the paper's injection batch size."""
+        return max(1, self.log2n(n))
+
+    def with_(self, **changes: Any) -> "NCCConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+DEFAULT_CONFIG = NCCConfig()

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the NCC reproduction library.
+
+All library errors derive from :class:`ReproError`, so callers can catch a
+single base class.  The hierarchy distinguishes *model* violations (a node
+tried to exceed its communication capacity) from *protocol* failures (a
+randomized routine exhausted its retry budget) and plain *usage* errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An :class:`~repro.config.NCCConfig` parameter is invalid."""
+
+
+class CapacityError(ReproError):
+    """A node exceeded its per-round send or receive capacity.
+
+    Raised only when the network runs in ``strict`` enforcement mode; in the
+    default ``count`` mode the violation is recorded in the statistics ledger
+    and the message is still delivered.
+    """
+
+    def __init__(self, message: str, *, node: int, round_index: int, count: int, capacity: int):
+        super().__init__(message)
+        self.node = node
+        self.round_index = round_index
+        self.count = count
+        self.capacity = capacity
+
+
+class MessageSizeError(ReproError):
+    """A message payload exceeded the O(log n)-bit budget of the model."""
+
+    def __init__(self, message: str, *, bits: int, budget: int):
+        super().__init__(message)
+        self.bits = bits
+        self.budget = budget
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol reached an inconsistent or impossible state.
+
+    This signals a bug in the protocol implementation (or a failure of a
+    with-high-probability guarantee at the configured constants), not a user
+    error.
+    """
+
+
+class RetryBudgetExceeded(ProtocolError):
+    """A randomized routine failed more often than its retry budget allows."""
+
+
+class SimulationLimitError(ReproError):
+    """A simulation safety limit (e.g. maximum rounds) was exceeded."""
+
+
+class InputGraphError(ReproError):
+    """The input graph is malformed (bad node ids, self-loops, ...)."""

@@ -1,0 +1,11 @@
+"""Workload graphs: generators, arboricity tooling, weights, properties.
+
+The paper's algorithms are parametrized by the arboricity ``a`` of the
+input graph, so the generators here put ``a`` under experimental control
+(unions of random forests have arboricity ≤ k and usually exactly k; grids
+and trees pin small constants; stars separate ``a`` from ``∆``).
+"""
+
+from . import arboricity, generators, properties, weights
+
+__all__ = ["generators", "arboricity", "properties", "weights"]

@@ -1,0 +1,121 @@
+"""Arboricity estimation and forest decompositions.
+
+Nash-Williams [50]: ``a(G) = max_{H ⊆ G, n_H ≥ 2} ⌈m_H / (n_H − 1)⌉``.
+Computing it exactly is a matroid-union problem; for experiment bookkeeping
+we use the standard sandwich
+
+    density lower bound ≤ a(G) ≤ greedy forest-partition upper bound,
+
+plus the degeneracy (``a ≤ degeneracy ≤ 2a − 1``), which the orientation
+algorithm's output quality is measured against.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Sequence
+
+from ..ncc.graph_input import InputGraph
+
+
+def density_lower_bound(g: InputGraph) -> int:
+    """⌈m / (n − 1)⌉ — Nash-Williams with H = G (plus the densest-core
+    refinement via the degeneracy peeling order)."""
+    if g.n < 2 or g.m == 0:
+        return 0 if g.m == 0 else 1
+    best = math.ceil(g.m / (g.n - 1))
+    # Refinement: peel minimum-degree vertices; every suffix of the peeling
+    # order is a subgraph candidate H.
+    order, _ = degeneracy_order(g)
+    removed = [False] * g.n
+    m_left = g.m
+    n_left = g.n
+    for u in order:
+        removed[u] = True
+        m_left -= sum(1 for v in g.neighbors(u) if not removed[v])
+        n_left -= 1
+        if n_left >= 2:
+            best = max(best, math.ceil(m_left / (n_left - 1)))
+    return best
+
+
+def degeneracy_order(g: InputGraph) -> tuple[list[int], int]:
+    """(elimination order, degeneracy) via repeated min-degree removal."""
+    degree = [g.degree(u) for u in range(g.n)]
+    removed = [False] * g.n
+    heap = [(degree[u], u) for u in range(g.n)]
+    heapq.heapify(heap)
+    order: list[int] = []
+    degeneracy = 0
+    while heap:
+        dcur, u = heapq.heappop(heap)
+        if removed[u] or dcur != degree[u]:
+            continue
+        removed[u] = True
+        order.append(u)
+        degeneracy = max(degeneracy, dcur)
+        for v in g.neighbors(u):
+            if not removed[v]:
+                degree[v] -= 1
+                heapq.heappush(heap, (degree[v], v))
+    return order, degeneracy
+
+
+def greedy_forest_partition(g: InputGraph) -> list[list[tuple[int, int]]]:
+    """Partition E into forests greedily (upper-bounds the arboricity).
+
+    Processes edges in a degeneracy-friendly order, assigning each edge to
+    the first forest where it closes no cycle (union-find per forest).
+    """
+    forests: list[list[tuple[int, int]]] = []
+    parents: list[list[int]] = []
+
+    def find(p: list[int], x: int) -> int:
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = p[x]
+        return x
+
+    for u, v in g.edges():
+        placed = False
+        for forest, p in zip(forests, parents):
+            ru, rv = find(p, u), find(p, v)
+            if ru != rv:
+                p[ru] = rv
+                forest.append((u, v))
+                placed = True
+                break
+        if not placed:
+            p = list(range(g.n))
+            p[find(p, u)] = v
+            forests.append([(u, v)])
+            parents.append(p)
+    return forests
+
+
+def arboricity_upper_bound(g: InputGraph) -> int:
+    """Number of forests the greedy partition uses (≥ a, ≤ 2a in theory
+    for the greedy; tight on the generator families used here)."""
+    return len(greedy_forest_partition(g))
+
+
+def arboricity_bounds(g: InputGraph) -> tuple[int, int]:
+    """(lower, upper) sandwich for a(G)."""
+    return density_lower_bound(g), arboricity_upper_bound(g)
+
+
+def verify_orientation_bound(
+    g: InputGraph, out_neighbors: Sequence[Sequence[int]], bound: int
+) -> bool:
+    """Check an orientation covers every edge once with outdegree ≤ bound."""
+    seen = set()
+    for u in range(g.n):
+        if len(out_neighbors[u]) > bound:
+            return False
+        for v in out_neighbors[u]:
+            e = (u, v) if u < v else (v, u)
+            if e in seen:
+                return False
+            seen.add(e)
+    return seen == set(g.edges())

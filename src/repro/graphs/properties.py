@@ -1,0 +1,75 @@
+"""Graph properties used by the experiment harness.
+
+Pure (non-distributed) computations on :class:`InputGraph` — diameter,
+connectivity structure, degree statistics — used to label benchmark rows
+(e.g. Table 1's ``D`` for BFS) and to validate generator invariants.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..ncc.graph_input import InputGraph
+
+
+def connected_components(g: InputGraph) -> list[list[int]]:
+    """Connected components as sorted node lists."""
+    seen = [False] * g.n
+    comps: list[list[int]] = []
+    for s in range(g.n):
+        if seen[s]:
+            continue
+        comp = [s]
+        seen[s] = True
+        dq = deque([s])
+        while dq:
+            u = dq.popleft()
+            for v in g.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    comp.append(v)
+                    dq.append(v)
+        comps.append(sorted(comp))
+    return comps
+
+
+def is_connected(g: InputGraph) -> bool:
+    return g.n <= 1 or len(connected_components(g)) == 1
+
+
+def bfs_distances(g: InputGraph, source: int) -> list[int | None]:
+    """Unweighted distances from ``source`` (None = unreachable)."""
+    dist: list[int | None] = [None] * g.n
+    dist[source] = 0
+    dq = deque([source])
+    while dq:
+        u = dq.popleft()
+        for v in g.neighbors(u):
+            if dist[v] is None:
+                dist[v] = dist[u] + 1
+                dq.append(v)
+    return dist
+
+
+def eccentricity(g: InputGraph, source: int) -> int:
+    """Max finite distance from ``source``."""
+    return max((d for d in bfs_distances(g, source) if d is not None), default=0)
+
+
+def diameter(g: InputGraph) -> int:
+    """Exact diameter of the largest component (all-pairs via n BFS runs;
+    the experiment graphs are small enough)."""
+    comps = connected_components(g)
+    if not comps:
+        return 0
+    largest = max(comps, key=len)
+    return max(eccentricity(g, u) for u in largest)
+
+
+def degree_stats(g: InputGraph) -> dict[str, float]:
+    degs = [g.degree(u) for u in range(g.n)]
+    return {
+        "max": max(degs, default=0),
+        "min": min(degs, default=0),
+        "avg": sum(degs) / g.n if g.n else 0.0,
+    }

@@ -1,0 +1,44 @@
+"""Weight assignments for MST workloads (Section 3).
+
+The paper assumes integral weights in {1..W}, W = poly(n).  Three regimes
+matter for experiments:
+
+* ``with_random_weights`` — uniform in {1..W}; ties possible, exercising
+  the identifier tie-breaking;
+* ``with_unique_weights`` — a random permutation of {1..m}: the classical
+  distinct-weight setting with a unique MST;
+* ``with_constant_weights`` — all ties: MST degenerates to any spanning
+  forest of minimum edge count; the sketch search runs entirely on
+  identifiers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..ncc.graph_input import InputGraph
+
+
+def with_random_weights(
+    g: InputGraph, *, max_weight: int | None = None, seed: int | None = None
+) -> InputGraph:
+    """Uniform random integer weights in {1..max_weight} (default n²)."""
+    rng = random.Random(seed if seed is not None else 0)
+    w_max = max_weight if max_weight is not None else max(2, g.n * g.n)
+    weights = {e: rng.randint(1, w_max) for e in g.edges()}
+    return InputGraph(g.n, g.edges(), weights)
+
+
+def with_unique_weights(g: InputGraph, *, seed: int | None = None) -> InputGraph:
+    """A random permutation of {1..m}: all weights distinct."""
+    rng = random.Random(seed if seed is not None else 0)
+    perm = list(range(1, g.m + 1))
+    rng.shuffle(perm)
+    weights = {e: w for e, w in zip(g.edges(), perm)}
+    return InputGraph(g.n, g.edges(), weights)
+
+
+def with_constant_weights(g: InputGraph, weight: int = 1) -> InputGraph:
+    """Every edge the same weight (the all-ties stress case)."""
+    weights = {e: weight for e in g.edges()}
+    return InputGraph(g.n, g.edges(), weights)

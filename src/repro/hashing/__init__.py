@@ -1,0 +1,26 @@
+"""Shared-randomness hashing substrates.
+
+The paper's primitives assume (pseudo-)random hash functions agreed upon via
+shared randomness, and its analysis only needs Θ(log n)-wise independence
+(Section 2.2).  This package provides:
+
+* :class:`~repro.hashing.kwise.KWiseHash` — a k-wise independent polynomial
+  hash family over the Mersenne prime 2^61 − 1;
+* :class:`~repro.hashing.sketches.ParitySketch` — the XOR/parity set-equality
+  sketch used by FindMin (Section 3);
+* :class:`~repro.hashing.peeling.TrialTable` — the trial-table peeling decoder
+  at the heart of the Identification Algorithm (Section 4.1).
+"""
+
+from .kwise import KWiseHash, MERSENNE_61
+from .peeling import PeelResult, TrialTable
+from .sketches import ParitySketch, sketch_differs
+
+__all__ = [
+    "KWiseHash",
+    "MERSENNE_61",
+    "ParitySketch",
+    "sketch_differs",
+    "TrialTable",
+    "PeelResult",
+]

@@ -1,0 +1,82 @@
+"""Parity (XOR) sketches for distributed set-equality tests.
+
+Section 3's FindMin routine decides "does component C have an outgoing edge
+with weight in [a, b]?" by comparing, for a random hash ``h : ids -> {0,1}``,
+
+    h↑(C) = Σ_{u∈C} Σ_{v∈N(u), w(u,v)∈[a,b]} h(id(u,v))   (mod 2)
+    h↓(C) = Σ_{u∈C} Σ_{v∈N(u), w(u,v)∈[a,b]} h(id(v,u))   (mod 2)
+
+The two multisets of arc identifiers coincide exactly when every qualifying
+edge is internal to C; when they differ, a random parity separates them with
+probability 1/2, so Θ(log n) independent trials give a w.h.p. test.
+
+The sketch here packages that logic so that both the distributed algorithm
+and its tests share one implementation: a :class:`ParitySketch` is a vector
+of ``trials`` single-bit parities that supports the group operation (XOR),
+which is exactly the distributive aggregate used in the in-network
+aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .kwise import KWiseHash
+
+
+@dataclass(frozen=True)
+class ParitySketch:
+    """An immutable vector of parity bits, one per trial.
+
+    Combining sketches with ``^`` mirrors how packets are combined inside the
+    butterfly: XOR per trial.  The all-zero sketch is the identity.
+    """
+
+    bits: int  # packed little-endian: trial t is bit t
+    trials: int
+
+    def __xor__(self, other: "ParitySketch") -> "ParitySketch":
+        if self.trials != other.trials:
+            raise ValueError("cannot combine sketches with different trial counts")
+        return ParitySketch(self.bits ^ other.bits, self.trials)
+
+    def is_zero(self) -> bool:
+        return self.bits == 0
+
+    def trial(self, t: int) -> int:
+        if not 0 <= t < self.trials:
+            raise IndexError(t)
+        return (self.bits >> t) & 1
+
+    def as_tuple(self) -> tuple[int, ...]:
+        return tuple((self.bits >> t) & 1 for t in range(self.trials))
+
+    def size_bits(self) -> int:
+        """Payload size when carried in a message: one bit per trial."""
+        return self.trials
+
+    @classmethod
+    def zero(cls, trials: int) -> "ParitySketch":
+        return cls(0, trials)
+
+    @classmethod
+    def of_keys(cls, keys: Iterable[int], hashes: Sequence[KWiseHash]) -> "ParitySketch":
+        """Sketch a multiset of integer keys under one hash per trial."""
+        bits = 0
+        for key in keys:
+            for t, h in enumerate(hashes):
+                bits ^= h.bit(key) << t
+        return cls(bits, len(hashes))
+
+
+def sketch_differs(a: ParitySketch, b: ParitySketch) -> bool:
+    """True when the two sketched multisets are *provably* different.
+
+    A ``False`` answer means "equal in every trial" — equal multisets always
+    return ``False``; unequal ones return ``False`` with probability
+    ``2^-trials``.
+    """
+    if a.trials != b.trials:
+        raise ValueError("sketches have different trial counts")
+    return a.bits != b.bits

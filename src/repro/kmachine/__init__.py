@@ -1,0 +1,23 @@
+"""The k-machine model and the NCC conversion (Appendix A).
+
+Klauck et al.'s k-machine model [36]: ``k`` fully-interconnected machines,
+each link carrying one O(log n)-bit message per synchronous round.  A graph
+on ``n`` nodes is *random-vertex-partitioned*: each node (with its incident
+edges) lands on a uniformly random machine.
+
+Corollary 2: any NCC algorithm running in ``T`` rounds simulates in
+``Õ(n T / k²)`` k-machine rounds — each machine simulates its ~n/k nodes
+and per NCC round the Θ̃(n) messages spread across the k(k−1) links.
+:class:`~repro.kmachine.simulation.KMachineSimulation` executes this
+conversion for real by observing every round of a live NCC run.
+"""
+
+from .model import KMachineNetwork, KMachineStats
+from .simulation import KMachineSimulation, simulate_on_k_machines
+
+__all__ = [
+    "KMachineNetwork",
+    "KMachineStats",
+    "KMachineSimulation",
+    "simulate_on_k_machines",
+]

@@ -1,0 +1,88 @@
+"""The bare k-machine network: k machines, per-link message budget.
+
+This is the standalone substrate (usable directly, see
+``examples/datacenter_kmachine.py``); the NCC→k-machine conversion in
+:mod:`~repro.kmachine.simulation` builds on its accounting rules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class KMachineStats:
+    rounds: int = 0
+    messages: int = 0
+    max_link_load: int = 0
+
+
+class KMachineNetwork:
+    """``k`` fully connected machines; one message per link per round.
+
+    Messages are O(log n)-bit quanta: payload sizing is the caller's
+    concern (the conversion layer slices NCC messages 1:1 since both models
+    use O(log n)-bit messages).
+    """
+
+    def __init__(self, k: int, *, messages_per_link: int = 1):
+        if k < 2:
+            raise ConfigurationError("k-machine model needs k >= 2")
+        if messages_per_link < 1:
+            raise ConfigurationError("messages_per_link must be >= 1")
+        self.k = k
+        self.messages_per_link = messages_per_link
+        self.stats = KMachineStats()
+        self._pending: dict[tuple[int, int], list[Any]] = {}
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Queue one message; it is delivered by the next :meth:`exchange`
+        (possibly after several rounds if the link is saturated)."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return  # machine-local, free
+        self._pending.setdefault((src, dst), []).append(payload)
+
+    def exchange(self) -> dict[int, list[tuple[int, Any]]]:
+        """Deliver everything queued, advancing as many rounds as the most
+        loaded link needs.  Returns per-machine inboxes as (src, payload)."""
+        inboxes: dict[int, list[tuple[int, Any]]] = {}
+        max_load = 0
+        msgs = 0
+        for (src, dst), queue in self._pending.items():
+            max_load = max(max_load, len(queue))
+            msgs += len(queue)
+            for payload in queue:
+                inboxes.setdefault(dst, []).append((src, payload))
+        self._pending.clear()
+        rounds = max(1, math.ceil(max_load / self.messages_per_link))
+        self.stats.rounds += rounds
+        self.stats.messages += msgs
+        self.stats.max_link_load = max(self.stats.max_link_load, max_load)
+        return inboxes
+
+    def broadcast(self, src: int, payload: Any) -> None:
+        """Queue a message to every other machine."""
+        for dst in range(self.k):
+            if dst != src:
+                self.send(src, dst, payload)
+
+    # ------------------------------------------------------------------
+    def _check(self, machine: int) -> None:
+        if not 0 <= machine < self.k:
+            raise ValueError(f"machine {machine} outside [0, {self.k})")
+
+
+def random_vertex_partition(n: int, k: int, seed: int = 0) -> list[int]:
+    """Assign each of ``n`` graph nodes to a uniformly random machine —
+    the standard input distribution of the k-machine model [36]."""
+    import random
+
+    rng = random.Random(f"kmachine-partition|{seed}|{n}|{k}")
+    return [rng.randrange(k) for _ in range(n)]

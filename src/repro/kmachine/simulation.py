@@ -1,0 +1,104 @@
+"""NCC → k-machine conversion (Appendix A, Corollary 2).
+
+Each machine hosts the NCC nodes assigned to it by the random vertex
+partition and simulates their local computation for free; every NCC message
+between nodes on different machines crosses the corresponding machine link
+as one O(log n)-bit k-machine message.  One NCC round therefore costs
+
+    max(1, ⌈max_{(M₁,M₂)} #messages(M₁→M₂) / messages_per_link⌉)
+
+k-machine rounds.  Over a T-round NCC execution with Θ̃(n) messages per
+round this telescopes to the corollary's Õ(n T / k²), which the
+``bench_kmachine`` experiment verifies empirically.
+
+The conversion runs *live*: it registers itself as the NCC network's round
+observer, so any unmodified NCC algorithm can be measured under conversion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..ncc.network import NCCNetwork
+from .model import random_vertex_partition
+
+
+@dataclass
+class KMachineCost:
+    """Accumulated k-machine cost of an observed NCC execution."""
+
+    kmachine_rounds: int = 0
+    ncc_rounds: int = 0
+    cross_messages: int = 0
+    local_messages: int = 0
+    max_link_load: int = 0
+
+
+class KMachineSimulation:
+    """Observe a live NCC run and account its k-machine simulation cost."""
+
+    def __init__(
+        self,
+        net: NCCNetwork,
+        k: int,
+        *,
+        seed: int = 0,
+        messages_per_link: int = 1,
+    ):
+        if k < 2:
+            raise ValueError("k must be >= 2")
+        self.net = net
+        self.k = k
+        self.messages_per_link = messages_per_link
+        self.assignment = random_vertex_partition(net.n, k, seed)
+        self.cost = KMachineCost()
+        self._prev_observer = net.round_observer
+        net.round_observer = self._observe
+
+    # ------------------------------------------------------------------
+    def _observe(self, round_index: int, per_sender: Mapping[int, list]) -> None:
+        if self._prev_observer is not None:
+            self._prev_observer(round_index, per_sender)
+        link_load: dict[tuple[int, int], int] = {}
+        cross = 0
+        local = 0
+        for src, msgs in per_sender.items():
+            m_src = self.assignment[src]
+            for m in msgs:
+                m_dst = self.assignment[m.dst]
+                if m_src == m_dst:
+                    local += 1
+                else:
+                    link_load[(m_src, m_dst)] = link_load.get((m_src, m_dst), 0) + 1
+                    cross += 1
+        max_load = max(link_load.values(), default=0)
+        self.cost.kmachine_rounds += max(
+            1, math.ceil(max_load / self.messages_per_link)
+        )
+        self.cost.ncc_rounds += 1
+        self.cost.cross_messages += cross
+        self.cost.local_messages += local
+        self.cost.max_link_load = max(self.cost.max_link_load, max_load)
+
+    def detach(self) -> KMachineCost:
+        """Stop observing; returns the accumulated cost."""
+        self.net.round_observer = self._prev_observer
+        return self.cost
+
+
+def simulate_on_k_machines(
+    make_runtime: Callable[[], "object"],
+    run_algorithm: Callable[["object"], object],
+    k: int,
+    *,
+    seed: int = 0,
+) -> tuple[object, KMachineCost]:
+    """Convenience wrapper: build a runtime, attach a k-machine observer,
+    run the algorithm, detach, and return (algorithm result, cost)."""
+    rt = make_runtime()
+    sim = KMachineSimulation(rt.net, k, seed=seed)
+    result = run_algorithm(rt)
+    cost = sim.detach()
+    return result, cost

@@ -1,0 +1,93 @@
+"""Messages and payload bit accounting.
+
+The model allows ``O(log n)`` bits per message.  To keep that budget honest,
+every payload is assigned a bit size via :func:`payload_bits`.  The estimate
+is intentionally simple and conservative-ish: identifiers and weights count
+their binary length, containers add their parts, and objects can opt in by
+providing a ``size_bits()`` method (e.g. parity sketches).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def payload_bits(payload: Any) -> int:
+    """Estimate the wire size of a payload in bits.
+
+    Rules:
+
+    * ``None`` and ``bool`` — 1 bit;
+    * ``int`` — its binary length (≥ 1), plus a sign bit if negative;
+    * ``float`` — 32 bits (only used for annotation randomness);
+    * ``str`` — 4 bits for short strings (≤ 8 chars).  Strings are used
+      exclusively as protocol tags / namespaces drawn from a constant-size
+      alphabet per protocol step, so they are O(1) bits on the wire; longer
+      strings cost 8 bits per character to keep data out of this loophole;
+    * ``tuple`` / ``list`` — sum of parts (structure is part of the protocol,
+      not the wire format, mirroring how the paper counts only the content);
+    * any object with a ``size_bits()`` method — whatever it reports.
+    """
+    # type() checks (not isinstance) keep this hot path cheap; bool must be
+    # tested before int since bool subclasses int.
+    t = type(payload)
+    if t is int:
+        return (payload.bit_length() or 1) + (1 if payload < 0 else 0)
+    if t is tuple or t is list:
+        total = 0
+        for p in payload:
+            total += payload_bits(p)
+        return total
+    if t is str:
+        return 4 if len(payload) <= 8 else 8 * len(payload)
+    if payload is None or t is bool:
+        return 1
+    if t is float:
+        return 32
+    if t is frozenset:
+        total = 0
+        for p in payload:
+            total += payload_bits(p)
+        return total
+    if isinstance(payload, int):  # IntEnum and friends
+        return (payload.bit_length() or 1) + (1 if payload < 0 else 0)
+    size = getattr(payload, "size_bits", None)
+    if callable(size):
+        return int(size())
+    raise TypeError(f"cannot size payload of type {type(payload).__name__}")
+
+
+class Message:
+    """One message in flight: ``src -> dst`` carrying ``payload``.
+
+    ``kind`` tags the protocol step that produced the message (for statistics
+    and debugging); it is metadata, not wire content.  A plain __slots__
+    class instead of a dataclass: the routers create millions of these.
+    """
+
+    __slots__ = ("src", "dst", "payload", "kind", "bits")
+
+    def __init__(self, src: int, dst: int, payload: Any, kind: str = "", bits: int = -1):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.kind = kind
+        self.bits = bits if bits >= 0 else payload_bits(payload)
+
+    def sized(self) -> int:
+        return self.bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Message({self.src}->{self.dst}, {self.payload!r}, kind={self.kind!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Message)
+            and self.src == other.src
+            and self.dst == other.dst
+            and self.payload == other.payload
+            and self.kind == other.kind
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.src, self.dst, repr(self.payload), self.kind))

@@ -1,0 +1,235 @@
+"""The synchronous round engine of the Node-Capacitated Clique.
+
+Usage pattern (all primitives follow it)::
+
+    net = NCCNetwork(n, config)
+    with net.phase("my-protocol"):
+        inboxes = net.exchange(outgoing)   # one synchronous round
+        ...
+
+``exchange`` takes the messages every node wants to send this round, enforces
+the model's send/receive capacity and message-size budgets, and returns the
+per-node inboxes for the start of the next round.  The three enforcement
+modes are described in :class:`repro.config.Enforcement`.
+
+Design notes
+------------
+* The engine is deliberately *centralized but message-faithful*: algorithms
+  are orchestrated from ordinary Python control flow (the paper's
+  Aggregate-and-Broadcast synchronization is executed for real where the
+  paper charges it), while every unit of communication is a concrete
+  :class:`~repro.ncc.message.Message` moving through this class.
+* Local computation is free (the model allows arbitrary local computation
+  per round), so the engine counts only rounds, messages and bits.
+* Randomness for DROP-mode selection comes from the engine's own stream so
+  that algorithm-level randomness is unaffected by the enforcement mode.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Mapping
+
+from ..config import DEFAULT_CONFIG, Enforcement, NCCConfig
+from ..errors import CapacityError, MessageSizeError, SimulationLimitError
+from .message import Message
+from .stats import NetworkStats, Violation
+
+OutgoingT = Mapping[int, list[Message]] | Iterable[Message]
+
+
+class NCCNetwork:
+    """A Node-Capacitated Clique on ``n`` nodes.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; identifiers are ``0..n-1`` (Section 1.1 lets us
+        assume this w.l.o.g. since identifiers are common knowledge).
+    config:
+        Model constants; see :class:`repro.config.NCCConfig`.
+    """
+
+    def __init__(self, n: int, config: NCCConfig | None = None):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = int(n)
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.capacity = self.config.capacity(self.n)
+        self.message_bits = self.config.message_bits(self.n)
+        self.stats = NetworkStats()
+        self._round = 0
+        self._phase_stack: list[str] = []
+        self._drop_rng = random.Random(("ncc-drop", self.config.seed, n).__repr__())
+        #: Optional per-round observer ``f(round_index, messages)`` — used by
+        #: the k-machine conversion (Appendix A) to re-account each NCC
+        #: round's traffic in another model without touching the algorithms.
+        self.round_observer = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def round_index(self) -> int:
+        """Number of completed rounds."""
+        return self._round
+
+    @property
+    def log2n(self) -> int:
+        return self.config.log2n(self.n)
+
+    def nodes(self) -> range:
+        return range(self.n)
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        """Attribute all traffic inside the block to ``label`` (stackable)."""
+        self._phase_stack.append(label)
+        self.stats.record_phase_entry(label)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    # ------------------------------------------------------------------
+    # The round
+    # ------------------------------------------------------------------
+    def exchange(self, outgoing: OutgoingT) -> dict[int, list[Message]]:
+        """Run one synchronous round.
+
+        ``outgoing`` maps each sender to its messages (or is a flat iterable
+        of messages).  Returns the inbox of every node that received at least
+        one message.  Messages are received "at the beginning of the next
+        round" (Section 1.1); since the caller drives rounds explicitly, that
+        simply means the return value is available to the caller's next
+        iteration.
+        """
+        if self._round >= self.config.max_rounds:
+            raise SimulationLimitError(
+                f"simulation exceeded max_rounds={self.config.max_rounds}"
+            )
+
+        per_sender: dict[int, list[Message]] = {}
+        if isinstance(outgoing, Mapping):
+            for src, msgs in outgoing.items():
+                if msgs:
+                    per_sender.setdefault(int(src), []).extend(msgs)
+        else:
+            for m in outgoing:
+                per_sender.setdefault(m.src, []).append(m)
+
+        sent_messages = 0
+        sent_bits = 0
+        inboxes: dict[int, list[Message]] = {}
+        mode = self.config.enforcement
+
+        for src, msgs in per_sender.items():
+            self._check_node_id(src)
+            count = len(msgs)
+            if count > self.stats.max_sent_per_round:
+                self.stats.max_sent_per_round = count
+            if count > self.capacity:
+                self._violate("send", src, count)
+                if mode is Enforcement.DROP:
+                    # The model does not drop on the send side (sending is
+                    # under node control), but an over-budget sender in DROP
+                    # mode gets trimmed to keep the simulation inside the
+                    # model; a random subset is kept to avoid bias.
+                    msgs = self._drop_rng.sample(msgs, self.capacity)
+                    self.stats.dropped += count - self.capacity
+            for m in msgs:
+                self._check_node_id(m.dst)
+                if m.src != src:
+                    raise ValueError(f"message src {m.src} enqueued under sender {src}")
+                bits = m.sized()
+                if bits > self.message_bits:
+                    self._violate_bits(m, bits)
+                sent_messages += 1
+                sent_bits += bits
+                inboxes.setdefault(m.dst, []).append(m)
+
+        # Receive-side capacity.
+        delivered: dict[int, list[Message]] = {}
+        for dst, msgs in inboxes.items():
+            count = len(msgs)
+            if count > self.stats.max_received_per_round:
+                self.stats.max_received_per_round = count
+            if count > self.capacity:
+                self._violate("recv", dst, count)
+                if mode is Enforcement.DROP:
+                    # "it receives an arbitrary subset of O(log n) messages.
+                    # Additional messages are simply dropped by the network."
+                    msgs = self._drop_rng.sample(msgs, self.capacity)
+                    self.stats.dropped += count - self.capacity
+            delivered[dst] = msgs
+
+        if self.round_observer is not None:
+            self.round_observer(self._round, per_sender)
+        self._round += 1
+        self.stats.record_round(tuple(self._phase_stack), sent_messages, sent_bits)
+        return delivered
+
+    def run_rounds(
+        self, schedule: Mapping[int, list[Message]]
+    ) -> dict[int, list[Message]]:
+        """Run a multi-round send schedule keyed by round offset.
+
+        ``schedule[r]`` is the list of messages sent in the r-th round from
+        now (0-based).  All inboxes are merged into one dict keyed by
+        receiver; useful for the "pick a random round in {1..s}" spreading
+        pattern the paper uses repeatedly.  Rounds with no traffic still
+        elapse (they are part of the protocol's fixed-length window).
+        """
+        merged: dict[int, list[Message]] = {}
+        horizon = max(schedule.keys(), default=-1)
+        for r in range(horizon + 1):
+            inb = self.exchange(schedule.get(r, ()))
+            for dst, msgs in inb.items():
+                merged.setdefault(dst, []).extend(msgs)
+        return merged
+
+    def idle_rounds(self, k: int) -> None:
+        """Let ``k`` empty rounds elapse (fixed-length protocol windows)."""
+        for _ in range(k):
+            self.exchange(())
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+    def _check_node_id(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise ValueError(f"node id {node} outside [0, {self.n})")
+
+    def _violate(self, kind: str, node: int, count: int) -> None:
+        v = Violation(self._round, node, kind, count, self.capacity)
+        self.stats.record_violation(v)
+        if self.config.enforcement is Enforcement.STRICT:
+            raise CapacityError(
+                f"node {node} {kind} capacity exceeded in round {self._round}: "
+                f"{count} > {self.capacity}",
+                node=node,
+                round_index=self._round,
+                count=count,
+                capacity=self.capacity,
+            )
+
+    def _violate_bits(self, m: Message, bits: int) -> None:
+        v = Violation(self._round, m.src, "bits", bits, self.message_bits)
+        self.stats.record_violation(v)
+        if self.config.enforcement is Enforcement.STRICT:
+            raise MessageSizeError(
+                f"message {m.src}->{m.dst} ({m.kind!r}) payload {bits} bits "
+                f"exceeds budget {self.message_bits}",
+                bits=bits,
+                budget=self.message_bits,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NCCNetwork(n={self.n}, capacity={self.capacity}, "
+            f"round={self._round}, violations={self.stats.violation_count})"
+        )

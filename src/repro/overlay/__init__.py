@@ -1,0 +1,33 @@
+"""Overlay bootstrap from Θ(log n) random contacts (Section 6's remark).
+
+The paper closes with: "all of our algorithms still achieve the presented
+runtimes if, in addition to knowing their neighbors in the input graph,
+they initially only know Θ(log n) random nodes" — the full-knowledge
+assumption only feeds the butterfly construction, which overlay-building
+algorithms (e.g. [2]) can replace.
+
+This package implements the substrate that remark rests on, in the
+*introduction* formalism of Section 1 ("overlay edges can be established by
+introducing nodes to each other"): a knowledge-gated network wrapper where
+a node may only address identifiers it has learned, plus a bootstrap
+protocol that, starting from random contact lists, elects the minimum
+identifier and leaves behind a low-depth aggregation tree — giving
+Aggregate-and-Broadcast (Theorem 2.2) in O(log n) rounds with no global
+knowledge.
+"""
+
+from .bootstrap import (
+    BootstrapResult,
+    KnowledgeTracker,
+    bootstrap_aggregation_tree,
+    random_contact_lists,
+    tree_aggregate_broadcast,
+)
+
+__all__ = [
+    "random_contact_lists",
+    "KnowledgeTracker",
+    "BootstrapResult",
+    "bootstrap_aggregation_tree",
+    "tree_aggregate_broadcast",
+]

@@ -1,0 +1,58 @@
+"""Communication primitives of Section 2.2 / Appendix B.
+
+Five primitives, matching the paper's theorems:
+
+* :func:`~repro.primitives.aggregate_broadcast.aggregate_and_broadcast`
+  (Theorem 2.2) plus the synchronization barrier built from it;
+* :func:`~repro.primitives.aggregation.run_aggregation` (Theorem 2.3);
+* :func:`~repro.primitives.multicast_setup.setup_multicast_trees`
+  (Theorem 2.4);
+* :func:`~repro.primitives.multicast.run_multicast` (Theorem 2.5);
+* :func:`~repro.primitives.multi_aggregation.run_multi_aggregation`
+  (Theorem 2.6).
+
+All primitives run every message through the NCC round engine and charge
+the synchronization rounds the paper charges.
+"""
+
+from .functions import (
+    Aggregate,
+    MAX,
+    MIN,
+    SUM,
+    XOR,
+    min_by_key,
+    xor_count,
+)
+from .aggregate_broadcast import (
+    aggregate_and_broadcast,
+    barrier,
+    gather_to_root,
+    pipelined_broadcast,
+)
+from .aggregation import AggregationProblem, run_aggregation
+from .multicast import run_multicast
+from .multicast_setup import setup_multicast_trees
+from .multi_aggregation import run_multi_aggregation
+from .direct import send_direct, spread_exchange
+
+__all__ = [
+    "Aggregate",
+    "SUM",
+    "MIN",
+    "MAX",
+    "XOR",
+    "min_by_key",
+    "xor_count",
+    "aggregate_and_broadcast",
+    "barrier",
+    "pipelined_broadcast",
+    "gather_to_root",
+    "AggregationProblem",
+    "run_aggregation",
+    "setup_multicast_trees",
+    "run_multicast",
+    "run_multi_aggregation",
+    "send_direct",
+    "spread_exchange",
+]

@@ -1,0 +1,240 @@
+"""Aggregate-and-Broadcast (Theorem 2.2), barriers, and pipelined broadcasts.
+
+Appendix B.1: inputs funnel along the unique butterfly paths to the root
+``(d, 0)`` (combining en route), then the result floods back up the binary
+broadcast tree to every level-0 node and finally to the non-emulating
+partner nodes.  Exactly ``2d + 2`` rounds, every round a real exchange.
+
+The same path system gives two more tools used throughout the paper:
+
+* :func:`barrier` — the synchronization pattern of Appendix B.1 ("every node
+  delays its participation …"): an Aggregate-and-Broadcast of completion
+  tokens.  Algorithms call it between phases, so its rounds are charged.
+* :func:`pipelined_broadcast` — node 0 broadcasts ``k`` messages pipelined
+  through the broadcast tree in ``d + k + 1`` rounds (used for shared-hash
+  agreement and the U_high identifier broadcast of Section 4.2).
+* :func:`gather_to_root` — route items from their owners to node 0 with
+  smallest-first contention (the U_high gather), ``O(k + log n)`` rounds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, Mapping
+
+from ..butterfly.topology import BFNode, ButterflyGrid
+from ..ncc.message import Message
+from ..ncc.network import NCCNetwork
+from .functions import Aggregate
+
+
+def aggregate_and_broadcast(
+    net: NCCNetwork,
+    bf: ButterflyGrid,
+    inputs: Mapping[int, Any],
+    fn: Aggregate,
+    *,
+    kind: str = "agg-bcast",
+) -> Any:
+    """All nodes learn ``fn(inputs.values())`` in ``2d + 2`` rounds.
+
+    ``inputs`` maps member nodes of the set ``A`` to their input value;
+    nodes outside the mapping contribute nothing.  Returns the aggregate
+    (``None`` when ``inputs`` is empty — every node learns "no input").
+    """
+    d = bf.d
+    cols = bf.columns
+
+    # Round 1: non-emulating nodes hand their value to their partner.
+    msgs = [
+        Message(u, u - cols, ("P", v), kind=kind)
+        for u, v in inputs.items()
+        if not bf.emulates(u)
+    ]
+    inbox = net.exchange(msgs)
+
+    # Values now live at level-0 butterfly nodes.
+    acc: dict[int, Any] = {}  # column -> partial aggregate (current level)
+    for u, v in inputs.items():
+        if bf.emulates(u):
+            acc[u] = fn(acc[u], v) if u in acc else v
+    for host, received in inbox.items():
+        for m in received:
+            v = m.payload[1]
+            acc[host] = fn(acc[host], v) if host in acc else v
+
+    # Aggregation phase: d rounds, level i -> i+1, fixing bit i to 0.
+    for level in range(d):
+        bit = 1 << level
+        msgs = []
+        nxt: dict[int, Any] = {}
+        for col, v in acc.items():
+            target = col & ~bit
+            if target == col:
+                nxt[col] = fn(nxt[col], v) if col in nxt else v
+            else:
+                msgs.append(Message(col, target, ("A", v), kind=kind))
+        inbox = net.exchange(msgs)
+        for host, received in inbox.items():
+            for m in received:
+                v = m.payload[1]
+                nxt[host] = fn(nxt[host], v) if host in nxt else v
+        acc = nxt
+
+    result = acc.get(0)
+
+    # Broadcast phase: d rounds, level i+1 -> i; holders at level i+1 are
+    # the columns with bits 0..i zero.  Broadcast happens even for an empty
+    # aggregate: nodes must learn "no input" to stay synchronized (the
+    # barrier relies on this).
+    holders = [0]
+    for level in range(d - 1, -1, -1):
+        bit = 1 << level
+        msgs = [
+            Message(col, col | bit, ("B", result), kind=kind) for col in holders
+        ]
+        net.exchange(msgs)
+        holders = holders + [col | bit for col in holders]
+
+    # Final round: level-0 nodes inform their non-emulating partners.
+    msgs = []
+    for col in range(cols):
+        partner = bf.partner_of_column(col)
+        if partner is not None:
+            msgs.append(Message(col, partner, ("B", result), kind=kind))
+    net.exchange(msgs)
+
+    return result
+
+
+def barrier(net: NCCNetwork, bf: ButterflyGrid, *, kind: str = "barrier") -> None:
+    """Synchronize all nodes (Appendix B.1's token A&B); ``2d + 2`` rounds.
+
+    With ``lightweight_sync`` set in the config extras the rounds elapse
+    without materializing the messages (identical round count).
+    """
+    if net.config.extras.get("lightweight_sync", False):
+        net.idle_rounds(2 * bf.d + 2)
+        return
+    from .functions import MAX
+
+    aggregate_and_broadcast(
+        net, bf, {u: 1 for u in range(net.n)}, MAX, kind=kind
+    )
+
+
+def pipelined_broadcast(
+    net: NCCNetwork,
+    bf: ButterflyGrid,
+    items: Iterable[Any],
+    *,
+    src: int = 0,
+    kind: str = "pipelined-bcast",
+) -> dict[int, list[Any]]:
+    """Broadcast ``items`` from node ``src`` to all nodes, pipelined.
+
+    Section 4.2: items are "broadcast … in a pipelined fashion in a binary
+    tree, which is implicitly given in the network" — node ``u``'s children
+    are ``2u+1`` and ``2u+2``.  Each tree edge carries ``capacity/2`` items
+    per round, so every node sends ≤ capacity and receives ≤ capacity/2
+    messages per round, and ``k`` items reach everyone in
+    ``O(log n + k/log n)`` rounds.
+
+    Returns the items received per node (in order), for caller convenience.
+    """
+    item_list = list(items)
+    n = net.n
+    received: dict[int, list[Any]] = {u: [] for u in range(n)}
+    received[src] = list(item_list)
+    if n == 1 or not item_list:
+        return received
+
+    # Stage 0: if src is not node 0, ship the items to the tree root first,
+    # batched at the capacity limit.
+    if src != 0:
+        cap = net.capacity
+        idx = 0
+        while idx < len(item_list):
+            batch = item_list[idx : idx + cap]
+            idx += cap
+            net.exchange([Message(src, 0, ("S", it), kind=kind) for it in batch])
+        received[0] = list(item_list)
+
+    rate = max(1, net.capacity // 2)
+    fifos: dict[int, deque] = {0: deque(item_list)}
+    while fifos:
+        msgs: list[Message] = []
+        for u in list(fifos):
+            q = fifos[u]
+            take = min(rate, len(q))
+            batch = [q.popleft() for _ in range(take)]
+            if not q:
+                del fifos[u]
+            for child in (2 * u + 1, 2 * u + 2):
+                if child < n:
+                    msgs.extend(
+                        Message(u, child, ("B", it), kind=kind) for it in batch
+                    )
+        if not msgs:
+            break
+        inbox = net.exchange(msgs)
+        for v, rec in inbox.items():
+            for m in rec:
+                item = m.payload[1]
+                if v != src:
+                    received[v].append(item)
+                if 2 * v + 1 < n:
+                    fifos.setdefault(v, deque()).append(item)
+
+    return received
+
+
+def gather_to_root(
+    net: NCCNetwork,
+    bf: ButterflyGrid,
+    items: Mapping[int, Any],
+    *,
+    kind: str = "gather",
+) -> list[Any]:
+    """Route one item per owning node to node 0, smallest-id first.
+
+    Section 4.2 (U_high): "every node u ∈ U_high sends its identifier to the
+    node v with identifier 0; … whenever multiple identifiers contend to use
+    the same edge in the same round, the smallest identifier is sent first."
+    Items route along the butterfly path system toward column 0 without
+    combining.  Returns the items in the order node 0 received them
+    (ties broken by owner id).
+    """
+    from ..butterfly.routing import CombiningRouter
+
+    if net.n == 1:
+        return [items[0]] if 0 in items else []
+
+    # Non-emulating owners hand their item to the partner column first.
+    cols = bf.columns
+    msgs = [
+        Message(u, u - cols, ("H", u, v), kind=kind)
+        for u, v in items.items()
+        if not bf.emulates(u)
+    ]
+    inbox = net.exchange(msgs)
+    injected: list[tuple[int, int, Any]] = [
+        (u, u, v) for u, v in items.items() if bf.emulates(u)
+    ]
+    for host, rec in inbox.items():
+        for m in rec:
+            _, owner, v = m.payload
+            injected.append((host, owner, v))
+
+    router = CombiningRouter(
+        net,
+        bf,
+        rank_of=lambda g: g,  # smallest owner id wins contention
+        target_col_of=lambda g: 0,
+        combine=lambda a, b: a,  # groups are unique; never fires
+        kind=kind,
+    )
+    for col, owner, v in injected:
+        router.inject(col, owner, v)
+    res = router.run()
+    return [res.results[owner] for owner in sorted(res.results)]

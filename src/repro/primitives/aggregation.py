@@ -1,0 +1,188 @@
+"""The Aggregation Algorithm (Theorem 2.3, Appendix B.2).
+
+Problem: aggregation groups ``A₁..A_N ⊆ V`` with targets ``t₁..t_N``; every
+member ``u ∈ Aᵢ`` holds an input ``s_{u,i}``; target ``tᵢ`` must learn
+``f({s_{u,i} : u ∈ Aᵢ})`` for a distributive ``f``.
+
+Three phases, each ended by a synchronization barrier:
+
+1. *Preprocessing* — every node turns its inputs into packets ``(i, s)``
+   and sends them, in batches of ``⌈log n⌉`` per round, to uniformly random
+   level-0 butterfly nodes (Lemma B.1).
+2. *Combining* — the random-rank protocol routes all packets of group ``i``
+   to the intermediate target ``h(i)`` on level ``d``, merging colliding
+   same-group packets with ``f`` (Theorem B.2 / Lemma B.6).
+3. *Postprocessing* — each intermediate target forwards its result to the
+   real target ``tᵢ`` in a round chosen uniformly from
+   ``{1..⌈ℓ̂₂/log n⌉}`` (Lemma B.7).
+
+Running time O(L/n + (ℓ₁+ℓ̂₂)/log n + log n) w.h.p.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping
+
+from ..butterfly.routing import CombiningRouter
+from ..butterfly.topology import ButterflyGrid
+from ..ncc.message import Message
+from ..ncc.network import NCCNetwork
+from ..rng import SharedRandomness
+from .aggregate_broadcast import barrier
+from .functions import Aggregate
+
+GroupT = Hashable
+
+
+@dataclass
+class AggregationProblem:
+    """One instance of the Aggregation Problem.
+
+    ``memberships[u]`` maps each group ``u`` belongs to, to ``u``'s input
+    value for that group; ``targets[g]`` is the node that must learn the
+    aggregate of group ``g``.  Every group with a member must have a target.
+    """
+
+    memberships: Mapping[int, Mapping[GroupT, Any]]
+    targets: Mapping[GroupT, int]
+    fn: Aggregate
+    #: ℓ̂₂ — upper bound on groups-per-target known to all nodes; computed
+    #: from the instance when omitted.
+    ell2_bound: int | None = None
+
+    def global_load(self) -> int:
+        """L = Σ|Aᵢ| — the total number of packets."""
+        return sum(len(m) for m in self.memberships.values())
+
+    def ell1(self) -> int:
+        """ℓ₁ — max groups one node is a member of."""
+        return max((len(m) for m in self.memberships.values()), default=0)
+
+    def ell2(self) -> int:
+        """ℓ₂ — max groups one node is the target of."""
+        per_target: dict[int, int] = {}
+        for g, t in self.targets.items():
+            per_target[t] = per_target.get(t, 0) + 1
+        return max(per_target.values(), default=0)
+
+    def validate(self) -> None:
+        for u, groups in self.memberships.items():
+            for g in groups:
+                if g not in self.targets:
+                    raise ValueError(f"group {g!r} (member {u}) has no target")
+
+
+@dataclass
+class AggregationOutcome:
+    """Result of one aggregation run."""
+
+    #: Aggregate per group, as delivered to the group's target.
+    values: dict[GroupT, Any]
+    #: Per-target view: target node -> {group: value}.
+    by_target: dict[int, dict[GroupT, Any]] = field(default_factory=dict)
+    rounds: int = 0
+
+
+def run_aggregation(
+    net: NCCNetwork,
+    bf: ButterflyGrid,
+    shared: SharedRandomness,
+    problem: AggregationProblem,
+    *,
+    tag: object = None,
+    kind: str = "aggregation",
+) -> AggregationOutcome:
+    """Execute the Aggregation Algorithm; see module docstring."""
+    problem.validate()
+    start = net.round_index
+    if tag is None:
+        tag = shared.fresh_tag("aggregation")
+    with net.phase(kind):
+        # One globally agreed rank/target function, salted per invocation
+        # (the paper's hash functions are set up once, beforehand).
+        nonce = shared.next_nonce()
+        rank = shared.rank_function()
+        target_col = shared.target_function(bf.columns)
+        salt = shared.salted_key
+
+        def key_of(g: GroupT, _cache: dict = {}) -> int:
+            k = _cache.get(g)
+            if k is None:
+                k = _cache[g] = salt(nonce, _group_key(g))
+            return k
+
+        router = CombiningRouter(
+            net,
+            bf,
+            rank_of=lambda g: rank(key_of(g)),
+            target_col_of=lambda g: target_col(key_of(g)),
+            combine=problem.fn.combine,
+            kind=kind,
+        )
+
+        # ----- Preprocessing: batched injection to random level-0 nodes.
+        batch = net.config.batch_size(net.n)
+        pending: list[list[Message]] = []
+        for u, groups in problem.memberships.items():
+            u_rng = shared.node_rng(u, (tag, "inject"))
+            for j, (g, value) in enumerate(sorted(groups.items(), key=lambda kv: repr(kv[0]))):
+                col = u_rng.randrange(bf.columns)
+                r = j // batch
+                while len(pending) <= r:
+                    pending.append([])
+                # The host of level-0 column ``col`` is NCC node ``col``.
+                pending[r].append(Message(u, col, ("I", col, g, value), kind=kind))
+        for round_msgs in pending:
+            inbox = net.exchange(round_msgs)
+            for host, msgs in inbox.items():
+                for m in msgs:
+                    _, col, g, value = m.payload
+                    router.inject(col, g, value)
+        barrier(net, bf)
+
+        # ----- Combining.
+        res = router.run()
+        barrier(net, bf)
+
+        # ----- Postprocessing: deliver to real targets in random rounds.
+        ell2 = problem.ell2_bound if problem.ell2_bound is not None else problem.ell2()
+        window = max(1, math.ceil(ell2 / max(1, net.log2n)))
+        schedule: dict[int, list[Message]] = {r: [] for r in range(window)}
+        for g, value in res.results.items():
+            t = problem.targets[g]
+            src = target_col(key_of(g))  # host of (d, h(g))
+            r_rng = shared.node_rng(src, (tag, "deliver", _group_key(g)))
+            schedule[r_rng.randrange(window)].append(
+                Message(src, t, ("R", g, value), kind=kind)
+            )
+        outcome = AggregationOutcome(values={}, rounds=0)
+        for r in range(window):
+            inbox = net.exchange(schedule[r])
+            for t, msgs in inbox.items():
+                for m in msgs:
+                    _, g, value = m.payload
+                    outcome.values[g] = value
+                    outcome.by_target.setdefault(t, {})[g] = value
+        barrier(net, bf)
+
+    outcome.rounds = net.round_index - start
+    return outcome
+
+
+def _group_key(g: GroupT) -> int:
+    """Stable integer key for hashing structured group identifiers."""
+    if isinstance(g, int):
+        return g
+    if isinstance(g, tuple):
+        key = 0
+        for part in g:
+            key = key * 1_000_003 + (_group_key(part) + 1)
+        return key
+    if isinstance(g, str):
+        acc = 0
+        for ch in g:
+            acc = acc * 131 + ord(ch)
+        return acc
+    raise TypeError(f"unsupported group identifier type {type(g).__name__}")

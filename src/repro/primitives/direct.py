@@ -1,0 +1,68 @@
+"""Capacity-respecting direct (clique-edge) exchanges.
+
+Several steps of the paper bypass the butterfly and use the clique edges
+directly, always spreading the sends over a fixed window of rounds with
+randomly (or hash-)chosen round indices so that per-round loads stay at
+O(log n) w.h.p. — e.g. Stage 3 of the orientation algorithm, the U_high
+red-edge deliveries, and the leaf→member deliveries of the multicast.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable
+
+from ..ncc.message import Message
+from ..ncc.network import NCCNetwork
+
+SendT = tuple[int, int, Any]  # (src, dst, payload)
+
+
+def send_direct(
+    net: NCCNetwork, sends: Iterable[SendT], *, kind: str = "direct"
+) -> dict[int, list[Message]]:
+    """One round of direct messages; returns the inboxes."""
+    msgs = [Message(src, dst, payload, kind=kind) for src, dst, payload in sends]
+    return net.exchange(msgs)
+
+
+def spread_exchange(
+    net: NCCNetwork,
+    sends: Iterable[SendT],
+    window: int,
+    *,
+    round_of: Callable[[int, SendT], int] | None = None,
+    rng=None,
+    kind: str = "direct-spread",
+) -> dict[int, list[Message]]:
+    """Send messages spread over ``window`` rounds; merge all inboxes.
+
+    ``round_of(index, send)`` may pin a message to a specific round in
+    ``[0, window)`` (the paper's hash-selected rounds, e.g. ``r(id(e))`` in
+    Stage 3); otherwise rounds are chosen uniformly via ``rng`` (falling
+    back to a deterministic stripe).  The window always elapses fully —
+    these are fixed-length protocol sub-phases.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    schedule: dict[int, list[Message]] = {r: [] for r in range(window)}
+    for idx, send in enumerate(sends):
+        src, dst, payload = send
+        if round_of is not None:
+            r = round_of(idx, send) % window
+        elif rng is not None:
+            r = rng.randrange(window)
+        else:
+            r = idx % window
+        schedule[r].append(Message(src, dst, payload, kind=kind))
+    merged: dict[int, list[Message]] = {}
+    for r in range(window):
+        inbox = net.exchange(schedule[r])
+        for dst, msgs in inbox.items():
+            merged.setdefault(dst, []).extend(msgs)
+    return merged
+
+
+def batched_window(count: int, batch: int) -> int:
+    """Rounds needed to send ``count`` messages at ``batch`` per round."""
+    return max(1, math.ceil(count / max(1, batch)))

@@ -1,0 +1,132 @@
+"""The Multicast Algorithm (Theorem 2.5, Appendix B.4).
+
+Given multicast trees (Theorem 2.4) with congestion ``C``, every source
+``sᵢ`` delivers its packet ``pᵢ`` to all members of ``Aᵢ``:
+
+1. ``sᵢ`` sends ``pᵢ`` directly to the host of the tree root ``h(i)``;
+2. the *Spreading Phase* floods copies down the recorded tree edges with
+   rank-based contention (reverse of the combining protocol);
+3. every leaf ``l(i, u)`` forwards ``pᵢ`` to its member ``u`` in a round
+   chosen uniformly from ``{1..⌈ℓ̂/log n⌉}``.
+
+Time O(C + ℓ̂/log n + log n) w.h.p.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping
+
+from ..butterfly.routing import MulticastRouter, TreeSet
+from ..butterfly.topology import ButterflyGrid
+from ..ncc.message import Message
+from ..ncc.network import NCCNetwork
+from ..rng import SharedRandomness
+from .aggregate_broadcast import barrier
+from .aggregation import _group_key
+
+GroupT = Hashable
+
+
+@dataclass
+class MulticastOutcome:
+    """Per-node received payloads: ``received[u][g] = p_g``."""
+
+    received: dict[int, dict[GroupT, Any]] = field(default_factory=dict)
+    rounds: int = 0
+
+    def at(self, node: int) -> dict[GroupT, Any]:
+        return self.received.get(node, {})
+
+
+def run_multicast(
+    net: NCCNetwork,
+    bf: ButterflyGrid,
+    shared: SharedRandomness,
+    trees: TreeSet,
+    packets: Mapping[GroupT, Any],
+    sources: Mapping[GroupT, int],
+    *,
+    ell_bound: int | None = None,
+    tag: object = None,
+    kind: str = "multicast",
+) -> MulticastOutcome:
+    """Multicast each group's packet to all tree members.
+
+    ``packets[g]`` is group ``g``'s payload; ``sources[g]`` the node that
+    holds it.  ``ell_bound`` is the ℓ̂ the nodes are assumed to know
+    (max memberships per node); computed from the trees when omitted.
+    Only groups present in ``packets`` are multicast — the trees may serve
+    many rounds of an algorithm with shrinking active sets.
+    """
+    if tag is None:
+        tag = shared.fresh_tag("multicast")
+    start = net.round_index
+    outcome = MulticastOutcome()
+    with net.phase(kind):
+        nonce = shared.next_nonce()
+        _rank = shared.rank_function()
+        salt = shared.salted_key
+
+        def rank(key: int) -> int:
+            return _rank(salt(nonce, key))
+
+        # ---- Sources hand packets to the tree-root hosts.  The paper's
+        # simplified variant has one group per source (a single round); the
+        # extension it mentions — nodes sourcing multiple multicasts — just
+        # batches these sends at the capacity limit.
+        per_source: dict[int, list[Message]] = {}
+        for g, payload in packets.items():
+            root = trees.root.get(g)
+            if root is None:
+                raise KeyError(f"no multicast tree for group {g!r}")
+            src = sources[g]
+            per_source.setdefault(src, []).append(
+                Message(src, bf.host(root), ("M", g, payload), kind=kind)
+            )
+        batch = net.capacity
+        root_packets: dict[GroupT, Any] = {}
+        rounds_needed = max(
+            (math.ceil(len(v) / batch) for v in per_source.values()), default=1
+        )
+        for r in range(rounds_needed):
+            msgs = []
+            for src, queued in per_source.items():
+                msgs.extend(queued[r * batch : (r + 1) * batch])
+            inbox = net.exchange(msgs)
+            for host, received in inbox.items():
+                for m in received:
+                    _, g, payload = m.payload
+                    root_packets[g] = payload
+
+        # ---- Spreading phase down the recorded trees.
+        router = MulticastRouter(
+            net, bf, trees, rank_of=lambda g: rank(_group_key(g)), kind=kind
+        )
+        res = router.run(root_packets)
+        barrier(net, bf)
+
+        # ---- Leaf -> member delivery in a random-round window.
+        if ell_bound is None:
+            ell_bound = trees.member_load()
+        window = max(1, math.ceil(max(1, ell_bound) / max(1, net.log2n)))
+        schedule: dict[int, list[Message]] = {r: [] for r in range(window)}
+        for col, payloads in res.results.items():
+            host = col  # level-0 column col is hosted by NCC node col
+            for g, payload in payloads.items():
+                for member in trees.leaf_members.get(g, {}).get(col, ()):
+                    r_rng = shared.node_rng(host, (tag, "leaf", _group_key(g), member))
+                    schedule[r_rng.randrange(window)].append(
+                        Message(host, member, ("L", g, payload), kind=kind)
+                    )
+        for r in range(window):
+            inbox = net.exchange(schedule[r])
+            for u, received in inbox.items():
+                for m in received:
+                    _, g, payload = m.payload
+                    outcome.received.setdefault(u, {})[g] = payload
+        barrier(net, bf)
+
+    outcome.rounds = net.round_index - start
+    return outcome

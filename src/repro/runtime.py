@@ -1,0 +1,183 @@
+"""The user-facing runtime: one Node-Capacitated Clique ready to compute.
+
+:class:`NCCRuntime` bundles the round engine, the emulated butterfly and the
+shared-randomness broker, and exposes every communication primitive as a
+method.  Algorithms take a runtime plus an input graph::
+
+    from repro import NCCRuntime, InputGraph
+    from repro.algorithms import MSTAlgorithm
+
+    rt = NCCRuntime(64, seed=7)
+    g = InputGraph(64, edges, weights)
+    result = MSTAlgorithm(rt, g).run()
+    print(rt.net.stats.rounds)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping
+
+from .butterfly.routing import TreeSet
+from .butterfly.topology import ButterflyGrid
+from .config import DEFAULT_CONFIG, NCCConfig
+from .ncc.network import NCCNetwork
+from .primitives import (
+    Aggregate,
+    AggregationProblem,
+    aggregate_and_broadcast,
+    barrier,
+    gather_to_root,
+    pipelined_broadcast,
+    run_aggregation,
+    run_multi_aggregation,
+    run_multicast,
+    setup_multicast_trees,
+)
+from .primitives.multicast_setup import setup_multicast_trees_delegated
+from .rng import SharedRandomness
+
+GroupT = Hashable
+
+
+class NCCRuntime:
+    """A Node-Capacitated Clique of ``n`` nodes with all primitives wired."""
+
+    def __init__(self, n: int, config: NCCConfig | None = None, *, seed: int | None = None):
+        cfg = config if config is not None else DEFAULT_CONFIG
+        if seed is not None:
+            cfg = cfg.with_(seed=seed)
+        self.config = cfg
+        self.net = NCCNetwork(n, cfg)
+        self.bf = ButterflyGrid(n)
+        self.shared = SharedRandomness(cfg, n, charge=self._charge_agreement)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.net.n
+
+    @property
+    def log2n(self) -> int:
+        return self.net.log2n
+
+    def _charge_agreement(self, bits: int) -> None:
+        """Charge a shared-randomness agreement: node 0 broadcasts
+        ``ceil(bits / B)`` messages pipelined through the butterfly
+        (Section 2.2)."""
+        import math
+
+        k = max(1, math.ceil(bits / self.net.message_bits))
+        with self.net.phase("hash-agreement"):
+            pipelined_broadcast(
+                self.net, self.bf, [0] * k, kind="hash-agreement"
+            )
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def aggregate_and_broadcast(
+        self, inputs: Mapping[int, Any], fn: Aggregate, *, kind: str = "agg-bcast"
+    ) -> Any:
+        """Theorem 2.2 — every node learns ``fn`` over the inputs."""
+        with self.net.phase(kind):
+            return aggregate_and_broadcast(self.net, self.bf, inputs, fn, kind=kind)
+
+    def barrier(self) -> None:
+        """Synchronization barrier (Appendix B.1), 2d+2 rounds."""
+        barrier(self.net, self.bf)
+
+    def aggregation(self, problem: AggregationProblem, *, tag: object = None, kind: str = "aggregation"):
+        """Theorem 2.3 — run the Aggregation Algorithm."""
+        return run_aggregation(self.net, self.bf, self.shared, problem, tag=tag, kind=kind)
+
+    def multicast_setup(
+        self,
+        memberships: Mapping[int, Iterable[GroupT]],
+        *,
+        tag: object = None,
+        kind: str = "multicast-setup",
+    ) -> TreeSet:
+        """Theorem 2.4 — build multicast trees."""
+        return setup_multicast_trees(
+            self.net, self.bf, self.shared, memberships, tag=tag, kind=kind
+        )
+
+    def multicast_setup_delegated(
+        self,
+        injections: Mapping[int, Iterable[tuple[GroupT, int]]],
+        *,
+        tag: object = None,
+        kind: str = "multicast-setup",
+    ) -> TreeSet:
+        """Tree setup with delegated joins (Lemma 5.1's injection trick)."""
+        return setup_multicast_trees_delegated(
+            self.net, self.bf, self.shared, injections, tag=tag, kind=kind
+        )
+
+    def multicast(
+        self,
+        trees: TreeSet,
+        packets: Mapping[GroupT, Any],
+        sources: Mapping[GroupT, int],
+        *,
+        ell_bound: int | None = None,
+        tag: object = None,
+        kind: str = "multicast",
+    ):
+        """Theorem 2.5 — multicast packets over pre-built trees."""
+        return run_multicast(
+            self.net,
+            self.bf,
+            self.shared,
+            trees,
+            packets,
+            sources,
+            ell_bound=ell_bound,
+            tag=tag,
+            kind=kind,
+        )
+
+    def multi_aggregation(
+        self,
+        trees: TreeSet,
+        packets: Mapping[GroupT, Any],
+        sources: Mapping[GroupT, int],
+        fn: Aggregate,
+        *,
+        annotate=None,
+        result_key=None,
+        tag: object = None,
+        kind: str = "multi-aggregation",
+    ):
+        """Theorem 2.6 — multicast + per-target aggregation (pass
+        ``result_key`` for the keyed extension of Appendix B.5)."""
+        return run_multi_aggregation(
+            self.net,
+            self.bf,
+            self.shared,
+            trees,
+            packets,
+            sources,
+            fn,
+            annotate=annotate,
+            result_key=result_key,
+            tag=tag,
+            kind=kind,
+        )
+
+    def pipelined_broadcast(self, items: Iterable[Any], *, src: int = 0, kind: str = "pipelined-bcast"):
+        """Broadcast items from one node to all, pipelined (Section 2.2)."""
+        with self.net.phase(kind):
+            return pipelined_broadcast(self.net, self.bf, items, src=src, kind=kind)
+
+    def gather_to_root(self, items: Mapping[int, Any], *, kind: str = "gather"):
+        """Gather one item per owner at node 0, smallest-first (Section 4.2)."""
+        with self.net.phase(kind):
+            return gather_to_root(self.net, self.bf, items, kind=kind)
+
+    # ------------------------------------------------------------------
+    def stats_summary(self) -> dict[str, object]:
+        return self.net.stats.summary()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NCCRuntime(n={self.n}, rounds={self.net.round_index})"

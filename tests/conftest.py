@@ -1,0 +1,88 @@
+"""Shared fixtures for the test-suite.
+
+Conventions:
+
+* ``strict_config`` is the default for protocol tests — any capacity or
+  message-size violation fails the test immediately, certifying that the
+  implementations stay inside the model at the configured constants.
+* Graph fixtures are deterministic (fixed seeds) so failures reproduce.
+* ``fast_config`` uses lightweight synchronization for tests that only
+  check outputs, not message-level fidelity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Enforcement, NCCConfig, NCCRuntime
+from repro.graphs import generators, weights
+
+
+@pytest.fixture
+def strict_config() -> NCCConfig:
+    return NCCConfig(seed=42, enforcement=Enforcement.STRICT)
+
+
+@pytest.fixture
+def count_config() -> NCCConfig:
+    return NCCConfig(seed=42, enforcement=Enforcement.COUNT)
+
+
+@pytest.fixture
+def fast_config() -> NCCConfig:
+    return NCCConfig(
+        seed=42,
+        enforcement=Enforcement.COUNT,
+        extras={"lightweight_sync": True},
+    )
+
+
+@pytest.fixture
+def rt16(strict_config) -> NCCRuntime:
+    return NCCRuntime(16, strict_config)
+
+
+@pytest.fixture
+def rt20(strict_config) -> NCCRuntime:
+    """Non-power-of-two size: exercises the partner-node paths."""
+    return NCCRuntime(20, strict_config)
+
+
+@pytest.fixture
+def rt32(strict_config) -> NCCRuntime:
+    return NCCRuntime(32, strict_config)
+
+
+@pytest.fixture
+def small_tree():
+    return generators.random_tree(24, seed=5)
+
+
+@pytest.fixture
+def small_grid():
+    return generators.grid(5, 5)
+
+
+@pytest.fixture
+def small_star():
+    return generators.star(24)
+
+
+@pytest.fixture
+def small_forest2():
+    return generators.forest_union(24, 2, seed=9)
+
+
+@pytest.fixture
+def weighted_random():
+    g = generators.random_connected(24, extra_edge_prob=0.12, seed=3)
+    return weights.with_random_weights(g, seed=4)
+
+
+def make_runtime(n: int, *, seed: int = 42, strict: bool = True, **extras) -> NCCRuntime:
+    cfg = NCCConfig(
+        seed=seed,
+        enforcement=Enforcement.STRICT if strict else Enforcement.COUNT,
+        extras=extras,
+    )
+    return NCCRuntime(n, cfg)

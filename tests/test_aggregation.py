@@ -1,0 +1,157 @@
+"""The Aggregation Algorithm (Theorem 2.3) against reference reductions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import NCCRuntime
+from repro.primitives import MIN, SUM, XOR, AggregationProblem
+from tests.conftest import make_runtime
+
+
+def reference(memberships, fn):
+    acc = {}
+    for u, groups in memberships.items():
+        for g, v in groups.items():
+            acc[g] = fn(acc[g], v) if g in acc else v
+    return acc
+
+
+class TestProblemDescriptor:
+    def test_loads(self):
+        p = AggregationProblem(
+            memberships={0: {"a": 1, "b": 2}, 1: {"a": 3}},
+            targets={"a": 0, "b": 1},
+            fn=SUM,
+        )
+        assert p.global_load() == 3
+        assert p.ell1() == 2
+        assert p.ell2() == 1
+
+    def test_ell2_counts_groups_per_target(self):
+        p = AggregationProblem(
+            memberships={0: {"a": 1, "b": 2}},
+            targets={"a": 5, "b": 5},
+            fn=SUM,
+        )
+        assert p.ell2() == 2
+
+    def test_validate_missing_target(self):
+        p = AggregationProblem(memberships={0: {"a": 1}}, targets={}, fn=SUM)
+        with pytest.raises(ValueError):
+            p.validate()
+
+
+class TestCorrectness:
+    def test_simple_sum(self, rt20):
+        prob = AggregationProblem(
+            memberships={u: {u % 4: u} for u in range(20)},
+            targets={g: g for g in range(4)},
+            fn=SUM,
+        )
+        out = rt20.aggregation(prob)
+        assert out.values == reference(prob.memberships, SUM)
+
+    def test_min_with_tuple_values(self, rt16):
+        prob = AggregationProblem(
+            memberships={u: {0: (u * 7 % 13, u)} for u in range(16)},
+            targets={0: 9},
+            fn=MIN,
+        )
+        out = rt16.aggregation(prob)
+        assert out.values[0] == min((u * 7 % 13, u) for u in range(16))
+        assert out.by_target == {9: {0: out.values[0]}}
+
+    def test_xor(self, rt16):
+        prob = AggregationProblem(
+            memberships={u: {"x": u} for u in range(16)},
+            targets={"x": 3},
+            fn=XOR,
+        )
+        out = rt16.aggregation(prob)
+        exp = 0
+        for u in range(16):
+            exp ^= u
+        assert out.values["x"] == exp
+
+    def test_node_member_of_many_groups(self, rt16):
+        prob = AggregationProblem(
+            memberships={2: {g: g + 1 for g in range(30)}},
+            targets={g: g % 16 for g in range(30)},
+            fn=SUM,
+        )
+        out = rt16.aggregation(prob)
+        assert out.values == {g: g + 1 for g in range(30)}
+
+    def test_target_of_many_groups(self, rt16):
+        prob = AggregationProblem(
+            memberships={u: {("grp", u): 1} for u in range(16)},
+            targets={("grp", u): 0 for u in range(16)},
+            fn=SUM,
+        )
+        out = rt16.aggregation(prob)
+        assert len(out.by_target[0]) == 16
+
+    def test_empty_problem(self, rt16):
+        prob = AggregationProblem(memberships={}, targets={}, fn=SUM)
+        out = rt16.aggregation(prob)
+        assert out.values == {}
+
+    def test_tuple_group_identifiers(self, rt16):
+        prob = AggregationProblem(
+            memberships={u: {(u % 2, "tag"): 1} for u in range(16)},
+            targets={(0, "tag"): 0, (1, "tag"): 1},
+            fn=SUM,
+        )
+        out = rt16.aggregation(prob)
+        assert out.values == {(0, "tag"): 8, (1, "tag"): 8}
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances_match_reference(self, seed):
+        rng = random.Random(seed)
+        n = rng.choice([8, 12, 16, 24])
+        rt = make_runtime(n, seed=seed % 1000)
+        memberships = {}
+        targets = {}
+        for u in range(n):
+            groups = {}
+            for g in rng.sample(range(10), rng.randrange(0, 4)):
+                groups[g] = rng.randrange(1000)
+                targets[g] = rng.randrange(n)
+            if groups:
+                memberships[u] = groups
+        prob = AggregationProblem(memberships=memberships, targets=targets, fn=SUM)
+        out = rt.aggregation(prob)
+        assert out.values == reference(memberships, SUM)
+        assert rt.net.stats.violation_count == 0
+
+
+class TestCostShape:
+    def test_rounds_logarithmic_for_constant_load(self):
+        rounds = []
+        for n in (16, 64, 256):
+            rt = make_runtime(n, lightweight_sync=True)
+            prob = AggregationProblem(
+                memberships={u: {u % 4: 1} for u in range(n)},
+                targets={g: g for g in range(4)},
+                fn=SUM,
+            )
+            rounds.append(rt.aggregation(prob).rounds)
+        # L/n constant => growth must be ~log n, far below linear.
+        assert rounds[-1] < rounds[0] * 6
+
+    def test_deterministic_given_seed(self):
+        def run():
+            rt = make_runtime(24, seed=5)
+            prob = AggregationProblem(
+                memberships={u: {u % 3: u} for u in range(24)},
+                targets={g: g for g in range(3)},
+                fn=SUM,
+            )
+            out = rt.aggregation(prob)
+            return out.values, rt.net.round_index
+
+        assert run() == run()

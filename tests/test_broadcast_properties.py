@@ -1,0 +1,54 @@
+"""Property tests for pipelined broadcast and gather-to-root."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_runtime
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestBroadcastProperties:
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.lists(st.integers(min_value=0, max_value=1000), max_size=30),
+        st.integers(min_value=0, max_value=39),
+    )
+    @settings(**SETTINGS)
+    def test_everyone_receives_everything_in_order(self, n, items, src_raw):
+        src = src_raw % n
+        rt = make_runtime(n, seed=1)
+        out = rt.pipelined_broadcast(items, src=src)
+        for u in range(n):
+            assert out[u] == items
+        assert rt.net.stats.violation_count == 0
+
+    @given(st.integers(min_value=2, max_value=40), st.data())
+    @settings(**SETTINGS)
+    def test_gather_collects_exactly_the_owned_items(self, n, data):
+        owners = data.draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+        )
+        rt = make_runtime(n, seed=2)
+        got = rt.gather_to_root({u: ("item", u) for u in owners})
+        assert got == [("item", u) for u in sorted(owners)]
+        assert rt.net.stats.violation_count == 0
+
+    @given(st.integers(min_value=2, max_value=64))
+    @settings(**SETTINGS)
+    def test_broadcast_rounds_scale_with_items_and_depth(self, n):
+        rt = make_runtime(n, seed=3)
+        k = 20
+        before = rt.net.round_index
+        rt.pipelined_broadcast([0] * k)
+        rounds = rt.net.round_index - before
+        rate = max(1, rt.net.capacity // 2)
+        import math
+
+        depth = max(1, math.ceil(math.log2(n)))
+        assert rounds <= depth + math.ceil(k / rate) + 3

@@ -1,0 +1,105 @@
+"""Broadcast trees (Lemma 5.1) and Corollary 1's neighbourhood exchange."""
+
+import math
+
+import pytest
+
+from repro.algorithms.broadcast_trees import (
+    build_broadcast_trees,
+    neighborhood_multi_aggregate,
+)
+from repro.primitives import MIN, SUM
+from repro.graphs import generators
+from tests.conftest import make_runtime
+
+
+class TestConstruction:
+    def test_groups_cover_neighborhoods(self):
+        g = generators.forest_union(20, 2, seed=1)
+        rt = make_runtime(20)
+        bt = build_broadcast_trees(rt, g)
+        for u in range(20):
+            if g.degree(u) == 0:
+                assert u not in bt.trees.root
+                continue
+            members = sorted(
+                m
+                for ms in bt.trees.leaf_members[u].values()
+                for m in ms
+            )
+            assert members == list(g.neighbors(u))
+        assert rt.net.stats.violation_count == 0
+
+    def test_star_setup_is_cheap(self):
+        """The whole point of Lemma 5.1: star (a=1, ∆=n−1) must not pay ∆."""
+        g = generators.star(32)
+        rt = make_runtime(32)
+        bt = build_broadcast_trees(rt, g)
+        # every node injects at most 2·outdeg ≤ 2 packets; setup is a small
+        # multiple of log n.
+        assert bt.setup_rounds <= 40 * math.log2(32)
+        members = sorted(
+            m for ms in bt.trees.leaf_members[0].values() for m in ms
+        )
+        assert members == list(range(1, 32))
+
+    def test_congestion_bound_shape(self):
+        for a in (1, 2, 4):
+            g = generators.forest_union(32, a, seed=a)
+            rt = make_runtime(32)
+            bt = build_broadcast_trees(rt, g)
+            assert bt.congestion() <= 12 * (a + math.log2(32))
+
+    def test_precomputed_orientation_reused(self):
+        from repro.algorithms import OrientationAlgorithm
+
+        g = generators.grid(4, 4)
+        rt = make_runtime(16)
+        ori = OrientationAlgorithm(rt, g).run()
+        bt = build_broadcast_trees(rt, g, orientation=ori)
+        assert bt.orientation is ori
+
+
+class TestCorollary1:
+    def test_min_over_neighbors(self):
+        g = generators.grid(4, 4)
+        rt = make_runtime(16)
+        bt = build_broadcast_trees(rt, g)
+        out = neighborhood_multi_aggregate(
+            rt, bt, {u: u + 100 for u in range(16)}, MIN
+        )
+        for v in range(16):
+            assert out[v] == min(u + 100 for u in g.neighbors(v))
+
+    def test_subset_of_senders(self):
+        g = generators.cycle(12)
+        rt = make_runtime(12)
+        bt = build_broadcast_trees(rt, g)
+        out = neighborhood_multi_aggregate(rt, bt, {0: 42}, SUM)
+        assert out == {1: 42, 11: 42}
+
+    def test_degree_counting(self):
+        g = generators.forest_union(18, 2, seed=3)
+        rt = make_runtime(18)
+        bt = build_broadcast_trees(rt, g)
+        out = neighborhood_multi_aggregate(
+            rt, bt, {u: 1 for u in range(18)}, SUM
+        )
+        for v in range(18):
+            if g.degree(v):
+                assert out[v] == g.degree(v)
+
+    def test_empty_sender_set(self):
+        g = generators.cycle(8)
+        rt = make_runtime(8)
+        bt = build_broadcast_trees(rt, g)
+        assert neighborhood_multi_aggregate(rt, bt, {}, SUM) == {}
+
+    def test_isolated_sender_skipped(self):
+        from repro import InputGraph
+
+        g = InputGraph(8, [(0, 1)])
+        rt = make_runtime(8)
+        bt = build_broadcast_trees(rt, g)
+        out = neighborhood_multi_aggregate(rt, bt, {5: 1, 0: 2}, SUM)
+        assert out == {1: 2}

@@ -1,0 +1,59 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_prints_model_parameters(self, capsys):
+        assert main(["info", "--n", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "n=64" in out
+        assert "capacity" in out
+
+    def test_default_n(self, capsys):
+        assert main(["info"]) == 0
+
+
+class TestRun:
+    def test_mis(self, capsys):
+        assert main(["run", "mis", "--n", "24", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "MIS" in out and "rounds" in out
+
+    def test_matching_alias(self, capsys):
+        assert main(["run", "matching", "--n", "20", "--seed", "1"]) == 0
+        assert "MM" in capsys.readouterr().out
+
+    def test_bfs_grid_family(self, capsys):
+        assert main(["run", "bfs", "--n", "25", "--family", "grid"]) == 0
+
+    def test_unknown_algorithm(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
+class TestTable1:
+    def test_selected_rows(self, capsys):
+        assert main(["table1", "--rows", "MIS", "--ns", "16,24", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "T1-MIS" in out
+        assert out.count("True") >= 2
+
+    def test_unknown_row_is_error_code(self, capsys):
+        assert main(["table1", "--rows", "XYZ", "--ns", "16"]) == 2
+
+
+class TestSeparation:
+    def test_gossip_table(self, capsys):
+        assert main(["separation", "--ns", "16,32"]) == 0
+        out = capsys.readouterr().out
+        assert "Congested Clique" in out
+        assert "NCC" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,109 @@
+"""Distributed O(a)-coloring: properness and palette bounds."""
+
+import pytest
+
+from repro.algorithms import ColoringAlgorithm
+from repro.baselines.sequential import is_proper_coloring
+from repro.graphs import generators
+from tests.conftest import make_runtime
+
+
+def run_coloring(g, seed=1, **extras):
+    rt = make_runtime(g.n, seed=seed, **extras)
+    res = ColoringAlgorithm(rt, g).run()
+    return rt, res
+
+
+class TestValidity:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: generators.path(16),
+            lambda: generators.cycle(17),
+            lambda: generators.star(20),
+            lambda: generators.grid(5, 4),
+            lambda: generators.random_tree(24, seed=1),
+            lambda: generators.forest_union(24, 2, seed=2),
+            lambda: generators.forest_union(24, 4, seed=3),
+            lambda: generators.gnp(20, 0.2, seed=4),
+        ],
+        ids=["path", "cycle", "star", "grid", "tree", "forest2", "forest4", "gnp"],
+    )
+    def test_proper_within_palette(self, maker):
+        g = maker()
+        rt, res = run_coloring(g)
+        assert is_proper_coloring(g, res.colors)
+        assert res.colors_used() <= res.palette_size
+        assert max(res.colors.values(), default=0) < res.palette_size
+        assert rt.net.stats.violation_count == 0
+
+    def test_palette_formula(self):
+        g = generators.grid(4, 4)
+        rt, res = run_coloring(g)
+        eps = rt.config.coloring_epsilon
+        import math
+
+        assert res.palette_size == max(1, math.ceil(2 * (1 + eps) * max(1, res.a_hat)))
+
+    def test_star_uses_few_colors(self):
+        """a = 1: the palette must be O(1), independent of ∆ = n−1."""
+        g = generators.star(24)
+        rt, res = run_coloring(g)
+        assert is_proper_coloring(g, res.colors)
+        assert res.palette_size <= 6
+
+    def test_path_constant_palette(self):
+        g = generators.path(24)
+        rt, res = run_coloring(g)
+        assert res.palette_size <= 9
+
+    def test_palette_scales_with_a_not_delta(self):
+        caterpillar = generators.caterpillar(4, 5)  # tree: a=1, ∆=7
+        rt, res = run_coloring(caterpillar)
+        assert res.palette_size <= 9
+
+    def test_empty_graph(self):
+        from repro import InputGraph
+
+        g = InputGraph(8, [])
+        rt, res = run_coloring(g)
+        assert set(res.colors) == set(range(8))
+
+    def test_complete_graph(self):
+        g = generators.complete(8)
+        rt, res = run_coloring(g)
+        assert is_proper_coloring(g, res.colors)
+        assert res.colors_used() == 8  # clique needs n colors
+
+
+class TestBehaviour:
+    def test_deterministic(self):
+        g = generators.forest_union(20, 2, seed=5)
+        _, a = run_coloring(g, seed=3)
+        _, b = run_coloring(g, seed=3)
+        assert a.colors == b.colors
+        assert a.rounds == b.rounds
+
+    def test_levels_processed_highest_first(self):
+        """Star: leaves (level 1) must be colored after the center
+        (level 2) — highest level first."""
+        g = generators.star(16)
+        rt, res = run_coloring(g)
+        # center colored in phase 1 of coloring => it keeps color from the
+        # full palette; leaves then avoid exactly that color.
+        center_color = res.colors[0]
+        assert all(res.colors[leaf] != center_color for leaf in range(1, 16))
+
+    def test_precomputed_orientation(self):
+        from repro.algorithms import OrientationAlgorithm
+
+        g = generators.grid(4, 4)
+        rt = make_runtime(16)
+        ori = OrientationAlgorithm(rt, g).run()
+        res = ColoringAlgorithm(rt, g, orientation=ori).run()
+        assert is_proper_coloring(g, res.colors)
+
+    def test_size_mismatch_rejected(self):
+        rt = make_runtime(8)
+        with pytest.raises(ValueError):
+            ColoringAlgorithm(rt, generators.path(4))

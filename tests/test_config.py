@@ -1,0 +1,99 @@
+"""NCCConfig: validation, derived model quantities, enforcement parsing."""
+
+import math
+
+import pytest
+
+from repro import ConfigurationError, Enforcement, NCCConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = NCCConfig()
+        assert cfg.capacity_multiplier > 0
+        assert cfg.enforcement is Enforcement.COUNT
+
+    def test_rejects_nonpositive_capacity_multiplier(self):
+        with pytest.raises(ConfigurationError):
+            NCCConfig(capacity_multiplier=0)
+        with pytest.raises(ConfigurationError):
+            NCCConfig(capacity_multiplier=-1.5)
+
+    def test_rejects_nonpositive_bits_multiplier(self):
+        with pytest.raises(ConfigurationError):
+            NCCConfig(bits_multiplier=0)
+
+    def test_rejects_nonpositive_max_rounds(self):
+        with pytest.raises(ConfigurationError):
+            NCCConfig(max_rounds=0)
+
+    def test_rejects_small_identification_s(self):
+        # Lemma 4.2 needs s >= 4.
+        with pytest.raises(ConfigurationError):
+            NCCConfig(identification_s_constant=3)
+
+    def test_rejects_bad_q_constant(self):
+        with pytest.raises(ConfigurationError):
+            NCCConfig(identification_q_constant=0)
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            NCCConfig(coloring_epsilon=0)
+
+    def test_enforcement_accepts_string(self):
+        cfg = NCCConfig(enforcement="strict")
+        assert cfg.enforcement is Enforcement.STRICT
+
+    def test_enforcement_rejects_unknown_string(self):
+        with pytest.raises(ValueError):
+            NCCConfig(enforcement="yolo")
+
+
+class TestDerivedQuantities:
+    @pytest.mark.parametrize("n,expected", [(2, 1), (3, 2), (4, 2), (5, 3), (1024, 10)])
+    def test_log2n_ceils(self, n, expected):
+        assert NCCConfig().log2n(n) == expected
+
+    def test_log2n_floor_of_one(self):
+        assert NCCConfig().log2n(1) == 1
+
+    def test_capacity_scales_with_log(self):
+        cfg = NCCConfig(capacity_multiplier=4.0)
+        assert cfg.capacity(16) == 16
+        assert cfg.capacity(1024) == 40
+
+    def test_capacity_minimum_one(self):
+        cfg = NCCConfig(capacity_multiplier=0.1)
+        assert cfg.capacity(2) >= 1
+
+    def test_message_bits_floor(self):
+        cfg = NCCConfig(bits_multiplier=8.0)
+        assert cfg.message_bits(2) >= 8
+        assert cfg.message_bits(256) == 64
+
+    def test_batch_size_is_ceil_log(self):
+        cfg = NCCConfig()
+        assert cfg.batch_size(256) == 8
+        assert cfg.batch_size(1) == 1
+
+    def test_capacity_monotone_in_n(self):
+        cfg = NCCConfig()
+        caps = [cfg.capacity(n) for n in (2, 8, 64, 512, 4096)]
+        assert caps == sorted(caps)
+
+
+class TestWith:
+    def test_with_replaces_field(self):
+        cfg = NCCConfig(seed=1)
+        cfg2 = cfg.with_(seed=7)
+        assert cfg2.seed == 7
+        assert cfg.seed == 1  # original untouched (frozen)
+
+    def test_with_validates(self):
+        with pytest.raises(ConfigurationError):
+            NCCConfig().with_(capacity_multiplier=-1)
+
+    def test_frozen(self):
+        cfg = NCCConfig()
+        with pytest.raises(Exception):
+            cfg.seed = 9  # type: ignore[misc]

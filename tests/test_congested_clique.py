@@ -1,0 +1,74 @@
+"""Congested Clique comparator and the model-separation experiments."""
+
+import math
+
+import pytest
+
+from repro.baselines.congested_clique import (
+    CongestedClique,
+    broadcast_congested_clique,
+    broadcast_ncc,
+    gossip_congested_clique,
+    gossip_ncc,
+)
+from repro.errors import CapacityError
+from tests.conftest import make_runtime
+
+
+class TestCongestedClique:
+    def test_gossip_single_round(self):
+        stats = gossip_congested_clique(16)
+        assert stats.rounds == 1
+        assert stats.messages == 16 * 15
+
+    def test_broadcast_single_round(self):
+        stats = broadcast_congested_clique(16)
+        assert stats.rounds == 1
+        assert stats.messages == 15
+
+    def test_bandwidth_quadratic(self):
+        """Θ̃(n²) bits per round — the intro's separation quantity."""
+        s16 = gossip_congested_clique(16)
+        s64 = gossip_congested_clique(64)
+        assert s64.bits > 10 * s16.bits  # 16x messages, larger payload bits
+
+    def test_payload_budget_enforced(self):
+        cc = CongestedClique(4)
+        with pytest.raises(CapacityError):
+            cc.exchange({0: {1: tuple(range(500))}})
+
+    def test_exchange_bad_destination(self):
+        cc = CongestedClique(4)
+        with pytest.raises(ValueError):
+            cc.exchange({0: {7: "x"}})
+
+
+class TestNCCSide:
+    def test_gossip_rounds_near_n_over_log(self):
+        rt = make_runtime(32, strict=False)
+        rounds = gossip_ncc(rt)
+        cap = rt.net.capacity
+        assert rounds == math.ceil((32 - 1) / cap)
+
+    def test_gossip_scales_linearly(self):
+        r32 = gossip_ncc(make_runtime(32, strict=False))
+        r128 = gossip_ncc(make_runtime(128, strict=False))
+        # n/log n growth: 4x n gives > 2.5x rounds
+        assert r128 >= 2.5 * r32
+
+    def test_gossip_respects_capacity(self):
+        rt = make_runtime(32)  # STRICT
+        gossip_ncc(rt)
+        assert rt.net.stats.violation_count == 0
+
+    def test_broadcast_logarithmic(self):
+        r = broadcast_ncc(make_runtime(64))
+        assert r <= 4 * math.log2(64)
+
+    def test_separation_gossip(self):
+        """The headline: 1 round vs Ω(n / log n) rounds."""
+        n = 64
+        cc = gossip_congested_clique(n)
+        ncc_rounds = gossip_ncc(make_runtime(n, strict=False))
+        assert cc.rounds == 1
+        assert ncc_rounds >= n / (8 * math.log2(n))

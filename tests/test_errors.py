@@ -1,0 +1,55 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    InputGraphError,
+    MessageSizeError,
+    ProtocolError,
+    ReproError,
+    RetryBudgetExceeded,
+    SimulationLimitError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            ProtocolError,
+            SimulationLimitError,
+            InputGraphError,
+        ],
+    )
+    def test_subclasses_of_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_retry_budget_is_protocol_error(self):
+        assert issubclass(RetryBudgetExceeded, ProtocolError)
+
+    def test_capacity_error_payload(self):
+        e = CapacityError("over", node=3, round_index=9, count=40, capacity=24)
+        assert (e.node, e.round_index, e.count, e.capacity) == (3, 9, 40, 24)
+        assert isinstance(e, ReproError)
+
+    def test_message_size_error_payload(self):
+        e = MessageSizeError("big", bits=99, budget=48)
+        assert (e.bits, e.budget) == (99, 48)
+
+    def test_catch_all_base(self):
+        """Library callers can catch ReproError to get everything."""
+        for make in (
+            lambda: ConfigurationError("x"),
+            lambda: CapacityError("x", node=0, round_index=0, count=1, capacity=1),
+            lambda: MessageSizeError("x", bits=1, budget=1),
+            lambda: ProtocolError("x"),
+        ):
+            try:
+                raise make()
+            except ReproError:
+                pass

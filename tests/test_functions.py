@@ -1,0 +1,111 @@
+"""Distributive aggregate functions: algebraic laws."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.functions import (
+    MAX,
+    MIN,
+    SUM,
+    XOR,
+    Aggregate,
+    first_wins,
+    min_by_key,
+    tuple_of,
+    xor_count,
+)
+
+BASIC = [SUM, MIN, MAX, XOR]
+
+
+class TestBasicAggregates:
+    @pytest.mark.parametrize("agg", BASIC, ids=lambda a: a.name)
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=20))
+    @settings(max_examples=60)
+    def test_reduce_matches_python(self, agg, xs):
+        expected = {
+            "SUM": sum(xs),
+            "MIN": min(xs),
+            "MAX": max(xs),
+            "XOR": _xor(xs),
+        }[agg.name]
+        assert agg.reduce(xs) == expected
+
+    @pytest.mark.parametrize("agg", BASIC, ids=lambda a: a.name)
+    @given(
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=60)
+    def test_associative_commutative(self, agg, a, b, c):
+        assert agg(a, b) == agg(b, a)
+        assert agg(agg(a, b), c) == agg(a, agg(b, c))
+
+    def test_reduce_empty_is_none(self):
+        assert SUM.reduce([]) is None
+
+    def test_callable_shorthand(self):
+        assert SUM(2, 3) == 5
+
+
+class TestDistributivity:
+    """The defining property (Section 2.1): f(S) = g(f(S₁), f(S₂))."""
+
+    @pytest.mark.parametrize("agg", BASIC, ids=lambda a: a.name)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=2, max_size=20),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_partition_invariance(self, agg, xs, data):
+        cut = data.draw(st.integers(min_value=1, max_value=len(xs) - 1))
+        left, right = xs[:cut], xs[cut:]
+        assert agg(agg.reduce(left), agg.reduce(right)) == agg.reduce(xs)
+
+
+class TestCompositeAggregates:
+    def test_xor_count(self):
+        assert xor_count((0b1010, 1), (0b0110, 2)) == (0b1100, 3)
+
+    def test_min_by_key_keeps_smallest(self):
+        m = min_by_key()
+        assert m((1, "a"), (2, "b")) == (1, "a")
+        assert m((2, "b"), (1, "a")) == (1, "a")
+
+    def test_min_by_key_tie_breaks_deterministically(self):
+        m = min_by_key()
+        assert m((1, "a"), (1, "b")) == (1, "a")
+
+    def test_tuple_of(self):
+        t = tuple_of(SUM, MIN, MAX)
+        assert t((1, 5, 2), (10, 3, 7)) == (11, 3, 7)
+
+    def test_tuple_of_arity_checked(self):
+        t = tuple_of(SUM, MIN)
+        with pytest.raises(ValueError):
+            t((1,), (2, 3))
+
+    def test_first_wins(self):
+        f = first_wins()
+        assert f("a", "b") == "a"
+
+    def test_custom_aggregate(self):
+        gcd = Aggregate("GCD", lambda a, b: _gcd(a, b))
+        assert gcd.reduce([12, 18, 24]) == 6
+
+
+def _xor(xs):
+    acc = 0
+    for x in xs:
+        acc ^= x
+    return acc
+
+
+def _gcd(a, b):
+    while b:
+        a, b = b, a % b
+    return a

@@ -1,0 +1,116 @@
+"""Graph generators: structural invariants and determinism."""
+
+import pytest
+
+from repro.graphs import arboricity, generators, properties
+
+
+class TestBasicShapes:
+    def test_path(self):
+        g = generators.path(10)
+        assert g.m == 9
+        assert properties.diameter(g) == 9
+
+    def test_cycle(self):
+        g = generators.cycle(10)
+        assert g.m == 10
+        assert all(g.degree(u) == 2 for u in range(10))
+        with pytest.raises(ValueError):
+            generators.cycle(2)
+
+    def test_star(self):
+        g = generators.star(10)
+        assert g.degree(0) == 9
+        assert g.max_degree == 9
+        assert arboricity.arboricity_upper_bound(g) == 1
+
+    def test_complete(self):
+        g = generators.complete(8)
+        assert g.m == 28
+        lo, hi = arboricity.arboricity_bounds(g)
+        assert lo == 4  # ceil(28/7)
+
+    def test_grid(self):
+        g = generators.grid(4, 6)
+        assert g.n == 24
+        assert g.m == 4 * 5 + 3 * 6
+        assert properties.diameter(g) == 8
+        assert arboricity.arboricity_upper_bound(g) <= 3
+        with pytest.raises(ValueError):
+            generators.grid(0, 5)
+
+    def test_hypercube(self):
+        g = generators.hypercube(4)
+        assert g.n == 16
+        assert all(g.degree(u) == 4 for u in range(16))
+        assert properties.diameter(g) == 4
+
+    def test_caterpillar(self):
+        g = generators.caterpillar(5, 3)
+        assert g.n == 20
+        assert g.m == 19  # a tree
+        assert properties.is_connected(g)
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_tree(self):
+        g = generators.random_tree(30, seed=1)
+        assert g.m == 29
+        assert properties.is_connected(g)
+        assert arboricity.arboricity_upper_bound(g) == 1
+
+    def test_random_connected_connected(self):
+        for seed in range(4):
+            g = generators.random_connected(25, 0.05, seed=seed)
+            assert properties.is_connected(g)
+
+    def test_gnp_edge_count_reasonable(self):
+        g = generators.gnp(40, 0.5, seed=2)
+        expected = 40 * 39 / 2 * 0.5
+        assert 0.7 * expected < g.m < 1.3 * expected
+
+    def test_forest_union_arboricity_bound(self):
+        for k in (1, 2, 4):
+            g = generators.forest_union(30, k, seed=k)
+            assert properties.is_connected(g)
+            # Union of k forests: density lower bound cannot exceed k.
+            assert arboricity.density_lower_bound(g) <= k
+
+    def test_preferential_attachment(self):
+        g = generators.preferential_attachment(40, 2, seed=3)
+        assert properties.is_connected(g)
+        assert g.m <= 2 * 40
+        # heavy tail: some node much busier than the median
+        degrees = sorted(g.degree(u) for u in range(40))
+        assert degrees[-1] >= 2 * degrees[20]
+
+    def test_preferential_attachment_rejects_bad_m0(self):
+        with pytest.raises(ValueError):
+            generators.preferential_attachment(10, 0)
+
+    def test_disjoint_cliques(self):
+        g = generators.disjoint_cliques(12, 4)
+        comps = properties.connected_components(g)
+        assert len(comps) == 3
+        assert all(len(c) == 4 for c in comps)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda s: generators.random_tree(20, seed=s),
+            lambda s: generators.gnp(20, 0.2, seed=s),
+            lambda s: generators.forest_union(20, 2, seed=s),
+            lambda s: generators.random_connected(20, 0.1, seed=s),
+            lambda s: generators.preferential_attachment(20, 2, seed=s),
+        ],
+        ids=["tree", "gnp", "forest", "connected", "pa"],
+    )
+    def test_seeded_reproducibility(self, maker):
+        assert maker(7).edges() == maker(7).edges()
+
+    def test_different_seeds_differ(self):
+        a = generators.gnp(20, 0.3, seed=1)
+        b = generators.gnp(20, 0.3, seed=2)
+        assert a.edges() != b.edges()

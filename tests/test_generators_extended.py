@@ -1,0 +1,89 @@
+"""Extended generator families: bipartite, expanders, series-parallel."""
+
+import pytest
+
+from repro.graphs import arboricity, generators, properties
+
+
+class TestBipartite:
+    def test_structure(self):
+        g = generators.random_bipartite(8, 12, 0.5, seed=1)
+        assert g.n == 20
+        # no edge inside either side
+        for u in range(8):
+            assert all(v >= 8 for v in g.neighbors(u))
+        for u in range(8, 20):
+            assert all(v < 8 for v in g.neighbors(u))
+
+    def test_two_colorable(self):
+        from repro.baselines.sequential import greedy_coloring, is_proper_coloring
+
+        g = generators.random_bipartite(10, 10, 0.4, seed=2)
+        colors = {u: 0 if u < 10 else 1 for u in range(20)}
+        assert is_proper_coloring(g, colors)
+
+    def test_distributed_algorithms_handle_bipartite(self):
+        from repro.algorithms import MISAlgorithm
+        from repro.baselines.sequential import is_maximal_independent_set
+        from tests.conftest import make_runtime
+
+        g = generators.random_bipartite(10, 14, 0.25, seed=3)
+        rt = make_runtime(24, seed=4)
+        res = MISAlgorithm(rt, g).run()
+        assert is_maximal_independent_set(g, res.members)
+
+
+class TestRingOfChords:
+    def test_contains_cycle(self):
+        g = generators.ring_of_chords(20, 2, seed=1)
+        for i in range(20):
+            assert g.has_edge(i, (i + 1) % 20)
+
+    def test_small_diameter(self):
+        g = generators.ring_of_chords(128, 2, seed=2)
+        assert properties.diameter(g) <= 10  # expander-ish vs 64 for the ring
+
+    def test_arboricity_bounded(self):
+        # True arboricity ≤ chords+2 (orient chords at their initiator, the
+        # ring contributes 2); the density lower bound must respect that and
+        # the greedy upper bound stays within its 2x slack.
+        g = generators.ring_of_chords(64, 3, seed=3)
+        lo, hi = arboricity.arboricity_bounds(g)
+        assert lo <= 3 + 2
+        assert hi <= 2 * (3 + 2)
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            generators.ring_of_chords(2, 1)
+
+
+class TestSeriesParallel:
+    def test_size_and_connectivity(self):
+        g = generators.series_parallel(30, seed=1)
+        assert g.n == 30
+        assert properties.is_connected(g)
+
+    def test_treewidth_two_arboricity(self):
+        for seed in range(4):
+            g = generators.series_parallel(40, seed=seed)
+            lo, hi = arboricity.arboricity_bounds(g)
+            assert hi <= 2
+
+    def test_orientation_outdegree_small(self):
+        from repro.algorithms import OrientationAlgorithm
+        from tests.conftest import make_runtime
+
+        g = generators.series_parallel(32, seed=5)
+        rt = make_runtime(32, seed=6)
+        ori = OrientationAlgorithm(rt, g).run()
+        assert ori.max_outdegree <= 8  # 4a with a <= 2
+
+    def test_deterministic(self):
+        assert (
+            generators.series_parallel(25, seed=7).edges()
+            == generators.series_parallel(25, seed=7).edges()
+        )
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            generators.series_parallel(1)

@@ -1,0 +1,109 @@
+"""End-to-end integration: full pipelines, reuse, determinism, STRICT mode."""
+
+import pytest
+
+from repro import Enforcement, NCCConfig, NCCRuntime
+from repro.algorithms import (
+    BFSAlgorithm,
+    ColoringAlgorithm,
+    MISAlgorithm,
+    MSTAlgorithm,
+    MatchingAlgorithm,
+    build_broadcast_trees,
+)
+from repro.baselines import sequential as seq
+from repro.graphs import generators, weights
+from tests.conftest import make_runtime
+
+
+FAMILIES = {
+    "grid": lambda: generators.grid(5, 5),
+    "star": lambda: generators.star(25),
+    "forest3": lambda: generators.forest_union(25, 3, seed=1),
+    "pa": lambda: generators.preferential_attachment(25, 2, seed=2),
+}
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("family", sorted(FAMILIES), ids=sorted(FAMILIES))
+    def test_all_algorithms_one_runtime_strict(self, family):
+        """One shared runtime runs every problem back-to-back in STRICT
+        mode: no capacity or size violation anywhere, all outputs valid."""
+        g = FAMILIES[family]()
+        rt = make_runtime(g.n, seed=11)
+
+        bt = build_broadcast_trees(rt, g)
+
+        bfs = BFSAlgorithm(rt, g, broadcast_trees=bt).run(0)
+        expected_dist, _ = seq.bfs_tree(g, 0)
+        assert bfs.dist == expected_dist
+
+        mis = MISAlgorithm(rt, g, broadcast_trees=bt).run()
+        assert seq.is_maximal_independent_set(g, mis.members)
+
+        mm = MatchingAlgorithm(rt, g, broadcast_trees=bt).run()
+        assert seq.is_maximal_matching(g, mm.edges)
+
+        col = ColoringAlgorithm(rt, g, orientation=bt.orientation).run()
+        assert seq.is_proper_coloring(g, col.colors)
+        assert col.colors_used() <= col.palette_size
+
+        wg = weights.with_random_weights(g, seed=4)
+        mst = MSTAlgorithm(rt, wg).run()
+        assert mst.edges == seq.kruskal_msf(wg)
+
+        assert rt.net.stats.violation_count == 0
+
+    def test_deterministic_full_run(self):
+        def run():
+            g = generators.forest_union(20, 2, seed=3)
+            rt = make_runtime(20, seed=5)
+            bt = build_broadcast_trees(rt, g)
+            mis = MISAlgorithm(rt, g, broadcast_trees=bt).run()
+            mm = MatchingAlgorithm(rt, g, broadcast_trees=bt).run()
+            return mis.members, mm.edges, rt.net.round_index, rt.net.stats.messages
+
+        assert run() == run()
+
+    def test_lightweight_sync_same_outputs(self):
+        """Lightweight synchronization must change only accounting, never
+        results."""
+        g = generators.forest_union(20, 2, seed=7)
+
+        def run(lightweight):
+            rt = make_runtime(20, seed=5, strict=False, lightweight_sync=lightweight)
+            bt = build_broadcast_trees(rt, g)
+            return MISAlgorithm(rt, g, broadcast_trees=bt).run().members
+
+        assert run(False) == run(True)
+
+    def test_phase_accounting_totals(self):
+        g = generators.grid(4, 4)
+        rt = make_runtime(16, seed=2)
+        bt = build_broadcast_trees(rt, g)
+        MISAlgorithm(rt, g, broadcast_trees=bt).run()
+        stats = rt.net.stats
+        assert stats.phase("orientation").rounds > 0
+        assert stats.phase("mis").rounds > 0
+        assert stats.rounds >= stats.phase("mis").rounds
+
+
+class TestScaleSanity:
+    def test_medium_instance_strict(self):
+        """A mid-size end-to-end STRICT run — the w.h.p. constants hold."""
+        g = generators.forest_union(96, 2, seed=9)
+        rt = make_runtime(96, seed=13, lightweight_sync=True)
+        bt = build_broadcast_trees(rt, g)
+        mis = MISAlgorithm(rt, g, broadcast_trees=bt).run()
+        assert seq.is_maximal_independent_set(g, mis.members)
+
+    def test_rounds_stay_polylog_per_phase(self):
+        """MIS rounds divided by phases should not grow linearly in n."""
+        per_phase = []
+        for n in (32, 128):
+            g = generators.forest_union(n, 2, seed=3)
+            rt = make_runtime(n, seed=5, strict=False, lightweight_sync=True)
+            bt = build_broadcast_trees(rt, g)
+            res = MISAlgorithm(rt, g, broadcast_trees=bt).run()
+            per_phase.append(res.rounds / max(1, res.phases))
+        assert per_phase[1] < per_phase[0] * 3

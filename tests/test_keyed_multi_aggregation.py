@@ -1,0 +1,83 @@
+"""The keyed Multi-Aggregation extension (Appendix B.5's remark: receivers
+can get aggregates "corresponding to distinct aggregations")."""
+
+import pytest
+
+from repro.primitives import MAX, MIN, SUM
+from tests.conftest import make_runtime
+
+
+def build_classed_groups(rt, classes, groups_per_class, members_per_group=2):
+    """Groups keyed ('cls', g); member u joins several classes' groups."""
+    memberships = {}
+    gid = 0
+    for cls in classes:
+        for _ in range(groups_per_class):
+            for j in range(members_per_group):
+                u = (gid * members_per_group + j + 1) % rt.n
+                memberships.setdefault(u, []).append((cls, gid))
+            gid += 1
+    trees = rt.multicast_setup(memberships)
+    return trees, memberships
+
+
+class TestKeyedMultiAggregation:
+    def test_per_class_sums(self):
+        rt = make_runtime(24, seed=5)
+        trees, memberships = build_classed_groups(rt, ["even", "odd"], 6)
+        all_groups = {g for gs in memberships.values() for g in gs}
+        packets = {grp: grp[1] for grp in all_groups}
+        sources = {grp: 0 for grp in all_groups}
+        out = rt.multi_aggregation(
+            trees, packets, sources, SUM, result_key=lambda grp: grp[0]
+        )
+        assert rt.net.stats.violation_count == 0
+        expected: dict[int, dict[str, int]] = {}
+        for u, gs in memberships.items():
+            for cls, g in gs:
+                expected.setdefault(u, {}).setdefault(cls, 0)
+                expected[u][cls] += g
+        for u in memberships:
+            assert out.keyed.get(u, {}) == expected[u]
+        assert out.values == {}
+
+    def test_unkeyed_mode_unchanged(self):
+        rt = make_runtime(16, seed=6)
+        trees, memberships = build_classed_groups(rt, ["x"], 4)
+        groups = {g for gs in memberships.values() for g in gs}
+        packets = {grp: grp[1] + 10 for grp in groups}
+        out = rt.multi_aggregation(
+            trees, packets, {grp: 0 for grp in groups}, MIN
+        )
+        assert out.keyed == {}
+        for u, gs in memberships.items():
+            assert out.values[u] == min(g + 10 for _, g in gs)
+
+    def test_many_keys_per_member_strict(self):
+        """A member of groups in many classes receives one aggregate per
+        class; final deliveries must batch within capacity."""
+        rt = make_runtime(32, seed=7)
+        classes = [f"c{i}" for i in range(10)]
+        memberships = {1: [(c, i) for i, c in enumerate(classes)]}
+        trees = rt.multicast_setup(memberships)
+        groups = memberships[1]
+        packets = {grp: grp[1] * 2 for grp in groups}
+        out = rt.multi_aggregation(
+            trees, packets, {grp: 0 for grp in groups}, MAX,
+            result_key=lambda grp: grp[0],
+        )
+        assert rt.net.stats.violation_count == 0
+        assert out.keyed[1] == {c: i * 2 for i, c in enumerate(classes)}
+
+    def test_keys_do_not_mix(self):
+        """Same member, two classes with overlapping values: MIN per class
+        stays separate."""
+        rt = make_runtime(16, seed=8)
+        memberships = {3: [("a", 0), ("a", 1), ("b", 2)]}
+        trees = rt.multicast_setup(memberships)
+        packets = {("a", 0): 5, ("a", 1): 9, ("b", 2): 1}
+        out = rt.multi_aggregation(
+            trees, packets, {g: 0 for g in packets}, MIN,
+            result_key=lambda grp: grp[0],
+        )
+        assert out.keyed[3] == {"a": 5, "b": 1}

@@ -1,0 +1,68 @@
+"""Message payload bit accounting."""
+
+import pytest
+
+from repro.hashing.sketches import ParitySketch
+from repro.ncc.message import Message, payload_bits
+
+
+class TestPayloadBits:
+    def test_none_and_bool(self):
+        assert payload_bits(None) == 1
+        assert payload_bits(True) == 1
+        assert payload_bits(False) == 1
+
+    def test_small_ints(self):
+        assert payload_bits(0) == 1
+        assert payload_bits(1) == 1
+        assert payload_bits(2) == 2
+        assert payload_bits(255) == 8
+        assert payload_bits(256) == 9
+
+    def test_negative_ints_pay_sign_bit(self):
+        assert payload_bits(-1) == payload_bits(1) + 1
+
+    def test_float_constant(self):
+        assert payload_bits(3.14) == 32
+
+    def test_short_string_is_tag(self):
+        # Protocol tags are constant-alphabet symbols: 4 bits.
+        assert payload_bits("D") == 4
+        assert payload_bits("tok") == 4
+
+    def test_long_string_charged_per_char(self):
+        assert payload_bits("x" * 20) == 160
+
+    def test_tuple_sums_parts(self):
+        assert payload_bits(("D", 3, 255)) == 4 + 2 + 8
+
+    def test_nested_containers(self):
+        assert payload_bits((1, (2, 3))) == 1 + 2 + 2
+
+    def test_size_bits_protocol(self):
+        s = ParitySketch.zero(10)
+        assert payload_bits(s) == 10
+        assert payload_bits(("S", s)) == 14
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            payload_bits(object())
+
+
+class TestMessage:
+    def test_bits_computed_from_payload(self):
+        m = Message(0, 1, ("x", 7))
+        assert m.bits == payload_bits(("x", 7))
+        assert m.sized() == m.bits
+
+    def test_explicit_bits_respected(self):
+        m = Message(0, 1, "whatever", bits=99)
+        assert m.bits == 99
+
+    def test_equality_ignores_bits_field(self):
+        assert Message(0, 1, 5) == Message(0, 1, 5, bits=77)
+        assert Message(0, 1, 5) != Message(0, 2, 5)
+        assert Message(0, 1, 5, kind="a") != Message(0, 1, 5, kind="b")
+
+    def test_repr_mentions_endpoints(self):
+        assert "0->1" in repr(Message(0, 1, "hi"))

@@ -1,0 +1,85 @@
+"""Distributed MIS: validity, maximality, determinism."""
+
+import pytest
+
+from repro.algorithms import MISAlgorithm
+from repro.baselines.sequential import is_independent_set, is_maximal_independent_set
+from repro.graphs import generators
+from tests.conftest import make_runtime
+
+
+def run_mis(g, seed=1, **extras):
+    rt = make_runtime(g.n, seed=seed, **extras)
+    res = MISAlgorithm(rt, g).run()
+    return rt, res
+
+
+class TestValidity:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: generators.path(16),
+            lambda: generators.cycle(17),
+            lambda: generators.star(20),
+            lambda: generators.grid(5, 4),
+            lambda: generators.random_tree(24, seed=1),
+            lambda: generators.forest_union(24, 3, seed=2),
+            lambda: generators.complete(10),
+            lambda: generators.gnp(20, 0.2, seed=3),
+        ],
+        ids=["path", "cycle", "star", "grid", "tree", "forest3", "complete", "gnp"],
+    )
+    def test_maximal_independent(self, maker):
+        g = maker()
+        rt, res = run_mis(g)
+        assert is_maximal_independent_set(g, res.members)
+        assert rt.net.stats.violation_count == 0
+
+    def test_isolated_nodes_always_join(self):
+        from repro import InputGraph
+
+        g = InputGraph(10, [(0, 1), (2, 3)])
+        rt, res = run_mis(g)
+        assert {4, 5, 6, 7, 8, 9} <= res.members
+
+    def test_complete_graph_single_member(self):
+        g = generators.complete(12)
+        rt, res = run_mis(g)
+        assert len(res.members) == 1
+
+    def test_star_center_or_all_leaves(self):
+        g = generators.star(16)
+        rt, res = run_mis(g)
+        assert res.members == {0} or res.members == set(range(1, 16))
+
+    def test_empty_graph_everyone(self):
+        from repro import InputGraph
+
+        g = InputGraph(8, [])
+        rt, res = run_mis(g)
+        assert res.members == set(range(8))
+
+
+class TestBehaviour:
+    def test_deterministic(self):
+        g = generators.forest_union(20, 2, seed=5)
+        _, a = run_mis(g, seed=7)
+        _, b = run_mis(g, seed=7)
+        assert a.members == b.members
+        assert a.rounds == b.rounds
+
+    def test_different_seeds_may_differ_but_stay_valid(self):
+        g = generators.gnp(20, 0.25, seed=8)
+        for seed in range(4):
+            _, res = run_mis(g, seed=seed)
+            assert is_maximal_independent_set(g, res.members)
+
+    def test_phase_count_logarithmic(self):
+        g = generators.forest_union(64, 2, seed=9)
+        rt, res = run_mis(g, lightweight_sync=True)
+        assert res.phases <= 8 * 6 + 16
+
+    def test_size_mismatch_rejected(self):
+        rt = make_runtime(8)
+        with pytest.raises(ValueError):
+            MISAlgorithm(rt, generators.path(4))

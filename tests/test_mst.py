@@ -1,0 +1,135 @@
+"""Distributed MST vs the Kruskal oracle across weight regimes and shapes."""
+
+import pytest
+
+from repro.algorithms import MSTAlgorithm
+from repro.baselines.sequential import kruskal_msf, msf_weight
+from repro.errors import ProtocolError
+from repro.graphs import generators, weights
+from tests.conftest import make_runtime
+
+
+def run_mst(g, seed=1, **extras):
+    rt = make_runtime(g.n, seed=seed, **extras)
+    res = MSTAlgorithm(rt, g).run()
+    return rt, res
+
+
+class TestCorrectness:
+    def test_tree_input_returns_all_edges(self):
+        g = weights.with_unique_weights(generators.random_tree(20, seed=1), seed=2)
+        rt, res = run_mst(g)
+        assert res.edges == set(g.edges())
+        assert rt.net.stats.violation_count == 0
+
+    def test_cycle_drops_heaviest(self):
+        g = weights.with_unique_weights(generators.cycle(12), seed=3)
+        rt, res = run_mst(g)
+        assert res.edges == kruskal_msf(g)
+        assert len(res.edges) == 11
+
+    def test_random_graphs_match_kruskal(self):
+        for seed in (1, 2, 3):
+            g = weights.with_random_weights(
+                generators.random_connected(24, 0.12, seed=seed), seed=seed + 50
+            )
+            rt, res = run_mst(g, seed=seed)
+            assert res.edges == kruskal_msf(g)
+            assert res.weight == msf_weight(g)
+
+    def test_constant_weights_all_ties(self):
+        g = weights.with_constant_weights(generators.random_connected(20, 0.15, seed=4))
+        rt, res = run_mst(g)
+        assert res.edges == kruskal_msf(g)
+        assert len(res.edges) == 19
+
+    def test_disconnected_yields_forest(self):
+        g = weights.with_unique_weights(generators.disjoint_cliques(18, 6), seed=5)
+        rt, res = run_mst(g)
+        assert res.edges == kruskal_msf(g)
+        assert len(res.edges) == 15  # 3 cliques x 5 tree edges
+
+    def test_star_graph(self):
+        g = weights.with_unique_weights(generators.star(17), seed=6)
+        rt, res = run_mst(g)
+        assert res.edges == set(g.edges())
+
+    def test_empty_graph_empty_forest(self):
+        from repro import InputGraph
+
+        g = InputGraph(8, [])
+        rt, res = run_mst(g)
+        assert res.edges == set()
+        assert res.phases <= 1
+
+    def test_single_edge(self):
+        from repro import InputGraph
+
+        g = InputGraph(4, [(0, 3)], {(0, 3): 5})
+        rt, res = run_mst(g)
+        assert res.edges == {(0, 3)}
+
+    def test_non_power_of_two_n(self):
+        g = weights.with_unique_weights(
+            generators.random_connected(19, 0.15, seed=7), seed=8
+        )
+        rt, res = run_mst(g)
+        assert res.edges == kruskal_msf(g)
+
+
+class TestPaperProperties:
+    def test_inside_endpoint_knows_edge(self):
+        g = weights.with_unique_weights(
+            generators.random_connected(16, 0.2, seed=9), seed=10
+        )
+        rt, res = run_mst(g)
+        known = {e for edges in res.known_by.values() for e in edges}
+        assert known == res.edges
+        # each edge discovered by exactly one endpoint
+        for u, edges in res.known_by.items():
+            for e in edges:
+                assert u in e
+
+    def test_phase_count_logarithmic(self):
+        g = weights.with_unique_weights(
+            generators.random_connected(48, 0.08, seed=11), seed=12
+        )
+        rt, res = run_mst(g, lightweight_sync=True)
+        assert res.phases <= 4 * 6 + 16  # 4 log n + slack
+
+    def test_deterministic_given_seed(self):
+        g = weights.with_random_weights(
+            generators.random_connected(20, 0.1, seed=13), seed=14
+        )
+        rt1, res1 = run_mst(g, seed=5)
+        rt2, res2 = run_mst(g, seed=5)
+        assert res1.edges == res2.edges
+        assert res1.rounds == res2.rounds
+
+    def test_different_seed_same_msf_when_unique(self):
+        g = weights.with_unique_weights(
+            generators.random_connected(20, 0.1, seed=15), seed=16
+        )
+        _, res1 = run_mst(g, seed=1)
+        _, res2 = run_mst(g, seed=2)
+        assert res1.edges == res2.edges  # unique MSF, any execution
+
+    def test_graph_size_mismatch_rejected(self):
+        g = generators.path(4)
+        rt = make_runtime(8)
+        with pytest.raises(ValueError):
+            MSTAlgorithm(rt, g)
+
+    def test_phase_limit_enforced(self):
+        g = weights.with_unique_weights(
+            generators.random_connected(24, 0.1, seed=17), seed=18
+        )
+        rt = make_runtime(24, strict=False)
+        with pytest.raises(ProtocolError):
+            MSTAlgorithm(rt, g).run(max_phases=1)
+
+    def test_rounds_counted_under_mst_phase(self):
+        g = weights.with_unique_weights(generators.cycle(8), seed=19)
+        rt, res = run_mst(g)
+        assert rt.net.stats.phase("mst").rounds == res.rounds
+        assert rt.net.stats.phase("mst:findmin").rounds > 0

@@ -1,0 +1,100 @@
+"""Multi-Aggregation (Theorem 2.6): multicast + per-member aggregation."""
+
+import random
+
+import pytest
+
+from repro.primitives import MAX, MIN, SUM, min_by_key
+from tests.conftest import make_runtime
+
+
+def neighborhood_setup(rt, adjacency):
+    """Trees with group u = its neighbour set (broadcast-tree shape)."""
+    memberships = {}
+    for u, nbrs in adjacency.items():
+        for v in nbrs:
+            memberships.setdefault(v, []).append(u)
+    return rt.multicast_setup(memberships)
+
+
+class TestCorrectness:
+    def test_min_over_senders(self):
+        rt = make_runtime(16)
+        # ring adjacency: u's group contains u±1
+        adj = {u: [(u - 1) % 16, (u + 1) % 16] for u in range(16)}
+        trees = neighborhood_setup(rt, adj)
+        packets = {u: u + 100 for u in range(16)}
+        out = rt.multi_aggregation(trees, packets, {u: u for u in range(16)}, MIN)
+        for v in range(16):
+            expected = min(u + 100 for u in range(16) if v in adj[u])
+            assert out.values[v] == expected
+        assert rt.net.stats.violation_count == 0
+
+    def test_sum_counts_senders(self):
+        rt = make_runtime(20)
+        adj = {u: [(u + 1) % 20, (u + 2) % 20, (u + 3) % 20] for u in range(20)}
+        trees = neighborhood_setup(rt, adj)
+        out = rt.multi_aggregation(
+            trees, {u: 1 for u in range(20)}, {u: u for u in range(20)}, SUM
+        )
+        for v in range(20):
+            indeg = sum(1 for u in range(20) if v in adj[u])
+            assert out.values[v] == indeg
+
+    def test_subset_of_sources(self):
+        rt = make_runtime(16)
+        adj = {u: [(u + 1) % 16] for u in range(16)}
+        trees = neighborhood_setup(rt, adj)
+        out = rt.multi_aggregation(trees, {4: "x"}, {4: 4}, MAX)
+        assert out.values == {5: "x"}
+
+    def test_annotate_hook_changes_combining(self):
+        rt = make_runtime(16, seed=3)
+        # two senders per receiver; annotation picks a uniformly random one
+        adj = {u: [(u + 1) % 16, (u + 2) % 16] for u in range(16)}
+        trees = neighborhood_setup(rt, adj)
+
+        def annotate(leaf_rng, group, member, payload):
+            return (leaf_rng.randrange(1 << 16), payload)
+
+        out = rt.multi_aggregation(
+            trees,
+            {u: u for u in range(16)},
+            {u: u for u in range(16)},
+            min_by_key(),
+            annotate=annotate,
+        )
+        for v in range(16):
+            _, chosen = out.values[v]
+            assert chosen in [(v - 1) % 16, (v - 2) % 16]
+
+    def test_missing_tree_rejected(self):
+        rt = make_runtime(8)
+        trees = rt.multicast_setup({0: [1]})
+        with pytest.raises(KeyError):
+            rt.multi_aggregation(trees, {5: 1}, {5: 5}, SUM)
+
+    def test_random_instances(self):
+        for seed in range(4):
+            rng = random.Random(seed)
+            n = 24
+            rt = make_runtime(n, seed=seed)
+            adj = {
+                u: rng.sample([v for v in range(n) if v != u], rng.randrange(1, 5))
+                for u in range(n)
+            }
+            trees = neighborhood_setup(rt, adj)
+            senders = rng.sample(range(n), 10)
+            packets = {u: u * 3 + 1 for u in senders}
+            out = rt.multi_aggregation(
+                trees, packets, {u: u for u in senders}, SUM
+            )
+            for v in range(n):
+                expected = sum(
+                    packets[u] for u in senders if v in adj[u]
+                )
+                if expected:
+                    assert out.values[v] == expected
+                else:
+                    assert v not in out.values
+            assert rt.net.stats.violation_count == 0

@@ -1,0 +1,104 @@
+"""Multicast Tree Setup (Theorem 2.4) + Multicast (Theorem 2.5)."""
+
+import math
+import random
+
+import pytest
+
+from repro import NCCRuntime
+from tests.conftest import make_runtime
+
+
+class TestTreeSetup:
+    def test_trees_for_all_groups(self, rt20):
+        memberships = {u: [u % 3] for u in range(20)}
+        trees = rt20.multicast_setup(memberships)
+        assert set(trees.root) == {0, 1, 2}
+        assert rt20.net.stats.violation_count == 0
+
+    def test_leaf_members_cover_everyone(self, rt20):
+        memberships = {u: [u % 3] for u in range(20)}
+        trees = rt20.multicast_setup(memberships)
+        for g in (0, 1, 2):
+            members = [
+                m for col, ms in trees.leaf_members[g].items() for m in ms
+            ]
+            assert sorted(members) == [u for u in range(20) if u % 3 == g]
+
+    def test_delegated_joins(self, rt16):
+        # node 0 injects memberships on behalf of others (Lemma 5.1 style).
+        injections = {0: [("g", 4), ("g", 5)], 7: [("g", 7)]}
+        trees = rt16.multicast_setup_delegated(injections)
+        members = [m for ms in trees.leaf_members["g"].values() for m in ms]
+        assert sorted(members) == [4, 5, 7]
+
+    def test_congestion_bound_shape(self):
+        """Theorem 2.4: congestion O(L/n + log n); verify against the
+        formula with a generous constant."""
+        rng = random.Random(1)
+        for n, groups, per_node in [(32, 8, 2), (64, 16, 3), (64, 4, 1)]:
+            rt = make_runtime(n, seed=7)
+            memberships = {
+                u: rng.sample(range(groups), per_node) for u in range(n)
+            }
+            trees = rt.multicast_setup(memberships)
+            L = n * per_node
+            bound = 8 * (L / n + math.log2(n))
+            assert trees.congestion() <= bound
+
+    def test_empty_setup(self, rt16):
+        trees = rt16.multicast_setup({})
+        assert trees.root == {}
+
+
+class TestMulticast:
+    def test_every_member_receives(self, rt20):
+        memberships = {u: [u % 4] for u in range(20)}
+        trees = rt20.multicast_setup(memberships)
+        packets = {g: ("payload", g) for g in range(4)}
+        sources = {g: g + 10 for g in range(4)}
+        out = rt20.multicast(trees, packets, sources)
+        for u in range(20):
+            assert out.at(u).get(u % 4) == ("payload", u % 4)
+        assert rt20.net.stats.violation_count == 0
+
+    def test_subset_of_groups_multicast(self, rt20):
+        memberships = {u: [u % 4] for u in range(20)}
+        trees = rt20.multicast_setup(memberships)
+        out = rt20.multicast(trees, {1: "only"}, {1: 0})
+        for u in range(20):
+            if u % 4 == 1:
+                assert out.at(u) == {1: "only"}
+            else:
+                assert out.at(u) == {}
+
+    def test_missing_tree_rejected(self, rt16):
+        trees = rt16.multicast_setup({0: ["g"]})
+        with pytest.raises(KeyError):
+            rt16.multicast(trees, {"other": 1}, {"other": 0})
+
+    def test_member_of_many_groups(self, rt16):
+        memberships = {5: list(range(12)), **{u: [0] for u in range(4)}}
+        trees = rt16.multicast_setup(memberships)
+        packets = {g: g * 100 for g in range(12)}
+        sources = {g: g % 16 for g in range(12)}
+        out = rt16.multicast(trees, packets, sources, ell_bound=12)
+        assert out.at(5) == {g: g * 100 for g in range(12)}
+
+    def test_reuse_trees_for_multiple_rounds(self, rt20):
+        memberships = {u: [u % 2] for u in range(20)}
+        trees = rt20.multicast_setup(memberships)
+        for val in ("a", "b", "c"):
+            out = rt20.multicast(trees, {0: val, 1: val}, {0: 0, 1: 1})
+            assert out.at(2) == {0: val}
+        assert rt20.net.stats.violation_count == 0
+
+    def test_rounds_scale_with_congestion_plus_log(self):
+        rt = make_runtime(64, lightweight_sync=True)
+        memberships = {u: [u % 8] for u in range(64)}
+        trees = rt.multicast_setup(memberships)
+        out = rt.multicast(
+            trees, {g: g for g in range(8)}, {g: g for g in range(8)}
+        )
+        c = trees.congestion()
+        assert out.rounds <= 12 * (c + math.log2(64)) + 40

@@ -1,0 +1,195 @@
+"""The NCC round engine: exchanges, capacity enforcement, statistics."""
+
+import pytest
+
+from repro import (
+    CapacityError,
+    Enforcement,
+    MessageSizeError,
+    NCCConfig,
+    NCCNetwork,
+    SimulationLimitError,
+)
+from repro.ncc.message import Message
+
+
+def net(n=16, mode=Enforcement.STRICT, **kw) -> NCCNetwork:
+    return NCCNetwork(n, NCCConfig(seed=1, enforcement=mode, **kw))
+
+
+class TestExchangeMechanics:
+    def test_messages_delivered_to_inboxes(self):
+        nw = net()
+        inbox = nw.exchange([Message(0, 1, "a"), Message(2, 1, "b"), Message(3, 4, "c")])
+        assert {m.payload for m in inbox[1]} == {"a", "b"}
+        assert [m.payload for m in inbox[4]] == ["c"]
+
+    def test_empty_round_still_counts(self):
+        nw = net()
+        nw.exchange(())
+        assert nw.round_index == 1
+        assert nw.stats.messages == 0
+
+    def test_mapping_input_form(self):
+        nw = net()
+        inbox = nw.exchange({0: [Message(0, 5, "x")]})
+        assert inbox[5][0].payload == "x"
+
+    def test_mapping_sender_mismatch_rejected(self):
+        nw = net()
+        with pytest.raises(ValueError):
+            nw.exchange({0: [Message(1, 5, "x")]})
+
+    def test_bad_node_ids_rejected(self):
+        nw = net(4)
+        with pytest.raises(ValueError):
+            nw.exchange([Message(0, 9, "x")])
+        with pytest.raises(ValueError):
+            nw.exchange([Message(-1, 0, "x")])
+
+    def test_run_rounds_merges_and_elapses(self):
+        nw = net()
+        sched = {0: [Message(0, 1, "a")], 3: [Message(2, 1, "b")]}
+        merged = nw.run_rounds(sched)
+        assert nw.round_index == 4  # rounds 0..3 all elapse
+        assert {m.payload for m in merged[1]} == {"a", "b"}
+
+    def test_idle_rounds(self):
+        nw = net()
+        nw.idle_rounds(7)
+        assert nw.round_index == 7
+
+    def test_max_rounds_limit(self):
+        nw = net(4, max_rounds=3)
+        nw.idle_rounds(3)
+        with pytest.raises(SimulationLimitError):
+            nw.exchange(())
+
+    def test_self_message_allowed_and_counted(self):
+        nw = net()
+        inbox = nw.exchange([Message(3, 3, "self")])
+        assert inbox[3][0].payload == "self"
+        assert nw.stats.messages == 1
+
+
+class TestCapacityEnforcement:
+    def overload(self, nw, dst=1, count=None):
+        count = count if count is not None else nw.capacity + 5
+        return [Message(src, dst, "x") for src in range(min(count, nw.n))]
+
+    def test_strict_receive_raises(self):
+        nw = net(64)
+        msgs = [Message(s, 0, "x") for s in range(nw.capacity + 1)]
+        with pytest.raises(CapacityError) as e:
+            nw.exchange(msgs)
+        assert e.value.node == 0
+        assert e.value.count == nw.capacity + 1
+
+    def test_strict_send_raises(self):
+        nw = net(64)
+        msgs = [Message(0, d, "x") for d in range(1, nw.capacity + 2)]
+        with pytest.raises(CapacityError):
+            nw.exchange(msgs)
+
+    def test_count_mode_delivers_and_ledgers(self):
+        nw = net(64, Enforcement.COUNT)
+        msgs = [Message(s, 0, "x") for s in range(nw.capacity + 3)]
+        inbox = nw.exchange(msgs)
+        assert len(inbox[0]) == nw.capacity + 3  # everything delivered
+        assert nw.stats.violation_count == 1
+        v = nw.stats.violations[0]
+        assert (v.kind, v.node, v.count) == ("recv", 0, nw.capacity + 3)
+
+    def test_drop_mode_trims_to_capacity(self):
+        nw = net(64, Enforcement.DROP)
+        extra = 6
+        msgs = [Message(s, 0, ("t", s)) for s in range(nw.capacity + extra)]
+        inbox = nw.exchange(msgs)
+        assert len(inbox[0]) == nw.capacity
+        assert nw.stats.dropped == extra
+        # Dropped subset is a subset of what was sent.
+        delivered = {m.payload[1] for m in inbox[0]}
+        assert delivered <= set(range(nw.capacity + extra))
+
+    def test_drop_mode_trims_senders_too(self):
+        nw = net(64, Enforcement.DROP)
+        msgs = [Message(0, d, "x") for d in range(1, nw.capacity + 4)]
+        inbox = nw.exchange(msgs)
+        total = sum(len(v) for v in inbox.values())
+        assert total == nw.capacity
+
+    def test_within_capacity_no_violations(self):
+        nw = net(64)
+        msgs = [Message(s, (s + 1) % 64, "x") for s in range(64)]
+        nw.exchange(msgs)
+        assert nw.stats.violation_count == 0
+
+
+class TestMessageSize:
+    def test_oversized_payload_strict(self):
+        nw = net(16)
+        big = tuple(range(200))
+        with pytest.raises(MessageSizeError):
+            nw.exchange([Message(0, 1, big)])
+
+    def test_oversized_payload_counted(self):
+        nw = net(16, Enforcement.COUNT)
+        nw.exchange([Message(0, 1, tuple(range(200)))])
+        assert any(v.kind == "bits" for v in nw.stats.violations)
+
+    def test_budget_matches_config(self):
+        nw = net(256)
+        assert nw.message_bits == NCCConfig().message_bits(256)
+
+
+class TestStatsAndPhases:
+    def test_bits_and_messages_accumulate(self):
+        nw = net()
+        nw.exchange([Message(0, 1, 7), Message(1, 2, 3)])
+        assert nw.stats.messages == 2
+        assert nw.stats.bits == 3 + 2
+
+    def test_phase_attribution_nested(self):
+        nw = net()
+        with nw.phase("outer"):
+            nw.exchange([Message(0, 1, 1)])
+            with nw.phase("inner"):
+                nw.exchange([Message(0, 1, 1)])
+        outer = nw.stats.phase("outer")
+        inner = nw.stats.phase("inner")
+        assert outer.rounds == 2 and outer.messages == 2
+        assert inner.rounds == 1 and inner.messages == 1
+        assert outer.entries == 1 and inner.entries == 1
+
+    def test_unknown_phase_is_zero(self):
+        nw = net()
+        assert nw.stats.phase("nope").rounds == 0
+
+    def test_max_per_round_tracking(self):
+        nw = net(64, Enforcement.COUNT)
+        nw.exchange([Message(0, d, "x") for d in range(1, 5)])
+        assert nw.stats.max_sent_per_round == 4
+
+    def test_observer_sees_per_sender_map(self):
+        nw = net()
+        seen = []
+        nw.round_observer = lambda r, per_sender: seen.append(
+            (r, {s: len(ms) for s, ms in per_sender.items()})
+        )
+        nw.exchange([Message(0, 1, "a"), Message(0, 2, "b"), Message(3, 1, "c")])
+        assert seen == [(0, {0: 2, 3: 1})]
+
+    def test_summary_keys(self):
+        s = net().stats.summary()
+        assert {"rounds", "messages", "bits", "dropped", "violations"} <= set(s)
+
+
+class TestDeterminism:
+    def test_drop_selection_reproducible(self):
+        def run():
+            nw = net(64, Enforcement.DROP)
+            msgs = [Message(s, 0, ("t", s)) for s in range(nw.capacity + 9)]
+            inbox = nw.exchange(msgs)
+            return sorted(m.payload[1] for m in inbox[0])
+
+        assert run() == run()

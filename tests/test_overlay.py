@@ -1,0 +1,145 @@
+"""Overlay bootstrap from random contacts (Section 6's closing remark)."""
+
+import math
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.overlay import (
+    KnowledgeTracker,
+    bootstrap_aggregation_tree,
+    random_contact_lists,
+    tree_aggregate_broadcast,
+)
+from repro.primitives import MAX, MIN, SUM
+from tests.conftest import make_runtime
+
+
+class TestContacts:
+    def test_counts_and_range(self):
+        contacts = random_contact_lists(64, 1.5, seed=1)
+        k = math.ceil(1.5 * 6)
+        for u, lst in enumerate(contacts):
+            assert len(lst) == k
+            assert u not in lst
+            assert len(set(lst)) == len(lst)
+
+    def test_deterministic(self):
+        assert random_contact_lists(32, 1.0, seed=3) == random_contact_lists(32, 1.0, seed=3)
+
+    def test_small_n(self):
+        contacts = random_contact_lists(2, 1.0, seed=0)
+        assert contacts == [[1], [0]]
+
+
+class TestKnowledgeTracker:
+    def test_initial_knowledge(self):
+        t = KnowledgeTracker(4, [[1], [2], [3], [0]])
+        t.check_send(0, 1)  # fine
+        with pytest.raises(ProtocolError):
+            t.check_send(0, 2)  # never introduced
+
+    def test_learning(self):
+        t = KnowledgeTracker(4, [[1], [2], [3], [0]])
+        t.learn(0, 3)
+        t.check_send(0, 3)
+
+
+class TestBootstrap:
+    def test_elects_minimum_and_builds_tree(self):
+        rt = make_runtime(64, seed=5)
+        contacts = random_contact_lists(64, 2.0, seed=7)
+        res = bootstrap_aggregation_tree(rt, contacts)
+        assert res.leader == 0
+        assert res.parent[0] is None
+        assert all(res.parent[u] is not None for u in range(1, 64))
+        assert rt.net.stats.violation_count == 0
+
+    def test_depth_logarithmic(self):
+        for n in (32, 128, 512):
+            rt = make_runtime(n, seed=5, strict=False)
+            contacts = random_contact_lists(n, 2.0, seed=7)
+            res = bootstrap_aggregation_tree(rt, contacts)
+            assert res.depth <= 3 * math.log2(n)
+
+    def test_convergence_round_logarithmic(self):
+        rt = make_runtime(256, seed=5, strict=False)
+        contacts = random_contact_lists(256, 2.0, seed=9)
+        res = bootstrap_aggregation_tree(rt, contacts)
+        assert res.converged_round <= 3 * math.log2(256)
+
+    def test_parents_come_from_contacts_or_introductions(self):
+        """The introduction rule: parent pointers are senders, which the
+        tracker verified; re-run raises if any send was unauthorized —
+        covered by construction, so just confirm the tree is consistent."""
+        rt = make_runtime(48, seed=2)
+        contacts = random_contact_lists(48, 2.0, seed=3)
+        res = bootstrap_aggregation_tree(rt, contacts)
+        for u in range(1, 48):
+            p = res.parent[u]
+            # u's parent sent to u, so u must be in parent's contact list
+            assert u in contacts[p]
+
+    def test_disconnected_contacts_detected(self):
+        # One contact per node with a deliberately split contact digraph.
+        contacts = [[(u + 1) % 8 if u < 8 else 8 + (u + 1) % 8] for u in range(16)]
+        # nodes 8..15 only know each other: min-flood cannot deliver 0.
+        contacts = [
+            [(u + 1) % 8] if u < 8 else [8 + ((u + 1 - 8) % 8)] for u in range(16)
+        ]
+        rt = make_runtime(16, seed=1, strict=False)
+        with pytest.raises(ProtocolError):
+            bootstrap_aggregation_tree(rt, contacts)
+
+    def test_levels_partition_nodes(self):
+        rt = make_runtime(40, seed=4)
+        contacts = random_contact_lists(40, 2.0, seed=5)
+        res = bootstrap_aggregation_tree(rt, contacts)
+        flat = [u for lvl in res.tree_levels() for u in lvl]
+        assert sorted(flat) == list(range(40))
+
+
+class TestTreeAggregation:
+    def setup_tree(self, n=64, seed=5):
+        rt = make_runtime(n, seed=seed)
+        contacts = random_contact_lists(n, 2.0, seed=seed + 1)
+        tree = bootstrap_aggregation_tree(rt, contacts)
+        return rt, tree
+
+    def test_sum_matches_reference(self):
+        rt, tree = self.setup_tree()
+        total = tree_aggregate_broadcast(rt, tree, {u: u for u in range(64)}, SUM)
+        assert total == sum(range(64))
+        assert rt.net.stats.violation_count == 0
+
+    def test_min_max(self):
+        rt, tree = self.setup_tree()
+        assert tree_aggregate_broadcast(rt, tree, {5: 50, 9: 9, 60: 99}, MIN) == 9
+        assert tree_aggregate_broadcast(rt, tree, {5: 50, 9: 9, 60: 99}, MAX) == 99
+
+    def test_empty_inputs(self):
+        rt, tree = self.setup_tree(32)
+        assert tree_aggregate_broadcast(rt, tree, {}, SUM) is None
+
+    def test_rounds_linear_in_depth(self):
+        rt, tree = self.setup_tree()
+        before = rt.net.round_index
+        tree_aggregate_broadcast(rt, tree, {u: 1 for u in range(64)}, SUM)
+        rounds = rt.net.round_index - before
+        levels = len(tree.tree_levels())
+        assert rounds == 2 * (levels - 1)
+
+    def test_comparable_to_butterfly_ab(self):
+        """The knowledge-free A&B lands in the same O(log n) regime as
+        Theorem 2.2's butterfly version."""
+        rt, tree = self.setup_tree(128, seed=3)
+        before = rt.net.round_index
+        tree_aggregate_broadcast(rt, tree, {u: 1 for u in range(128)}, SUM)
+        tree_rounds = rt.net.round_index - before
+
+        rt2 = make_runtime(128, seed=3)
+        before = rt2.net.round_index
+        rt2.aggregate_and_broadcast({u: 1 for u in range(128)}, SUM)
+        bf_rounds = rt2.net.round_index - before
+
+        assert tree_rounds <= 4 * bf_rounds

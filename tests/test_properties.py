@@ -1,0 +1,66 @@
+"""Graph property helpers."""
+
+from repro import InputGraph
+from repro.graphs import generators, properties
+
+
+class TestComponents:
+    def test_connected_graph_single_component(self):
+        g = generators.cycle(10)
+        assert properties.connected_components(g) == [list(range(10))]
+        assert properties.is_connected(g)
+
+    def test_disconnected(self):
+        g = generators.disjoint_cliques(9, 3)
+        comps = properties.connected_components(g)
+        assert comps == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+        assert not properties.is_connected(g)
+
+    def test_isolated_nodes(self):
+        g = InputGraph(4, [(0, 1)])
+        comps = properties.connected_components(g)
+        assert [0, 1] in comps and [2] in comps and [3] in comps
+
+    def test_single_node(self):
+        g = InputGraph(1, [])
+        assert properties.is_connected(g)
+
+
+class TestDistances:
+    def test_bfs_distances(self):
+        g = generators.path(5)
+        assert properties.bfs_distances(g, 0) == [0, 1, 2, 3, 4]
+
+    def test_unreachable_none(self):
+        g = InputGraph(3, [(0, 1)])
+        assert properties.bfs_distances(g, 0)[2] is None
+
+    def test_eccentricity(self):
+        g = generators.path(7)
+        assert properties.eccentricity(g, 0) == 6
+        assert properties.eccentricity(g, 3) == 3
+
+    def test_diameter_path(self):
+        assert properties.diameter(generators.path(9)) == 8
+
+    def test_diameter_cycle(self):
+        assert properties.diameter(generators.cycle(10)) == 5
+
+    def test_diameter_grid(self):
+        assert properties.diameter(generators.grid(3, 4)) == 5
+
+    def test_diameter_of_largest_component(self):
+        g = InputGraph(7, [(0, 1), (1, 2), (2, 3), (5, 6)])
+        assert properties.diameter(g) == 3
+
+
+class TestDegreeStats:
+    def test_star(self):
+        s = properties.degree_stats(generators.star(10))
+        assert s["max"] == 9
+        assert s["min"] == 1
+        assert abs(s["avg"] - 18 / 10) < 1e-9
+
+    def test_empty(self):
+        s = properties.degree_stats(InputGraph(3, []))
+        assert s == {"max": 0, "min": 0, "avg": 0.0}

@@ -1,0 +1,128 @@
+"""Property-based end-to-end tests: random graphs through every algorithm.
+
+Hypothesis generates arbitrary small graphs (connected or not, empty,
+dense, weird degree distributions); every algorithm must produce a valid
+output under STRICT capacity enforcement.  These complement the
+family-parametrized tests with unstructured adversarial shapes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import InputGraph
+from repro.baselines import sequential as seq
+from tests.conftest import make_runtime
+
+SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def small_graphs(draw, min_n=2, max_n=18):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=min(len(possible), 40))
+        if possible
+        else st.just([])
+    )
+    return InputGraph(n, edges)
+
+
+@st.composite
+def weighted_graphs(draw):
+    g = draw(small_graphs())
+    weights = {
+        e: draw(st.integers(min_value=1, max_value=50)) for e in g.edges()
+    }
+    return InputGraph(g.n, g.edges(), weights)
+
+
+class TestEndToEndProperties:
+    @given(weighted_graphs())
+    @settings(**SETTINGS)
+    def test_mst_always_matches_kruskal(self, g):
+        from repro.algorithms import MSTAlgorithm
+
+        rt = make_runtime(g.n, seed=1)
+        res = MSTAlgorithm(rt, g).run()
+        assert res.edges == seq.kruskal_msf(g)
+        assert rt.net.stats.violation_count == 0
+
+    @given(small_graphs())
+    @settings(**SETTINGS)
+    def test_orientation_always_valid(self, g):
+        from repro.algorithms import OrientationAlgorithm
+
+        rt = make_runtime(g.n, seed=2)
+        ori = OrientationAlgorithm(rt, g).run()
+        seen = set()
+        for u in range(g.n):
+            for v in ori.out_neighbors[u]:
+                e = (min(u, v), max(u, v))
+                assert e not in seen
+                seen.add(e)
+        assert seen == set(g.edges())
+        # acyclic by (level, id)
+        for u in range(g.n):
+            for v in ori.out_neighbors[u]:
+                assert (ori.level[u], u) < (ori.level[v], v)
+
+    @given(small_graphs())
+    @settings(**SETTINGS)
+    def test_mis_always_maximal_independent(self, g):
+        from repro.algorithms import MISAlgorithm
+
+        rt = make_runtime(g.n, seed=3)
+        res = MISAlgorithm(rt, g).run()
+        assert seq.is_maximal_independent_set(g, res.members)
+
+    @given(small_graphs())
+    @settings(**SETTINGS)
+    def test_matching_always_maximal(self, g):
+        from repro.algorithms import MatchingAlgorithm
+
+        rt = make_runtime(g.n, seed=4)
+        res = MatchingAlgorithm(rt, g).run()
+        assert seq.is_maximal_matching(g, res.edges)
+
+    @given(small_graphs())
+    @settings(**SETTINGS)
+    def test_coloring_always_proper_within_palette(self, g):
+        from repro.algorithms import ColoringAlgorithm
+
+        rt = make_runtime(g.n, seed=5)
+        res = ColoringAlgorithm(rt, g).run()
+        assert seq.is_proper_coloring(g, res.colors)
+        assert res.colors_used() <= res.palette_size
+
+    @given(small_graphs(), st.integers(min_value=0, max_value=17))
+    @settings(**SETTINGS)
+    def test_bfs_always_matches_oracle(self, g, src_raw):
+        from repro.algorithms import BFSAlgorithm
+
+        source = src_raw % g.n
+        rt = make_runtime(g.n, seed=6)
+        res = BFSAlgorithm(rt, g).run(source)
+        expected, _ = seq.bfs_tree(g, source)
+        assert res.dist == expected
+
+    @given(small_graphs())
+    @settings(**SETTINGS)
+    def test_components_always_match_oracle(self, g):
+        from repro.algorithms import ConnectedComponentsAlgorithm
+        from repro.graphs import properties
+
+        rt = make_runtime(g.n, seed=7)
+        res = ConnectedComponentsAlgorithm(rt, g).run()
+        comps = properties.connected_components(g)
+        expected = [0] * g.n
+        for comp in comps:
+            m = min(comp)
+            for u in comp:
+                expected[u] = m
+        assert res.labels == expected

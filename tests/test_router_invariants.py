@@ -1,0 +1,87 @@
+"""Routing-discipline invariants observed from outside the routers.
+
+The network's round observer sees every message; these tests verify the
+properties the delay-sequence analysis (Theorem B.2) rests on:
+
+* one data packet per butterfly edge per round (cross edges are observable
+  as host-pair messages tagged with the receiving level);
+* per-node cross-edge load ≤ one message per hosted level (the reason one
+  butterfly round fits one NCC round).
+"""
+
+import random
+
+import pytest
+
+from repro import Enforcement, NCCConfig, NCCNetwork
+from repro.butterfly.routing import CombiningRouter
+from repro.butterfly.topology import ButterflyGrid
+
+
+def build_and_observe(n=32, packets=300, groups=24, seed=9):
+    cfg = NCCConfig(seed=1, enforcement=Enforcement.STRICT)
+    net = NCCNetwork(n, cfg)
+    bf = ButterflyGrid(n)
+    per_round_edges = []
+
+    def observer(r, per_sender):
+        edges = []
+        for src, msgs in per_sender.items():
+            for m in msgs:
+                if m.kind == "combining" and m.payload[0] == "D":
+                    lvl = m.payload[1]
+                    edges.append((src, m.dst, lvl))
+        per_round_edges.append(edges)
+
+    net.round_observer = observer
+    rng = random.Random(seed)
+    router = CombiningRouter(
+        net,
+        bf,
+        rank_of=lambda g: random.Random(f"r{g}").randrange(1 << 20),
+        target_col_of=lambda g: random.Random(f"t{g}").randrange(bf.columns),
+        combine=lambda a, b: a + b,
+    )
+    expected = {}
+    for _ in range(packets):
+        g = rng.randrange(groups)
+        col = rng.randrange(bf.columns)
+        router.inject(col, g, 1)
+        expected[g] = expected.get(g, 0) + 1
+    res = router.run()
+    assert res.results == expected
+    return bf, per_round_edges
+
+
+class TestRoutingDiscipline:
+    def test_one_packet_per_cross_edge_per_round(self):
+        bf, rounds = build_and_observe()
+        for edges in rounds:
+            # a cross edge is identified by (src host, dst host, level)
+            assert len(edges) == len(set(edges)), "edge used twice in one round"
+
+    def test_per_host_cross_load_at_most_levels(self):
+        bf, rounds = build_and_observe()
+        for edges in rounds:
+            per_src: dict[int, int] = {}
+            for src, _dst, _lvl in edges:
+                per_src[src] = per_src.get(src, 0) + 1
+            for src, count in per_src.items():
+                assert count <= bf.levels
+
+    def test_levels_strictly_increase_along_run(self):
+        """Data only ever moves downward (level i -> i+1)."""
+        bf, rounds = build_and_observe()
+        seen_levels = {lvl for edges in rounds for (_s, _d, lvl) in edges}
+        assert seen_levels <= set(range(1, bf.levels))
+
+    def test_cross_edges_match_topology(self):
+        """Every observed cross transmission is a real butterfly edge."""
+        from repro.butterfly.topology import BFNode
+
+        bf, rounds = build_and_observe(n=16, packets=120, groups=10)
+        for edges in rounds:
+            for src, dst, lvl in edges:
+                receiver = BFNode(lvl, dst)
+                straight, cross = bf.up_neighbors(receiver)
+                assert cross.column == src, "message not along a cross edge"

@@ -1,0 +1,233 @@
+"""Butterfly routers: combining aggregation, tree recording, multicast."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Enforcement, NCCConfig, NCCNetwork
+from repro.butterfly.routing import CombiningRouter, MulticastRouter
+from repro.butterfly.topology import BFNode, ButterflyGrid
+from repro.errors import ProtocolError
+
+
+def make_net(n=16, lightweight=False):
+    cfg = NCCConfig(
+        seed=3,
+        enforcement=Enforcement.STRICT,
+        extras={"lightweight_sync": lightweight},
+    )
+    return NCCNetwork(n, cfg), ButterflyGrid(n)
+
+
+def make_router(net, bf, *, record=False, combine=None):
+    rng = random.Random(99)
+    ranks = {}
+    targets = {}
+
+    def rank_of(g):
+        if g not in ranks:
+            ranks[g] = random.Random(f"r{g}").randrange(1 << 20)
+        return ranks[g]
+
+    def target_of(g):
+        if g not in targets:
+            targets[g] = random.Random(f"t{g}").randrange(bf.columns)
+        return targets[g]
+
+    return CombiningRouter(
+        net,
+        bf,
+        rank_of=rank_of,
+        target_col_of=target_of,
+        combine=combine or (lambda a, b: a + b),
+        record_trees=record,
+    )
+
+
+class TestCombiningRouter:
+    def test_single_packet_reaches_target(self):
+        net, bf = make_net()
+        r = make_router(net, bf)
+        r.inject(3, "g1", 5)
+        res = r.run()
+        assert res.results == {"g1": 5}
+
+    def test_same_group_combines(self):
+        net, bf = make_net()
+        r = make_router(net, bf)
+        for col, v in [(0, 1), (5, 2), (9, 4), (15, 8)]:
+            r.inject(col, 7, v)
+        res = r.run()
+        assert res.results == {7: 15}
+
+    def test_same_node_injections_combine_at_injection(self):
+        net, bf = make_net()
+        r = make_router(net, bf)
+        r.inject(4, "g", 1)
+        r.inject(4, "g", 10)
+        res = r.run()
+        assert res.results == {"g": 11}
+
+    def test_many_groups_random_instance(self):
+        net, bf = make_net(32)
+        r = make_router(net, bf)
+        rng = random.Random(5)
+        expected: dict[int, int] = {}
+        for _ in range(300):
+            g = rng.randrange(40)
+            col = rng.randrange(bf.columns)
+            v = rng.randrange(100)
+            r.inject(col, g, v)
+            expected[g] = expected.get(g, 0) + v
+        res = r.run()
+        assert res.results == expected
+
+    def test_run_twice_rejected(self):
+        net, bf = make_net()
+        r = make_router(net, bf)
+        r.run()
+        with pytest.raises(ProtocolError):
+            r.run()
+        with pytest.raises(ProtocolError):
+            r.inject(0, "g", 1)
+
+    def test_bad_column_rejected(self):
+        net, bf = make_net()
+        r = make_router(net, bf)
+        with pytest.raises(ValueError):
+            r.inject(bf.columns, "g", 1)
+
+    def test_rounds_scale_with_depth_plus_load(self):
+        net, bf = make_net(64)
+        r = make_router(net, bf)
+        for col in range(bf.columns):
+            r.inject(col, col % 8, 1)
+        res = r.run()
+        # depth d=6 for data + ~d for tokens + constant slack
+        assert res.rounds <= 6 * bf.d + 20
+
+    def test_degenerate_n1(self):
+        net, bf = make_net(1)
+        r = make_router(net, bf)
+        r.inject(0, "g", 3)
+        r.inject(0, "g", 4)
+        assert r.run().results == {"g": 7}
+
+    def test_lightweight_rounds_close_to_full(self):
+        def run(lightweight):
+            net, bf = make_net(32, lightweight=lightweight)
+            r = make_router(net, bf)
+            rng = random.Random(7)
+            for _ in range(100):
+                r.inject(rng.randrange(bf.columns), rng.randrange(12), 1)
+            return r.run().rounds
+
+        full, light = run(False), run(True)
+        assert abs(full - light) <= ButterflyGrid(32).d + 4
+
+    def test_strict_capacity_respected(self):
+        # The routing discipline must keep every node within O(log n)
+        # messages per round even at high load (STRICT raises otherwise).
+        net, bf = make_net(64)
+        r = make_router(net, bf)
+        rng = random.Random(11)
+        for _ in range(1000):
+            r.inject(rng.randrange(bf.columns), rng.randrange(50), 1)
+        r.run()
+        assert net.stats.violation_count == 0
+
+
+class TestTreeRecording:
+    def build(self, n=32, groups=6, members=40, seed=2):
+        net, bf = make_net(n)
+        r = make_router(net, bf, record=True, combine=lambda a, b: a)
+        rng = random.Random(seed)
+        member_cols: dict[int, dict[int, list[int]]] = {}
+        for i in range(members):
+            g = rng.randrange(groups)
+            col = rng.randrange(bf.columns)
+            r.inject(col, g, 1)
+            r.trees.add_leaf_member(g, col, i)
+            member_cols.setdefault(g, {}).setdefault(col, []).append(i)
+        res = r.run()
+        return net, bf, r.trees, res, member_cols
+
+    def test_roots_recorded(self):
+        net, bf, trees, res, _ = self.build()
+        for g in res.results:
+            assert trees.root[g].level == bf.d
+
+    def test_tree_edges_connect_root_to_leaves(self):
+        net, bf, trees, res, member_cols = self.build()
+        for g, cols in member_cols.items():
+            # walk down from the root along recorded children; must cover
+            # every leaf column of the group.
+            reached = set()
+            stack = [trees.root[g]]
+            while stack:
+                node = stack.pop()
+                if node.level == 0:
+                    reached.add(node.column)
+                stack.extend(trees.children.get(g, {}).get(node, ()))
+            assert set(cols) <= reached
+
+    def test_congestion_positive_and_bounded(self):
+        net, bf, trees, res, _ = self.build()
+        c = trees.congestion()
+        assert 1 <= c <= 6  # at most #groups trees share a node
+
+    def test_member_load(self):
+        net, bf, trees, *_ = self.build()
+        assert trees.member_load() == 1  # each member injected once
+
+
+class TestMulticastRouter:
+    def roundtrip(self, n=32, groups=5, members=30, seed=4):
+        net, bf = make_net(n)
+        setup = make_router(net, bf, record=True, combine=lambda a, b: a)
+        rng = random.Random(seed)
+        membership: dict[int, list[int]] = {}
+        for i in range(members):
+            g = rng.randrange(groups)
+            col = rng.randrange(bf.columns)
+            setup.inject(col, g, 1)
+            setup.trees.add_leaf_member(g, col, i)
+            membership.setdefault(g, []).append(i)
+        setup.run()
+        trees = setup.trees
+
+        mc = MulticastRouter(net, bf, trees, rank_of=lambda g: g)
+        payloads = {g: 100 + g for g in membership}
+        res = mc.run(payloads)
+        return net, bf, trees, membership, payloads, res
+
+    def test_every_leaf_receives_its_groups(self):
+        net, bf, trees, membership, payloads, res = self.roundtrip()
+        for g, members in membership.items():
+            for col, mlist in trees.leaf_members[g].items():
+                assert res.results[col][g] == payloads[g]
+
+    def test_unknown_group_rejected(self):
+        net, bf, trees, *_ = self.roundtrip()
+        mc = MulticastRouter(net, bf, trees, rank_of=lambda g: g)
+        with pytest.raises(ProtocolError):
+            mc.run({"no-such-group": 1})
+
+    def test_strict_capacity_respected(self):
+        net, *_ = self.roundtrip(n=64, groups=20, members=300)
+        assert net.stats.violation_count == 0
+
+    @given(st.integers(min_value=2, max_value=64), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, n, seed):
+        net, bf, trees, membership, payloads, res = self.roundtrip(
+            n=n, groups=4, members=12, seed=seed
+        )
+        delivered = {
+            g
+            for col, got in res.results.items()
+            for g in got
+        }
+        assert delivered == set(membership)

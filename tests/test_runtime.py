@@ -1,0 +1,52 @@
+"""NCCRuntime facade wiring."""
+
+import pytest
+
+from repro import NCCConfig, NCCRuntime
+
+
+class TestConstruction:
+    def test_seed_shortcut(self):
+        rt = NCCRuntime(16, seed=9)
+        assert rt.config.seed == 9
+
+    def test_config_passthrough(self):
+        cfg = NCCConfig(seed=3, capacity_multiplier=6)
+        rt = NCCRuntime(16, cfg)
+        assert rt.net.capacity == cfg.capacity(16)
+
+    def test_seed_overrides_config(self):
+        cfg = NCCConfig(seed=3)
+        rt = NCCRuntime(16, cfg, seed=8)
+        assert rt.config.seed == 8
+
+    def test_components_consistent(self):
+        rt = NCCRuntime(20)
+        assert rt.n == 20
+        assert rt.bf.n == 20
+        assert rt.net.n == 20
+        assert rt.log2n == 5
+
+    def test_stats_summary_shape(self):
+        rt = NCCRuntime(8)
+        s = rt.stats_summary()
+        assert s["rounds"] == 0
+        rt.barrier()
+        assert rt.stats_summary()["rounds"] > 0
+
+    def test_repr(self):
+        assert "NCCRuntime(n=8" in repr(NCCRuntime(8))
+
+
+class TestSharedRandomnessWiring:
+    def test_agreement_charged_through_network(self):
+        rt = NCCRuntime(32, seed=1)
+        before = rt.net.round_index
+        rt.shared.hash_family("fresh", 4, 100)
+        assert rt.net.round_index > before
+
+    def test_agreement_free_when_disabled(self):
+        rt = NCCRuntime(32, NCCConfig(seed=1, charge_hash_agreement=False))
+        before = rt.net.round_index
+        rt.shared.hash_family("fresh", 4, 100)
+        assert rt.net.round_index == before

@@ -1,0 +1,91 @@
+"""Parity sketches: group structure and set-equality semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.kwise import hash_family
+from repro.hashing.sketches import ParitySketch, sketch_differs
+
+FAM = hash_family(16, 6, 2, seed=77)
+
+
+class TestAlgebra:
+    def test_zero_is_identity(self):
+        s = ParitySketch.of_keys([3, 7, 9], FAM)
+        z = ParitySketch.zero(len(FAM))
+        assert (s ^ z) == s
+        assert z.is_zero()
+
+    def test_self_inverse(self):
+        s = ParitySketch.of_keys([3, 7, 9], FAM)
+        assert (s ^ s).is_zero()
+
+    def test_commutative(self):
+        a = ParitySketch.of_keys([1, 2], FAM)
+        b = ParitySketch.of_keys([5], FAM)
+        assert (a ^ b) == (b ^ a)
+
+    def test_mismatched_trials_rejected(self):
+        a = ParitySketch.zero(4)
+        b = ParitySketch.zero(5)
+        with pytest.raises(ValueError):
+            _ = a ^ b
+        with pytest.raises(ValueError):
+            sketch_differs(a, b)
+
+    def test_trial_accessors(self):
+        s = ParitySketch.of_keys([42], FAM)
+        assert s.as_tuple() == tuple(s.trial(t) for t in range(s.trials))
+        with pytest.raises(IndexError):
+            s.trial(s.trials)
+
+    def test_size_bits_is_trials(self):
+        assert ParitySketch.zero(12).size_bits() == 12
+
+
+class TestEqualitySemantics:
+    def test_equal_multisets_never_differ(self):
+        keys = [10, 20, 30, 40]
+        a = ParitySketch.of_keys(keys, FAM)
+        b = ParitySketch.of_keys(list(reversed(keys)), FAM)
+        assert not sketch_differs(a, b)
+
+    def test_duplicate_pairs_cancel(self):
+        # XOR parity: a key appearing twice vanishes, exactly the behaviour
+        # FindMin exploits for internal component edges.
+        a = ParitySketch.of_keys([5, 5, 9], FAM)
+        b = ParitySketch.of_keys([9], FAM)
+        assert not sketch_differs(a, b)
+
+    def test_distinct_single_keys_differ_whp(self):
+        # 16 trials: failure probability 2^-16 per pair; these fixed pairs
+        # must separate.
+        hits = 0
+        for x in range(50):
+            a = ParitySketch.of_keys([x], FAM)
+            b = ParitySketch.of_keys([x + 1000], FAM)
+            if sketch_differs(a, b):
+                hits += 1
+        assert hits >= 48
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=10**6), min_size=0, max_size=20),
+        st.lists(st.integers(min_value=1, max_value=10**6), min_size=0, max_size=20),
+    )
+    @settings(max_examples=150)
+    def test_differs_implies_different_multisets(self, xs, ys):
+        """Soundness: sketch_differs never fires on equal multisets."""
+        a = ParitySketch.of_keys(xs, FAM)
+        b = ParitySketch.of_keys(ys, FAM)
+        if sorted(xs) == sorted(ys):
+            assert not sketch_differs(a, b)
+
+    @given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=16, unique=True))
+    @settings(max_examples=100)
+    def test_xor_matches_of_keys(self, keys):
+        """Combining per-key sketches equals sketching the whole set."""
+        combined = ParitySketch.zero(len(FAM))
+        for k in keys:
+            combined = combined ^ ParitySketch.of_keys([k], FAM)
+        assert combined == ParitySketch.of_keys(keys, FAM)

@@ -1,0 +1,105 @@
+"""NetworkStats / PhaseStats bookkeeping details."""
+
+from repro.ncc.stats import NetworkStats, PhaseStats, Violation
+
+
+class TestPhaseStats:
+    def test_as_dict(self):
+        ps = PhaseStats(rounds=3, messages=10, bits=99, entries=2)
+        assert ps.as_dict() == {
+            "rounds": 3,
+            "messages": 10,
+            "bits": 99,
+            "entries": 2,
+        }
+
+    def test_defaults_zero(self):
+        assert PhaseStats().rounds == 0
+
+
+class TestNetworkStats:
+    def test_record_round_attributes_to_all_active_phases(self):
+        s = NetworkStats()
+        s.record_round(("a", "a:b"), messages=4, bits=40)
+        s.record_round(("a",), messages=1, bits=5)
+        assert s.rounds == 2
+        assert s.messages == 5
+        assert s.phase("a").rounds == 2
+        assert s.phase("a:b").rounds == 1
+        assert s.phase("a:b").messages == 4
+
+    def test_phase_entries(self):
+        s = NetworkStats()
+        s.record_phase_entry("x")
+        s.record_phase_entry("x")
+        assert s.phase("x").entries == 2
+
+    def test_violations_ledger(self):
+        s = NetworkStats()
+        v = Violation(round_index=7, node=3, kind="recv", count=30, capacity=20)
+        s.record_violation(v)
+        assert s.violation_count == 1
+        assert s.violations[0].node == 3
+        assert s.violations[0].capacity == 20
+
+    def test_summary_round_trip(self):
+        s = NetworkStats()
+        s.record_round((), messages=2, bits=16)
+        summary = s.summary()
+        assert summary["rounds"] == 1
+        assert summary["messages"] == 2
+        assert summary["bits"] == 16
+        assert summary["violations"] == 0
+
+    def test_str_contains_key_counts(self):
+        s = NetworkStats()
+        s.record_round((), 1, 8)
+        text = str(s)
+        assert "rounds=1" in text and "messages=1" in text
+
+
+class TestViolation:
+    def test_frozen_fields(self):
+        v = Violation(0, 1, "send", 10, 5)
+        assert (v.round_index, v.node, v.kind, v.count, v.capacity) == (
+            0,
+            1,
+            "send",
+            10,
+            5,
+        )
+
+
+class TestSerialization:
+    def make_stats(self):
+        s = NetworkStats()
+        s.record_phase_entry("p")
+        s.record_round(("p",), messages=3, bits=30)
+        s.record_violation(Violation(0, 2, "recv", 9, 4))
+        return s
+
+    def test_to_dict_roundtrips_counts(self):
+        d = self.make_stats().to_dict()
+        assert d["rounds"] == 1
+        assert d["phases"]["p"]["messages"] == 3
+        assert d["violation_log"][0]["node"] == 2
+
+    def test_to_json_parses(self):
+        import json
+
+        d = json.loads(self.make_stats().to_json())
+        assert d["violations"] == 1
+        assert d["phases"]["p"]["rounds"] == 1
+
+    def test_real_run_serializes(self):
+        from repro.graphs import generators
+        from repro.algorithms import MISAlgorithm
+        from tests.conftest import make_runtime
+        import json
+
+        g = generators.cycle(12)
+        rt = make_runtime(12, seed=1)
+        MISAlgorithm(rt, g).run()
+        parsed = json.loads(rt.net.stats.to_json())
+        assert parsed["rounds"] == rt.net.round_index
+        assert "mis" in parsed["phases"]

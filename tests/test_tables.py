@@ -1,0 +1,38 @@
+"""The Table 1 harness: runners validate and return complete rows."""
+
+import pytest
+
+from repro.analysis import tables
+
+
+class TestRunners:
+    @pytest.mark.parametrize("name", sorted(tables.TABLE1_RUNNERS))
+    def test_runner_row_is_correct_and_complete(self, name):
+        runner = tables.TABLE1_RUNNERS[name]
+        row = runner(24, a=2, seed=1)
+        assert row["correct"], f"{name} produced an invalid output"
+        assert row["rounds"] > 0
+        assert row["violations"] == 0
+        assert {"n", "m", "a", "messages"} <= set(row)
+
+    def test_bfs_grid_family_reports_diameter(self):
+        row = tables.run_bfs_row(25, family="grid", seed=1)
+        assert row["D"] == 8  # 5x5 grid
+        assert row["correct"]
+
+    def test_mst_row_reports_weight_range(self):
+        row = tables.run_mst_row(16, a=2, seed=1)
+        assert row["W"] >= 1
+
+    def test_sweep_shape(self):
+        rows = tables.sweep(tables.run_mis_row, [16, 24], a=2, seeds=[0, 1])
+        assert len(rows) == 4
+        assert [r["n"] for r in rows] == [16, 16, 24, 24]
+
+    def test_bench_config_profile(self):
+        cfg = tables.bench_config(7)
+        assert cfg.seed == 7
+        assert cfg.extras["lightweight_sync"] is True
+
+    def test_bounds_table_covers_runners(self):
+        assert set(tables.TABLE1_BOUNDS) == set(tables.TABLE1_RUNNERS)

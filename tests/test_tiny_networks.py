@@ -1,0 +1,141 @@
+"""Boundary sizes: every layer must behave at n = 1, 2, 3, 4.
+
+Degenerate butterflies (d = 0 and d = 1), empty partner sets, and
+single-node components are where off-by-one errors in the emulation live;
+downstream users hit these sizes first.
+"""
+
+import pytest
+
+from repro import InputGraph, NCCRuntime
+from repro.primitives import MIN, SUM, AggregationProblem
+from tests.conftest import make_runtime
+
+
+class TestPrimitivesTiny:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_aggregate_and_broadcast(self, n):
+        rt = make_runtime(n)
+        assert rt.aggregate_and_broadcast({u: u + 1 for u in range(n)}, SUM) == sum(
+            range(1, n + 1)
+        )
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_aggregation(self, n):
+        rt = make_runtime(n)
+        prob = AggregationProblem(
+            memberships={u: {0: u + 1} for u in range(n)},
+            targets={0: n - 1},
+            fn=SUM,
+        )
+        out = rt.aggregation(prob)
+        assert out.values[0] == sum(range(1, n + 1))
+        assert rt.net.stats.violation_count == 0
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_multicast_roundtrip(self, n):
+        rt = make_runtime(n)
+        trees = rt.multicast_setup({u: [0] for u in range(n)})
+        out = rt.multicast(trees, {0: "hello"}, {0: 0})
+        for u in range(n):
+            assert out.at(u) == {0: "hello"}
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_multi_aggregation(self, n):
+        rt = make_runtime(n)
+        # node u joins the group of node (u+1) % n, so it receives that
+        # group's packet.
+        memberships = {u: [(u + 1) % n] for u in range(n)}
+        trees = rt.multicast_setup(memberships)
+        out = rt.multi_aggregation(
+            trees, {u: u for u in range(n)}, {u: u for u in range(n)}, MIN
+        )
+        for v in range(n):
+            assert out.values[v] == (v + 1) % n
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_barrier_and_broadcast(self, n):
+        rt = make_runtime(n)
+        rt.barrier()
+        out = rt.pipelined_broadcast([1, 2, 3])
+        assert all(out[u] == [1, 2, 3] for u in range(n))
+
+
+class TestAlgorithmsTiny:
+    def test_mst_two_nodes(self):
+        g = InputGraph(2, [(0, 1)], {(0, 1): 7})
+        from repro.algorithms import MSTAlgorithm
+
+        rt = make_runtime(2)
+        res = MSTAlgorithm(rt, g).run()
+        assert res.edges == {(0, 1)}
+        assert res.weight == 7
+
+    def test_mst_triangle(self):
+        g = InputGraph(3, [(0, 1), (1, 2), (0, 2)], {(0, 1): 1, (1, 2): 2, (0, 2): 3})
+        from repro.algorithms import MSTAlgorithm
+
+        rt = make_runtime(3)
+        res = MSTAlgorithm(rt, g).run()
+        assert res.edges == {(0, 1), (1, 2)}
+
+    def test_orientation_single_edge(self):
+        g = InputGraph(2, [(0, 1)])
+        from repro.algorithms import OrientationAlgorithm
+
+        rt = make_runtime(2)
+        ori = OrientationAlgorithm(rt, g).run()
+        assert ori.max_outdegree == 1
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_mis_path(self, n):
+        from repro.algorithms import MISAlgorithm
+        from repro.baselines.sequential import is_maximal_independent_set
+
+        g = InputGraph(n, [(i, i + 1) for i in range(n - 1)])
+        rt = make_runtime(n)
+        res = MISAlgorithm(rt, g).run()
+        assert is_maximal_independent_set(g, res.members)
+
+    def test_matching_triangle(self):
+        from repro.algorithms import MatchingAlgorithm
+        from repro.baselines.sequential import is_maximal_matching
+
+        g = InputGraph(3, [(0, 1), (1, 2), (0, 2)])
+        rt = make_runtime(3)
+        res = MatchingAlgorithm(rt, g).run()
+        assert is_maximal_matching(g, res.edges)
+        assert len(res.edges) == 1
+
+    def test_coloring_two_nodes(self):
+        from repro.algorithms import ColoringAlgorithm
+        from repro.baselines.sequential import is_proper_coloring
+
+        g = InputGraph(2, [(0, 1)])
+        rt = make_runtime(2)
+        res = ColoringAlgorithm(rt, g).run()
+        assert is_proper_coloring(g, res.colors)
+
+    def test_bfs_two_nodes(self):
+        from repro.algorithms import BFSAlgorithm
+
+        g = InputGraph(2, [(0, 1)])
+        rt = make_runtime(2)
+        res = BFSAlgorithm(rt, g).run(0)
+        assert res.dist == [0, 1]
+
+    def test_components_singletons(self):
+        from repro.algorithms import ConnectedComponentsAlgorithm
+
+        g = InputGraph(3, [])
+        rt = make_runtime(3)
+        res = ConnectedComponentsAlgorithm(rt, g).run()
+        assert res.labels == [0, 1, 2]
+
+    def test_single_node_network(self):
+        rt = make_runtime(1)
+        g = InputGraph(1, [])
+        from repro.algorithms import MISAlgorithm
+
+        res = MISAlgorithm(rt, g).run()
+        assert res.members == {0}

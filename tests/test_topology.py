@@ -1,0 +1,140 @@
+"""Butterfly topology: structure, hosting, unique paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.butterfly.topology import BFNode, ButterflyGrid
+
+
+class TestDimensions:
+    @pytest.mark.parametrize(
+        "n,d,cols", [(1, 0, 1), (2, 1, 2), (3, 1, 2), (4, 2, 4), (7, 2, 4), (8, 3, 8), (1000, 9, 512)]
+    )
+    def test_d_is_floor_log2(self, n, d, cols):
+        bf = ButterflyGrid(n)
+        assert bf.d == d
+        assert bf.columns == cols
+        assert bf.levels == d + 1
+
+    def test_counts(self):
+        bf = ButterflyGrid(16)
+        assert bf.node_count() == 5 * 16
+        # d layers, each with 2^d straight + 2^d cross edges.
+        assert bf.edge_count() == 4 * 16 * 2
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            ButterflyGrid(0)
+
+
+class TestHosting:
+    def test_host_is_column(self):
+        bf = ButterflyGrid(16)
+        assert bf.host(BFNode(3, 5)) == 5
+
+    def test_emulates(self):
+        bf = ButterflyGrid(10)  # d=3, 8 columns
+        assert bf.emulates(7)
+        assert not bf.emulates(8)
+        assert not bf.emulates(9)
+
+    def test_partner_mapping(self):
+        bf = ButterflyGrid(10)
+        assert bf.partner(8) == BFNode(0, 0)
+        assert bf.partner(9) == BFNode(0, 1)
+        assert bf.partner(3) is None
+
+    def test_partner_of_column(self):
+        bf = ButterflyGrid(10)
+        assert bf.partner_of_column(0) == 8
+        assert bf.partner_of_column(1) == 9
+        assert bf.partner_of_column(2) is None
+
+
+class TestEdges:
+    def test_down_neighbors_differ_at_level_bit(self):
+        bf = ButterflyGrid(16)
+        straight, cross = bf.down_neighbors(BFNode(1, 5))
+        assert straight == BFNode(2, 5)
+        assert cross == BFNode(2, 5 ^ 2)
+
+    def test_up_neighbors_differ_at_level_minus_one_bit(self):
+        bf = ButterflyGrid(16)
+        straight, cross = bf.up_neighbors(BFNode(2, 5))
+        assert straight == BFNode(1, 5)
+        assert cross == BFNode(1, 5 ^ 2)
+
+    def test_up_down_are_inverse(self):
+        bf = ButterflyGrid(32)
+        for col in range(bf.columns):
+            for lvl in range(bf.d):
+                for nb in bf.down_neighbors(BFNode(lvl, col)):
+                    assert BFNode(lvl, col) in bf.up_neighbors(nb)
+
+    def test_boundary_levels_rejected(self):
+        bf = ButterflyGrid(16)
+        with pytest.raises(ValueError):
+            bf.down_neighbors(BFNode(bf.d, 0))
+        with pytest.raises(ValueError):
+            bf.up_neighbors(BFNode(0, 0))
+
+    def test_out_of_range_nodes_rejected(self):
+        bf = ButterflyGrid(16)
+        with pytest.raises(ValueError):
+            bf.host(BFNode(0, 99))
+        with pytest.raises(ValueError):
+            bf.host(BFNode(9, 0))
+
+    def test_is_local_edge(self):
+        bf = ButterflyGrid(16)
+        assert bf.is_local_edge(BFNode(0, 3), BFNode(1, 3))
+        assert not bf.is_local_edge(BFNode(0, 3), BFNode(1, 2))
+
+
+class TestPaths:
+    @given(st.integers(min_value=2, max_value=256), st.data())
+    @settings(max_examples=100)
+    def test_path_down_reaches_target(self, n, data):
+        bf = ButterflyGrid(n)
+        start = data.draw(st.integers(min_value=0, max_value=bf.columns - 1))
+        target = data.draw(st.integers(min_value=0, max_value=bf.columns - 1))
+        path = bf.path_down(start, target)
+        assert path[0] == BFNode(0, start)
+        assert path[-1] == BFNode(bf.d, target)
+        assert len(path) == bf.d + 1
+        # consecutive hops are butterfly edges
+        for a, b in zip(path, path[1:]):
+            assert b in bf.down_neighbors(a)
+
+    def test_path_fixes_bits_in_order(self):
+        bf = ButterflyGrid(16)
+        path = bf.path_down(0b0101, 0b1010)
+        cols = [p.column for p in path]
+        # after fixing bit i, low i+1 bits match the target
+        for i, col in enumerate(cols[1:]):
+            mask = (1 << (i + 1)) - 1
+            assert col & mask == 0b1010 & mask
+
+    def test_down_next_matches_path(self):
+        bf = ButterflyGrid(64)
+        node = BFNode(0, 13)
+        target = 42
+        while node.level < bf.d:
+            nxt = bf.down_next(node, target)
+            assert nxt in bf.down_neighbors(node)
+            node = nxt
+        assert node.column == target
+
+    def test_enumeration(self):
+        bf = ButterflyGrid(8)
+        assert len(list(bf.all_nodes())) == bf.node_count()
+        assert len(list(bf.level_nodes(0))) == bf.columns
+        with pytest.raises(ValueError):
+            list(bf.level_nodes(bf.d + 1))
+
+    def test_degenerate_single_node(self):
+        bf = ButterflyGrid(1)
+        assert bf.d == 0
+        assert bf.columns == 1
+        assert list(bf.all_nodes()) == [BFNode(0, 0)]

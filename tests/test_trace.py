@@ -1,0 +1,66 @@
+"""Phase-trace reporting."""
+
+import pytest
+
+from repro.analysis.trace import compare_runs, phase_report, phase_rows
+from repro.graphs import generators
+from tests.conftest import make_runtime
+
+
+@pytest.fixture(scope="module")
+def mis_stats():
+    from repro.algorithms import MISAlgorithm
+
+    g = generators.forest_union(24, 2, seed=1)
+    rt = make_runtime(24, seed=2)
+    MISAlgorithm(rt, g).run()
+    return rt.net.stats
+
+
+class TestPhaseRows:
+    def test_sorted_by_rounds(self, mis_stats):
+        rows = phase_rows(mis_stats)
+        assert rows == sorted(rows, key=lambda r: (-r.rounds, r.label))
+
+    def test_prefix_filter(self, mis_stats):
+        rows = phase_rows(mis_stats, prefix="mis")
+        assert rows
+        assert all(r.label.startswith("mis") for r in rows)
+
+    def test_top_limits(self, mis_stats):
+        assert len(phase_rows(mis_stats, top=3)) == 3
+
+    def test_shares_in_unit_interval(self, mis_stats):
+        for r in phase_rows(mis_stats):
+            assert 0 <= r.rounds_share <= 1
+
+    def test_nested_phase_contained_in_parent(self, mis_stats):
+        rows = {r.label: r for r in phase_rows(mis_stats)}
+        assert rows["mis:ranks"].rounds <= rows["mis"].rounds
+
+    def test_counts_match_stats(self, mis_stats):
+        rows = {r.label: r for r in phase_rows(mis_stats)}
+        for label, row in rows.items():
+            ps = mis_stats.phase(label)
+            assert (row.rounds, row.messages, row.entries) == (
+                ps.rounds,
+                ps.messages,
+                ps.entries,
+            )
+
+
+class TestReports:
+    def test_phase_report_formats(self, mis_stats):
+        out = phase_report(mis_stats, title="T")
+        assert out.startswith("T")
+        assert "rounds" in out and "%" in out
+
+    def test_compare_runs(self, mis_stats):
+        out = compare_runs([("a", mis_stats), ("b", mis_stats)])
+        assert out.count("\n") == 4  # title + header + sep + 2 rows
+
+    def test_empty_stats(self):
+        from repro.ncc.stats import NetworkStats
+
+        out = phase_report(NetworkStats())
+        assert "phase" in out
