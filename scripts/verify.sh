@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the engine-parity gates this repo's PRs must keep:
+#
+#   1. the full test-suite under the reference round engine (tier-1);
+#   2. the same suite replayed under the batched round engine — every test
+#      must pass unchanged because the engines are observably identical;
+#   3. the engine fast-path benchmark (>= 2x columnar speedup at n = 1024
+#      plus stats/drop parity on violating rounds).
+#
+# Usage: scripts/verify.sh [extra pytest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: reference engine =="
+python -m pytest -x -q "$@"
+
+echo "== replay: batched engine =="
+python -m pytest -x -q --engine=batched "$@"
+
+echo "== engine fast-path benchmark =="
+python -m pytest -q benchmarks/bench_engine_fastpath.py
+
+echo "verify: all gates passed"

@@ -5,6 +5,7 @@ Usage::
     python -m repro info --n 64
     python -m repro run mst --n 48 --a 2 --seed 1
     python -m repro run mis --n 64 --family grid
+    python -m repro run mst --n 48 --engine batched
     python -m repro table1 --rows MIS,MM --ns 32,64 --a 2
     python -m repro separation --ns 32,64,128
 
@@ -20,7 +21,14 @@ from typing import Sequence
 
 from .analysis import tables
 from .analysis.reporting import format_table
-from .config import NCCConfig
+from .config import ENGINE_CHOICES, NCCConfig
+
+
+def _engine_config(args: argparse.Namespace) -> NCCConfig | None:
+    """Benchmark-profile config honoring ``--engine`` (None = runner default)."""
+    if getattr(args, "engine", None) is None:
+        return None
+    return tables.bench_config(args.seed, engine=args.engine)
 
 
 def _parse_ints(text: str) -> list[int]:
@@ -36,6 +44,7 @@ def cmd_info(args: argparse.Namespace) -> int:
         ["message size (bits)", cfg.message_bits(n)],
         ["injection batch", cfg.batch_size(n)],
         ["butterfly dimension d", (n.bit_length() - 1) if n > 1 else 0],
+        ["round engine", cfg.resolve_engine()],
     ]
     print(format_table(["model parameter", "value"], rows, title=f"NCC model at n={n}"))
     return 0
@@ -53,6 +62,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     kwargs = {}
     if key == "BFS" and args.family:
         kwargs["family"] = args.family
+    config = _engine_config(args)
+    if config is not None:
+        kwargs["config"] = config
     row = runner(args.n, a=args.a, seed=args.seed, **kwargs)
     print(format_table(
         list(row.keys()),
@@ -67,6 +79,10 @@ def cmd_table1(args: argparse.Namespace) -> int:
         tables.TABLE1_RUNNERS
     )
     ns = _parse_ints(args.ns)
+    sweep_kwargs = {}
+    config = _engine_config(args)
+    if config is not None:
+        sweep_kwargs["config"] = config
     exit_code = 0
     for name in rows_req:
         runner = tables.TABLE1_RUNNERS.get(name)
@@ -74,7 +90,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
             print(f"skipping unknown row {name!r}", file=sys.stderr)
             exit_code = 2
             continue
-        results = tables.sweep(runner, ns, a=args.a, seeds=[args.seed])
+        results = tables.sweep(runner, ns, a=args.a, seeds=[args.seed], **sweep_kwargs)
         headers = sorted({k for r in results for k in r})
         print(
             format_table(
@@ -96,7 +112,7 @@ def cmd_separation(args: argparse.Namespace) -> int:
     rows = []
     for n in _parse_ints(args.ns):
         cc = gossip_congested_clique(n)
-        rt = NCCRuntime(n, tables.bench_config(args.seed))
+        rt = NCCRuntime(n, _engine_config(args) or tables.bench_config(args.seed))
         ncc_rounds = gossip_ncc(rt)
         rows.append([n, cc.rounds, int(cc.bits), ncc_rounds, int(rt.net.stats.bits)])
     print(
@@ -126,6 +142,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--a", type=int, default=2)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--family", default=None, help="BFS workload: forest | grid")
+    p_run.add_argument("--engine", choices=list(ENGINE_CHOICES), default=None,
+                       help="round engine (default: config default)")
     p_run.set_defaults(fn=cmd_run)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1 rows")
@@ -133,11 +151,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1.add_argument("--ns", default="32,64", help="comma list of sizes")
     p_t1.add_argument("--a", type=int, default=2)
     p_t1.add_argument("--seed", type=int, default=0)
+    p_t1.add_argument("--engine", choices=list(ENGINE_CHOICES), default=None,
+                      help="round engine (default: config default)")
     p_t1.set_defaults(fn=cmd_table1)
 
     p_sep = sub.add_parser("separation", help="gossip model-separation table")
     p_sep.add_argument("--ns", default="32,64,128")
     p_sep.add_argument("--seed", type=int, default=0)
+    p_sep.add_argument("--engine", choices=list(ENGINE_CHOICES), default=None,
+                       help="round engine (default: config default)")
     p_sep.set_defaults(fn=cmd_separation)
 
     return p

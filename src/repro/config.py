@@ -27,6 +27,45 @@ from typing import Any
 from .errors import ConfigurationError
 
 
+#: Built-in round-engine implementations (see :mod:`repro.ncc.engine`).
+ENGINE_CHOICES = ("reference", "batched")
+
+_DEFAULT_ENGINE = "reference"
+
+
+def known_engines() -> tuple[str, ...]:
+    """Built-in engines plus anything added via
+    :func:`repro.ncc.engine.register_engine` (imported lazily — the
+    registry lives above this module in the import graph)."""
+    names = set(ENGINE_CHOICES)
+    try:
+        from .ncc.engine import engine_names
+
+        names.update(engine_names())
+    except ImportError:  # pragma: no cover - only during partial installs
+        pass
+    return tuple(sorted(names))
+
+
+def default_engine() -> str:
+    """The process-wide round engine used when a config leaves ``engine``
+    unset.  The test-suite's ``--engine`` option swaps this to replay the
+    whole suite against another engine without touching any test."""
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(name: str) -> str:
+    """Set the process-wide default round engine; returns the previous one."""
+    global _DEFAULT_ENGINE
+    if name not in known_engines():
+        raise ConfigurationError(
+            f"unknown round engine {name!r}; choose from {known_engines()}"
+        )
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = name
+    return previous
+
+
 class Enforcement(str, Enum):
     """Receive/send-capacity enforcement semantics.
 
@@ -81,6 +120,13 @@ class NCCConfig:
         If True (default), agreeing on each shared hash family costs a real
         pipelined broadcast (Section 2.2); if False the agreement is free
         (useful for unit tests that probe a single primitive's rounds).
+    engine:
+        Round-engine implementation: ``"reference"`` (per-message walk) or
+        ``"batched"`` (columnar fast path; see :mod:`repro.ncc.batched`).
+        The empty string (default) defers to :func:`default_engine`, which
+        lets the test-suite replay everything under another engine.  Both
+        engines are certified observably identical by
+        ``tests/test_engine_parity.py``.
     """
 
     capacity_multiplier: float = 4.0
@@ -92,6 +138,7 @@ class NCCConfig:
     identification_q_constant: int = 7
     coloring_epsilon: float = 0.5
     charge_hash_agreement: bool = True
+    engine: str = ""
     extras: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -110,6 +157,10 @@ class NCCConfig:
             raise ConfigurationError("coloring_epsilon must be positive")
         if not isinstance(self.enforcement, Enforcement):
             object.__setattr__(self, "enforcement", Enforcement(self.enforcement))
+        if self.engine and self.engine not in known_engines():
+            raise ConfigurationError(
+                f"unknown round engine {self.engine!r}; choose from {known_engines()}"
+            )
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -135,6 +186,11 @@ class NCCConfig:
     def batch_size(self, n: int) -> int:
         """``ceil(log n)`` — the paper's injection batch size."""
         return max(1, self.log2n(n))
+
+    def resolve_engine(self) -> str:
+        """The round engine this config selects (deferring to the
+        process-wide default when ``engine`` is unset)."""
+        return self.engine or default_engine()
 
     def with_(self, **changes: Any) -> "NCCConfig":
         """Return a copy with the given fields replaced."""

@@ -12,7 +12,12 @@ round this telescopes to the corollary's Õ(n T / k²), which the
 ``bench_kmachine`` experiment verifies empirically.
 
 The conversion runs *live*: it registers itself as the NCC network's round
-observer, so any unmodified NCC algorithm can be measured under conversion.
+observer, so any unmodified NCC algorithm can be measured under conversion
+regardless of which round engine executes the rounds (the observer hook is
+part of the engine-independent :meth:`~repro.ncc.network.NCCNetwork.exchange`
+interface).  Link-load accounting mirrors the engines' columnar idiom: each
+round's traffic becomes parallel ``(src, dst)`` arrays mapped through the
+vertex partition, with a pure-Python fallback when numpy is unavailable.
 """
 
 from __future__ import annotations
@@ -21,6 +26,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+try:  # pragma: no cover - exercised only on numpy-free installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from ..ncc.message import MessageBatch
 from ..ncc.network import NCCNetwork
 from .model import random_vertex_partition
 
@@ -53,6 +64,9 @@ class KMachineSimulation:
         self.k = k
         self.messages_per_link = messages_per_link
         self.assignment = random_vertex_partition(net.n, k, seed)
+        self._assignment_arr = (
+            _np.asarray(self.assignment, dtype=_np.int64) if _np is not None else None
+        )
         self.cost = KMachineCost()
         self._prev_observer = net.round_observer
         net.round_observer = self._observe
@@ -61,6 +75,57 @@ class KMachineSimulation:
     def _observe(self, round_index: int, per_sender: Mapping[int, list]) -> None:
         if self._prev_observer is not None:
             self._prev_observer(round_index, per_sender)
+        if self._assignment_arr is not None:
+            cross, local, max_load = self._round_load_columnar(per_sender)
+        else:
+            cross, local, max_load = self._round_load_scalar(per_sender)
+        self.cost.kmachine_rounds += max(
+            1, math.ceil(max_load / self.messages_per_link)
+        )
+        self.cost.ncc_rounds += 1
+        self.cost.cross_messages += cross
+        self.cost.local_messages += local
+        self.cost.max_link_load = max(self.cost.max_link_load, max_load)
+
+    def _round_load_columnar(
+        self, per_sender: Mapping[int, list]
+    ) -> tuple[int, int, int]:
+        """One round's (cross, local, max directed link load), computed over
+        parallel ``(src, dst)`` arrays mapped through the partition."""
+        groups = list(per_sender.values())
+        total = sum(len(msgs) for msgs in groups)
+        if total == 0:
+            return 0, 0, 0
+        if all(type(g) is MessageBatch for g in groups):
+            # Columnar submissions already carry the (src, dst) columns; by
+            # observer time the engine has validated src == sender key.
+            cols = _np.concatenate([g.int_cols[:2] for g in groups], axis=1)
+            src_ids, dst_ids = cols
+        else:
+            src_ids = _np.fromiter(
+                (src for src, msgs in per_sender.items() for _ in msgs),
+                _np.int64,
+                total,
+            )
+            dst_ids = _np.fromiter(
+                (m.dst for msgs in per_sender.values() for m in msgs),
+                _np.int64,
+                total,
+            )
+        m_src = self._assignment_arr[src_ids]
+        m_dst = self._assignment_arr[dst_ids]
+        cross_mask = m_src != m_dst
+        cross = int(cross_mask.sum())
+        if cross == 0:
+            return 0, total, 0
+        # Directed machine link (M1, M2) encoded as M1 * k + M2.
+        codes = m_src[cross_mask] * self.k + m_dst[cross_mask]
+        max_load = int(_np.bincount(codes).max())
+        return cross, total - cross, max_load
+
+    def _round_load_scalar(
+        self, per_sender: Mapping[int, list]
+    ) -> tuple[int, int, int]:
         link_load: dict[tuple[int, int], int] = {}
         cross = 0
         local = 0
@@ -73,14 +138,7 @@ class KMachineSimulation:
                 else:
                     link_load[(m_src, m_dst)] = link_load.get((m_src, m_dst), 0) + 1
                     cross += 1
-        max_load = max(link_load.values(), default=0)
-        self.cost.kmachine_rounds += max(
-            1, math.ceil(max_load / self.messages_per_link)
-        )
-        self.cost.ncc_rounds += 1
-        self.cost.cross_messages += cross
-        self.cost.local_messages += local
-        self.cost.max_link_load = max(self.cost.max_link_load, max_load)
+        return cross, local, max(link_load.values(), default=0)
 
     def detach(self) -> KMachineCost:
         """Stop observing; returns the accumulated cost."""

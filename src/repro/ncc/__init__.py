@@ -12,17 +12,25 @@ ground truth for every round/message/bit measurement reported in
 EXPERIMENTS.md.
 """
 
+from .engine import ReferenceEngine, RoundEngine, build_engine, engine_names, register_engine
 from .graph_input import InputGraph
-from .message import Message, payload_bits
+from .message import Message, MessageBatch, payload_bits, payload_bits_memoized
 from .network import NCCNetwork
 from .stats import NetworkStats, PhaseStats, Violation
 
 __all__ = [
     "InputGraph",
     "Message",
+    "MessageBatch",
     "payload_bits",
+    "payload_bits_memoized",
     "NCCNetwork",
     "NetworkStats",
     "PhaseStats",
     "Violation",
+    "RoundEngine",
+    "ReferenceEngine",
+    "build_engine",
+    "engine_names",
+    "register_engine",
 ]

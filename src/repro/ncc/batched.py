@@ -1,0 +1,189 @@
+"""Columnar fast-path round engine.
+
+The reference engine pays several Python-level operations per message
+(node-id checks, src consistency, ``sized()`` calls, dict bucketing).  At
+the n >= 1024 scales of the ROADMAP targets that per-object walk dominates
+simulation wall time.  This engine represents a round's traffic as parallel
+``(src, dst, bits, payload-ref)`` arrays and replaces the per-message work
+with vectorized/bucketed operations:
+
+* id validation / src consistency — array bound checks plus one
+  ``repeat``/equality pass over the ``src`` column;
+* send capacity — a max over the per-sender group sizes;
+* message-size budget and bit accounting — max/sum over the ``bits`` column;
+* receive bucketing — one stable argsort over the ``dst`` column, groups
+  emitted in first-arrival order via fancy indexing of the object column.
+
+When every sender group is a :class:`~repro.ncc.message.MessageBatch` the
+columns are simply concatenated (no per-message attribute access at all);
+plain lists are lowered to columns first.  The clean round — no violations,
+no malformed input — never takes a per-message Python branch.
+
+A round with *any* anomaly replays the canonical walks of
+:class:`~repro.ncc.engine.RoundEngine`, which keeps the violation-ledger
+order, STRICT raise points, and DROP-mode rng draws byte-for-byte identical
+to the reference engine — the invariant ``tests/test_engine_parity.py``
+certifies.  Receive-side overloads (the model-faithful DROP scenario) keep
+the bucketed argsort delivery and only walk per-inbox, not per-message.
+
+numpy is optional: without it the engine degrades to the canonical walks
+(identical behavior, no speedup), so importing this module never hard-fails.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+try:  # pragma: no cover - exercised only on numpy-free installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from .engine import RoundEngine, RoundResult, register_engine
+from .message import Message, MessageBatch
+
+HAVE_NUMPY = _np is not None
+
+#: Below this many messages per round the fixed cost of the numpy round
+#: setup (~a few dozen array ops) exceeds the per-message walk, so small
+#: rounds take the canonical walks — same observable behavior either way.
+SMALL_ROUND_CUTOFF = 128
+
+
+class BatchedEngine(RoundEngine):
+    """Vectorized round engine; observably identical to the reference."""
+
+    name = "batched"
+
+    def run_round(self, per_sender: Mapping[int, list[Message]]) -> RoundResult:
+        if not per_sender:
+            return {}, 0, 0
+        senders = list(per_sender.keys())
+        groups = [per_sender[s] for s in senders]
+        if _np is None:
+            return self._run_walks(senders, groups)
+        counts_l = [len(g) for g in groups]
+        m_count = sum(counts_l)
+        if m_count < SMALL_ROUND_CUTOFF:
+            # Empty rounds included: the walk still validates sender ids
+            # exactly like the reference engine.
+            return self._run_walks(senders, groups)
+
+        try:
+            if all(type(g) is MessageBatch for g in groups):
+                # Columnar submission: concatenate the cached per-batch
+                # columns (one call for all three int rows, one for the
+                # object refs).
+                cols = _np.concatenate([g.int_cols for g in groups], axis=1)
+                if cols.dtype != _np.int64:  # a batch degraded to lists
+                    return self._run_walks(senders, groups)
+                src, dst, bits = cols
+                obj = _np.concatenate([g.obj_col for g in groups])
+            else:
+                # Plain lists: lower the groups to columns once, flat order.
+                flat: list[Message] = []
+                for g in groups:
+                    flat.extend(g)
+                src = _np.fromiter([m.src for m in flat], _np.int64, m_count)
+                dst = _np.fromiter([m.dst for m in flat], _np.int64, m_count)
+                bits = _np.fromiter([m.bits for m in flat], _np.int64, m_count)
+                obj = _np.fromiter(flat, dtype=object, count=m_count)
+            counts = _np.fromiter(counts_l, _np.int64, len(counts_l))
+            snd = _np.fromiter(senders, _np.int64, len(senders))
+        except (OverflowError, TypeError, ValueError):
+            # A value that does not lower to int64 (e.g. an id >= 2**63)
+            # cannot take the columnar path; the canonical walks raise the
+            # same errors the reference engine would.
+            return self._run_walks(senders, groups)
+
+        net = self.net
+        stats = net.stats
+        n = net.n
+
+        # dst must be range-checked BEFORE bincount: the count table is
+        # dst.max()+1 slots, so a single absurd id would otherwise turn the
+        # reference engine's ValueError into a huge allocation.  Bucketing
+        # happens here, before any statistics are touched.
+        bounds = None
+        if 0 <= int(dst.min()) and int(dst.max()) < n:
+            per_dst = _np.bincount(dst)
+            dsts_present = _np.flatnonzero(per_dst)
+            group_counts = per_dst[dsts_present]
+            bounds = (dsts_present, group_counts)
+
+        max_sent = int(counts.max())
+        clean = (
+            bounds is not None
+            and 0 <= int(snd.min())
+            and int(snd.max()) < n
+            and max_sent <= net.capacity
+            and int(bits.max()) <= net.message_bits
+            and bool((src == _np.repeat(snd, counts)).all())
+        )
+        if not clean:
+            # Malformed input or a send/bits anomaly: replay the canonical
+            # ordered walk so errors, ledger order, and DROP sampling match
+            # the reference engine exactly.
+            accepted, sent_messages, sent_bits = self._send_walk(senders, groups)
+            if not accepted:
+                return {}, sent_messages, sent_bits
+            dst = _np.fromiter([m.dst for m in accepted], _np.int64, len(accepted))
+            obj = _np.fromiter(accepted, dtype=object, count=len(accepted))
+            per_dst = _np.bincount(dst)
+            dsts_present = _np.flatnonzero(per_dst)
+            bounds = (dsts_present, per_dst[dsts_present])
+        else:
+            if max_sent > stats.max_sent_per_round:
+                stats.max_sent_per_round = max_sent
+            sent_messages = m_count
+            sent_bits = int(bits.sum())
+
+        return self._deliver(obj, dst, bounds), sent_messages, sent_bits
+
+    def _run_walks(self, senders, groups) -> RoundResult:
+        accepted, sent_messages, sent_bits = self._send_walk(senders, groups)
+        return self._recv_walk(self._bucket(accepted)), sent_messages, sent_bits
+
+    # ------------------------------------------------------------------
+    def _deliver(self, obj, dst, bounds) -> dict[int, list[Message]]:
+        """Bucket the object column into inboxes via one stable argsort and
+        enforce receive capacity.  Inboxes are emitted in first-arrival
+        order and each keeps the flat (send-order) message order, matching
+        the reference engine's incremental dict bucketing."""
+        net = self.net
+        stats = net.stats
+        dsts_present, group_counts = bounds
+
+        order = _np.argsort(dst, kind="stable")
+        # Bucket boundaries without re-gathering dst: per-destination counts
+        # prefix-sum to the group extents in ascending-dst order, matching
+        # the argsort's group layout.
+        ends = _np.cumsum(group_counts)
+        starts = ends - group_counts
+        max_recv = int(group_counts.max())
+        # order[starts[j]] is the flat index of group j's first message, so
+        # sorting groups by it recovers first-arrival order.
+        arrival = _np.argsort(order[starts], kind="stable")
+
+        permuted = obj.take(order).tolist()
+        starts_l = starts.tolist()
+        ends_l = ends.tolist()
+        dsts_l = dsts_present.tolist()
+
+        if max_recv <= net.capacity:
+            if max_recv > stats.max_received_per_round:
+                stats.max_received_per_round = max_recv
+            delivered: dict[int, list[Message]] = {}
+            for j in arrival.tolist():
+                delivered[dsts_l[j]] = permuted[starts_l[j] : ends_l[j]]
+            return delivered
+
+        # Overloaded receivers: materialize the inboxes (still bucketed) and
+        # run the canonical receive walk for ledger/rng parity.
+        inboxes: dict[int, list[Message]] = {}
+        for j in arrival.tolist():
+            inboxes[dsts_l[j]] = permuted[starts_l[j] : ends_l[j]]
+        return self._recv_walk(inboxes)
+
+
+register_engine(BatchedEngine.name, BatchedEngine)

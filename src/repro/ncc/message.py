@@ -5,11 +5,22 @@ every payload is assigned a bit size via :func:`payload_bits`.  The estimate
 is intentionally simple and conservative-ish: identifiers and weights count
 their binary length, containers add their parts, and objects can opt in by
 providing a ``size_bits()`` method (e.g. parity sketches).
+
+:class:`MessageBatch` is the columnar companion of :class:`Message`: one
+sender's messages together with parallel ``(src, dst, bits)`` arrays so the
+batched round engine can account a whole group without touching per-message
+attributes.  It behaves exactly like the plain list the reference engine
+expects.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable, Sequence
+
+try:  # pragma: no cover - exercised only on numpy-free installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 def payload_bits(payload: Any) -> int:
@@ -57,6 +68,58 @@ def payload_bits(payload: Any) -> int:
     raise TypeError(f"cannot size payload of type {type(payload).__name__}")
 
 
+# ----------------------------------------------------------------------
+# Memoized sizing for common payload shapes
+# ----------------------------------------------------------------------
+# Recursive container walks dominate payload sizing cost; protocols send the
+# same few tuple shapes millions of times, so a value-keyed cache pays off.
+# The cache relies on "equal payloads have equal sizes", so only payloads
+# built from int/bool/str/None (and tuples thereof) may *look up or store*
+# entries: floats break the invariant (1 == 1.0 == True, but an int 1 is
+# 1 bit and a float is 32), as do objects with a custom ``size_bits()``,
+# and int subclasses like IntEnum equal plain ints.  Both the store AND the
+# lookup are gated on the predicate — a cached ``(1,)`` must not be served
+# for ``(1.0,)``, which hashes and compares equal.  int/bool may share keys
+# safely: only True == 1 and False == 0 collide, and both size to 1 bit.
+_MEMO_SCALARS = frozenset((int, bool, str, type(None)))
+
+_BITS_MEMO: dict[tuple, int] = {}
+_BITS_MEMO_LIMIT = 1 << 16
+
+
+def _memo_safe(payload: Any) -> bool:
+    t = type(payload)
+    if t in _MEMO_SCALARS:
+        return True
+    if t is tuple:
+        return all(_memo_safe(p) for p in payload)
+    return False
+
+
+def clear_payload_bits_memo() -> None:
+    """Drop all cached payload sizes (test isolation hook)."""
+    _BITS_MEMO.clear()
+
+
+def payload_bits_memoized(payload: Any) -> int:
+    """:func:`payload_bits` with a value-keyed cache for tuple payloads.
+
+    Agrees with :func:`payload_bits` on every input (asserted by
+    ``tests/test_payload_bits_properties.py``); payloads outside the safe
+    cacheable subset fall through to the plain recursive walk.
+    """
+    if type(payload) is not tuple or not _memo_safe(payload):
+        return payload_bits(payload)
+    hit = _BITS_MEMO.get(payload)
+    if hit is not None:
+        return hit
+    bits = payload_bits(payload)
+    if len(_BITS_MEMO) >= _BITS_MEMO_LIMIT:
+        _BITS_MEMO.clear()
+    _BITS_MEMO[payload] = bits
+    return bits
+
+
 class Message:
     """One message in flight: ``src -> dst`` carrying ``payload``.
 
@@ -68,11 +131,20 @@ class Message:
     __slots__ = ("src", "dst", "payload", "kind", "bits")
 
     def __init__(self, src: int, dst: int, payload: Any, kind: str = "", bits: int = -1):
+        # Node identifiers are ints by model contract (0..n-1); rejecting
+        # other numeric types here keeps every engine's id handling
+        # identical (a float id would be a distinct inbox key to a
+        # per-message walk but truncate in an int64 column).
+        if not isinstance(src, int) or not isinstance(dst, int):
+            raise TypeError(
+                f"node ids must be ints, got "
+                f"{type(src).__name__} -> {type(dst).__name__}"
+            )
         self.src = src
         self.dst = dst
         self.payload = payload
         self.kind = kind
-        self.bits = bits if bits >= 0 else payload_bits(payload)
+        self.bits = bits if bits >= 0 else payload_bits_memoized(payload)
 
     def sized(self) -> int:
         return self.bits
@@ -91,3 +163,99 @@ class Message:
 
     def __hash__(self) -> int:
         return hash((self.src, self.dst, repr(self.payload), self.kind))
+
+
+class MessageBatch(list):
+    """One sender's messages plus parallel ``(src, dst, bits)`` columns.
+
+    A ``MessageBatch`` *is* a ``list[Message]`` — it flows through
+    normalization, the reference engine, DROP sampling, and equality checks
+    exactly like a plain list.  The batched engine additionally trusts the
+    cached columns instead of re-reading per-message attributes, so the
+    batch is frozen: every list mutator raises :class:`TypeError` (a stale
+    column would silently corrupt the capacity accounting).
+
+    With numpy available the integer columns are stacked into one
+    ``(3, len)`` int64 array (rows: src, dst, bits) so a round's groups
+    concatenate with a single call, plus an object array of the message
+    references for fancy-indexed delivery.  Columns are built lazily on
+    first access: a round served by the reference engine (or a batched
+    slow path) never pays for them.  Without numpy — or when a value does
+    not fit int64 — the columns degrade to plain lists and engines fall
+    back to their per-message paths.
+    """
+
+    __slots__ = ("_int_cols", "_obj_col")
+
+    def __init__(self, messages: Iterable[Message]):
+        super().__init__(messages)
+        self._int_cols = None
+        self._obj_col = None
+
+    @property
+    def int_cols(self):
+        cols = self._int_cols
+        if cols is None:
+            cols = self._int_cols = self._build_int_cols()
+        return cols
+
+    @property
+    def obj_col(self):
+        col = self._obj_col
+        if col is None:
+            if _np is not None:
+                col = _np.fromiter(self, dtype=object, count=len(self))
+            else:
+                col = list(self)
+            self._obj_col = col
+        return col
+
+    def _build_int_cols(self):
+        k = len(self)
+        if _np is not None:
+            try:
+                cols = _np.empty((3, k), dtype=_np.int64)
+                cols[0] = _np.fromiter((m.src for m in self), _np.int64, k)
+                cols[1] = _np.fromiter((m.dst for m in self), _np.int64, k)
+                cols[2] = _np.fromiter((m.bits for m in self), _np.int64, k)
+                return cols
+            except OverflowError:
+                # An id/bits value beyond int64 cannot be columnar; the
+                # list form routes engines onto their per-message walks,
+                # which raise the canonical out-of-range errors.
+                pass
+        return [
+            [m.src for m in self],
+            [m.dst for m in self],
+            [m.bits for m in self],
+        ]
+
+    @classmethod
+    def from_columns(
+        cls,
+        src: int | Sequence[int],
+        dsts: Sequence[int],
+        payloads: Sequence[Any],
+        *,
+        kind: str = "",
+    ) -> "MessageBatch":
+        """Build a batch from parallel columns (the cheap constructor)."""
+        if isinstance(src, int):
+            srcs: Sequence[int] = (src,) * len(dsts)
+        else:
+            srcs = src
+        return cls(
+            Message(s, d, p, kind)
+            for s, d, p in zip(srcs, dsts, payloads, strict=True)
+        )
+
+    # -- frozen: all mutators raise ------------------------------------
+    def _frozen(self, *_args: Any, **_kwargs: Any):
+        raise TypeError("MessageBatch is immutable (columns would go stale)")
+
+    append = extend = insert = remove = pop = clear = _frozen
+    sort = reverse = __setitem__ = __delitem__ = _frozen
+    __iadd__ = __imul__ = _frozen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MessageBatch({list.__repr__(self)})"

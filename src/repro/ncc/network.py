@@ -23,6 +23,23 @@ Design notes
   per round), so the engine counts only rounds, messages and bits.
 * Randomness for DROP-mode selection comes from the engine's own stream so
   that algorithm-level randomness is unaffected by the enforcement mode.
+* The per-round enforcement/accounting core is a pluggable
+  :class:`~repro.ncc.engine.RoundEngine` selected by ``NCCConfig.engine``:
+  the ``"reference"`` engine walks messages one by one (the executable
+  specification), the ``"batched"`` engine (:mod:`repro.ncc.batched`) runs
+  the same checks columnar over parallel ``(src, dst, bits)`` arrays.  The
+  paper only charges for rounds, messages and bits, so the internal
+  representation is free to change — but the engines must stay *observably
+  indistinguishable*: same inboxes (including list and dict insertion
+  order), same statistics, same violation-ledger order, same exceptions,
+  and same DROP-rng draws.  ``tests/test_engine_parity.py`` certifies this
+  differentially; ``run_rounds``, ``idle_rounds``, the ``round_observer``
+  hook, and the k-machine conversion all funnel through the same
+  ``exchange`` → engine interface, so parity there covers every consumer.
+* Input validation (node ids, ``src`` consistency of a ``Mapping`` entry)
+  happens *before* any DROP-mode trimming, so STRICT and DROP report the
+  same offending messages: a malformed message cannot escape detection by
+  being randomly dropped.
 """
 
 from __future__ import annotations
@@ -33,6 +50,7 @@ from typing import Iterable, Iterator, Mapping
 
 from ..config import DEFAULT_CONFIG, Enforcement, NCCConfig
 from ..errors import CapacityError, MessageSizeError, SimulationLimitError
+from .engine import RoundEngine, build_engine
 from .message import Message
 from .stats import NetworkStats, Violation
 
@@ -62,6 +80,8 @@ class NCCNetwork:
         self._round = 0
         self._phase_stack: list[str] = []
         self._drop_rng = random.Random(("ncc-drop", self.config.seed, n).__repr__())
+        #: The pluggable enforcement/accounting core executing each round.
+        self.engine: RoundEngine = build_engine(self.config.resolve_engine(), self)
         #: Optional per-round observer ``f(round_index, messages)`` — used by
         #: the k-machine conversion (Appendix A) to re-account each NCC
         #: round's traffic in another model without touching the algorithms.
@@ -117,55 +137,20 @@ class NCCNetwork:
         if isinstance(outgoing, Mapping):
             for src, msgs in outgoing.items():
                 if msgs:
-                    per_sender.setdefault(int(src), []).extend(msgs)
+                    src = int(src)
+                    existing = per_sender.get(src)
+                    if existing is None:
+                        # Engines never mutate a sender's group, so the
+                        # caller's list (or MessageBatch) can be shared
+                        # instead of copied.
+                        per_sender[src] = msgs if isinstance(msgs, list) else list(msgs)
+                    else:  # distinct keys coercing to the same int
+                        per_sender[src] = existing + list(msgs)
         else:
             for m in outgoing:
                 per_sender.setdefault(m.src, []).append(m)
 
-        sent_messages = 0
-        sent_bits = 0
-        inboxes: dict[int, list[Message]] = {}
-        mode = self.config.enforcement
-
-        for src, msgs in per_sender.items():
-            self._check_node_id(src)
-            count = len(msgs)
-            if count > self.stats.max_sent_per_round:
-                self.stats.max_sent_per_round = count
-            if count > self.capacity:
-                self._violate("send", src, count)
-                if mode is Enforcement.DROP:
-                    # The model does not drop on the send side (sending is
-                    # under node control), but an over-budget sender in DROP
-                    # mode gets trimmed to keep the simulation inside the
-                    # model; a random subset is kept to avoid bias.
-                    msgs = self._drop_rng.sample(msgs, self.capacity)
-                    self.stats.dropped += count - self.capacity
-            for m in msgs:
-                self._check_node_id(m.dst)
-                if m.src != src:
-                    raise ValueError(f"message src {m.src} enqueued under sender {src}")
-                bits = m.sized()
-                if bits > self.message_bits:
-                    self._violate_bits(m, bits)
-                sent_messages += 1
-                sent_bits += bits
-                inboxes.setdefault(m.dst, []).append(m)
-
-        # Receive-side capacity.
-        delivered: dict[int, list[Message]] = {}
-        for dst, msgs in inboxes.items():
-            count = len(msgs)
-            if count > self.stats.max_received_per_round:
-                self.stats.max_received_per_round = count
-            if count > self.capacity:
-                self._violate("recv", dst, count)
-                if mode is Enforcement.DROP:
-                    # "it receives an arbitrary subset of O(log n) messages.
-                    # Additional messages are simply dropped by the network."
-                    msgs = self._drop_rng.sample(msgs, self.capacity)
-                    self.stats.dropped += count - self.capacity
-            delivered[dst] = msgs
+        delivered, sent_messages, sent_bits = self.engine.run_round(per_sender)
 
         if self.round_observer is not None:
             self.round_observer(self._round, per_sender)
@@ -183,6 +168,8 @@ class NCCNetwork:
         receiver; useful for the "pick a random round in {1..s}" spreading
         pattern the paper uses repeatedly.  Rounds with no traffic still
         elapse (they are part of the protocol's fixed-length window).
+        Every round goes through :meth:`exchange` and therefore through the
+        configured round engine.
         """
         merged: dict[int, list[Message]] = {}
         horizon = max(schedule.keys(), default=-1)
@@ -231,5 +218,6 @@ class NCCNetwork:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"NCCNetwork(n={self.n}, capacity={self.capacity}, "
-            f"round={self._round}, violations={self.stats.violation_count})"
+            f"engine={self.engine.name!r}, round={self._round}, "
+            f"violations={self.stats.violation_count})"
         )

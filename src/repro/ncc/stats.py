@@ -114,6 +114,19 @@ class NetworkStats:
             ],
         }
 
+    def comparable(self) -> dict[str, object]:
+        """Canonical snapshot for differential engine testing.
+
+        Captures every observable the round engines must agree on: the
+        cumulative counters, the phase attribution, and the violation
+        ledger *in order*.  Two engine runs are indistinguishable iff
+        their ``comparable()`` dicts are equal.  A named alias of
+        :meth:`to_dict` so there is exactly one exporter to extend when a
+        new stats field is added — anything in the export is automatically
+        under the parity invariant.
+        """
+        return self.to_dict()
+
     def to_json(self, **dumps_kwargs: object) -> str:
         """Serialize :meth:`to_dict` with :func:`json.dumps`."""
         import json

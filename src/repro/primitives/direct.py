@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Iterable
 
-from ..ncc.message import Message
+from ..ncc.message import Message, MessageBatch
 from ..ncc.network import NCCNetwork
 
 SendT = tuple[int, int, Any]  # (src, dst, payload)
@@ -21,9 +21,28 @@ SendT = tuple[int, int, Any]  # (src, dst, payload)
 def send_direct(
     net: NCCNetwork, sends: Iterable[SendT], *, kind: str = "direct"
 ) -> dict[int, list[Message]]:
-    """One round of direct messages; returns the inboxes."""
-    msgs = [Message(src, dst, payload, kind=kind) for src, dst, payload in sends]
-    return net.exchange(msgs)
+    """One round of direct messages; returns the inboxes.
+
+    Sends are grouped per sender into columnar
+    :class:`~repro.ncc.message.MessageBatch` submissions so the batched
+    round engine can account them without per-message walks; sender order
+    (first occurrence) and per-sender message order match what a flat
+    message list would produce, so the round is engine- and
+    representation-independent.
+    """
+    cols: dict[int, tuple[list[int], list[Any]]] = {}
+    for src, dst, payload in sends:
+        c = cols.get(src)
+        if c is None:
+            cols[src] = c = ([], [])
+        c[0].append(dst)
+        c[1].append(payload)
+    return net.exchange(
+        {
+            src: MessageBatch.from_columns(src, dsts, payloads, kind=kind)
+            for src, (dsts, payloads) in cols.items()
+        }
+    )
 
 
 def spread_exchange(

@@ -8,14 +8,89 @@ Conventions:
 * Graph fixtures are deterministic (fixed seeds) so failures reproduce.
 * ``fast_config`` uses lightweight synchronization for tests that only
   check outputs, not message-level fidelity.
+
+Engine replay
+-------------
+``pytest --engine=batched`` (or ``both``) replays the suite against the
+batched round engine: an autouse fixture swaps the process-wide default
+engine, which every config that leaves ``NCCConfig.engine`` unset picks up.
+Because the engines are certified observably identical
+(``tests/test_engine_parity.py``), every test must pass unchanged under
+either engine.  Tests that genuinely depend on one implementation pin it
+with ``@pytest.mark.engine("reference")`` / ``("batched")``; under a
+mismatching ``--engine`` they are skipped rather than silently re-pointed.
 """
 
 from __future__ import annotations
 
 import pytest
 
+import repro.config
 from repro import Enforcement, NCCConfig, NCCRuntime
+from repro.config import ENGINE_CHOICES
 from repro.graphs import generators, weights
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--engine",
+        action="store",
+        default="reference",
+        choices=[*ENGINE_CHOICES, "both"],
+        help="round engine to replay the suite under (both = parametrize every test)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "engine(name): pin a test to one round engine; skipped under a "
+        "mismatching --engine run",
+    )
+    if config.getoption("--engine") == "both":
+        # Parametrizing the autouse engine fixture gives class-based
+        # Hypothesis tests one class instance per engine, which trips the
+        # differing_executors health check.  The test classes here are
+        # stateless namespaces, so the check is a false positive under
+        # replay; suppress it for this mode only.
+        try:
+            from hypothesis import HealthCheck, settings
+        except ImportError:  # pragma: no cover - hypothesis always present
+            return
+        settings.register_profile(
+            "engine-both",
+            suppress_health_check=[HealthCheck.differing_executors],
+        )
+        settings.load_profile("engine-both")
+
+
+def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
+    opt = metafunc.config.getoption("--engine")
+    if opt == "reference":
+        return  # default run: no parametrization, test ids unchanged
+    if "_round_engine" in metafunc.fixturenames:
+        modes = list(ENGINE_CHOICES) if opt == "both" else [opt]
+        metafunc.parametrize(
+            "_round_engine", modes, ids=[f"engine-{m}" for m in modes], indirect=True
+        )
+
+
+@pytest.fixture(autouse=True)
+def _round_engine(request: pytest.FixtureRequest):
+    """Route unset ``NCCConfig.engine`` fields to the engine under test."""
+    mode = getattr(request, "param", None)
+    marker = request.node.get_closest_marker("engine")
+    if marker is not None:
+        pinned = marker.args[0]
+        if mode is not None and mode != pinned:
+            pytest.skip(f"test pinned to round engine {pinned!r}")
+        mode = pinned
+    mode = mode or "reference"
+    previous = repro.config.set_default_engine(mode)
+    try:
+        yield mode
+    finally:
+        repro.config.set_default_engine(previous)
 
 
 @pytest.fixture

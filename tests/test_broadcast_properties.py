@@ -9,7 +9,11 @@ from tests.conftest import make_runtime
 SETTINGS = dict(
     max_examples=25,
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        # stateless test classes; see --engine=both replay in conftest.py
+        HealthCheck.differing_executors,
+    ],
 )
 
 

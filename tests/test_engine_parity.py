@@ -1,0 +1,255 @@
+"""Differential parity harness: reference vs batched round engine.
+
+The round engines must be *observably indistinguishable* — same algorithm
+outputs, same round counts, same statistics (including the exact violation
+ledger order), same delivered inboxes (content, list order, and dict
+insertion order), same exceptions, and same DROP-rng draws.  This module
+enforces that two ways:
+
+* every algorithm in :mod:`repro.algorithms` runs on seeded random graphs
+  under both engines in all three :class:`~repro.config.Enforcement` modes;
+* a seeded fuzzer replays raw (including deliberately violating and
+  malformed) exchange rounds under both engines.
+
+Any future engine must be added to ``ENGINES`` here; any change that makes
+the engines distinguishable is a bug, regardless of which engine is
+"right" (see ROADMAP.md, "Engine selection").
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Enforcement, NCCConfig, NCCRuntime, ReproError
+from repro.algorithms.bfs import BFSAlgorithm
+from repro.algorithms.broadcast_trees import build_broadcast_trees
+from repro.algorithms.coloring import ColoringAlgorithm
+from repro.algorithms.components import ConnectedComponentsAlgorithm
+from repro.algorithms.identification import identification_family, run_identification
+from repro.algorithms.matching import MatchingAlgorithm
+from repro.algorithms.mis import MISAlgorithm
+from repro.algorithms.mst import MSTAlgorithm
+from repro.algorithms.orientation import OrientationAlgorithm
+from repro.graphs import generators, weights
+from repro.ncc.message import Message, MessageBatch
+from repro.ncc.network import NCCNetwork
+
+ENGINES = ("reference", "batched")
+MODES = tuple(Enforcement)
+N = 20
+SEED = 7
+
+
+def _graph():
+    return generators.forest_union(N, 2, seed=3)
+
+
+def _weighted():
+    return weights.with_random_weights(_graph(), seed=4)
+
+
+def _run_identification(rt):
+    g = _graph()
+    playing = {u for u in range(g.n) if u % 3 == 0}
+    fam = identification_family(rt, 7, 256, tag="parity-fam")
+    learners = [u for u in range(g.n) if u not in playing]
+    candidates = {u: list(g.neighbors(u)) for u in learners}
+    potential = {
+        v: [w for w in g.neighbors(v) if w not in playing] for v in playing
+    }
+    res = run_identification(rt, g, learners, candidates, potential, fam)
+    return (sorted(res.red_neighbors.items()), sorted(res.unsuccessful), res.rounds)
+
+
+def _run_broadcast_trees(rt):
+    bt = build_broadcast_trees(rt, _graph())
+    return (
+        bt.setup_rounds,
+        bt.orientation_rounds,
+        bt.congestion(),
+        bt.orientation.out_neighbors,
+        bt.trees.root,
+        bt.trees.leaf_members,
+    )
+
+
+#: name -> callable(rt) -> comparable result (dataclasses compare by value).
+ALGORITHMS = {
+    "mst": lambda rt: MSTAlgorithm(rt, _weighted()).run(),
+    "components": lambda rt: ConnectedComponentsAlgorithm(rt, _graph()).run(),
+    "orientation": lambda rt: OrientationAlgorithm(rt, _graph()).run(),
+    "identification": _run_identification,
+    "broadcast_trees": _run_broadcast_trees,
+    "bfs": lambda rt: BFSAlgorithm(rt, _graph()).run(0),
+    "mis": lambda rt: MISAlgorithm(rt, _graph()).run(),
+    "matching": lambda rt: MatchingAlgorithm(rt, _graph()).run(),
+    "coloring": lambda rt: ColoringAlgorithm(rt, _graph()).run(),
+}
+
+
+def _execute(engine: str, mode: Enforcement, run):
+    """Run one algorithm under one engine; capture every observable."""
+    cfg = NCCConfig(
+        seed=SEED,
+        enforcement=mode,
+        engine=engine,
+        extras={"lightweight_sync": True},
+    )
+    rt = NCCRuntime(N, cfg)
+    result = error = None
+    try:
+        result = run(rt)
+    except ReproError as e:  # STRICT may legitimately raise; must match too
+        error = (type(e).__name__, str(e))
+    return {
+        "result": result,
+        "error": error,
+        "rounds": rt.net.round_index,
+        "stats": rt.net.stats.comparable(),
+    }
+
+
+@pytest.mark.engine("reference")  # runs both engines itself; skip replays
+class TestAlgorithmParity:
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_algorithm_indistinguishable(self, name, mode):
+        runs = {e: _execute(e, mode, ALGORITHMS[name]) for e in ENGINES}
+        ref, bat = runs["reference"], runs["batched"]
+        assert ref["error"] == bat["error"]
+        assert ref["result"] == bat["result"]
+        assert ref["rounds"] == bat["rounds"]
+        assert ref["stats"] == bat["stats"]
+
+
+# ----------------------------------------------------------------------
+# Raw-exchange fuzzing: violating and malformed rounds
+# ----------------------------------------------------------------------
+def _random_round(rng: random.Random, n: int, cap: int, *, batch: bool):
+    """One round of random traffic: some senders over capacity, some
+    receivers hot, occasional oversized payloads."""
+    out = {}
+    hot = rng.randrange(n)  # attract extra traffic to one receiver
+    for src in rng.sample(range(n), rng.randrange(1, n)):
+        count = rng.choice((0, 1, 2, rng.randrange(1, cap + 6)))
+        if not count:
+            continue
+        dsts, payloads = [], []
+        for _ in range(count):
+            dsts.append(hot if rng.random() < 0.3 else rng.randrange(n))
+            if rng.random() < 0.02:
+                payloads.append(tuple(range(200)))  # oversized
+            else:
+                payloads.append((src, rng.randrange(1 << 16)))
+        if batch:
+            out[src] = MessageBatch.from_columns(src, dsts, payloads, kind="fuzz")
+        else:
+            out[src] = [Message(src, d, p, kind="fuzz") for d, p in zip(dsts, payloads)]
+    return out
+
+
+def _replay(engine: str, mode: Enforcement, seed: int, *, batch: bool, n: int = 64):
+    cfg = NCCConfig(seed=SEED, enforcement=mode, engine=engine)
+    net = NCCNetwork(n, cfg)
+    rng = random.Random(seed)
+    trace = []
+    for r in range(25):
+        out = _random_round(rng, n, net.capacity, batch=batch)
+        try:
+            inboxes = net.exchange(out)
+        except ReproError as e:
+            trace.append(("error", type(e).__name__, str(e)))
+            break
+        # Order-sensitive capture: dict insertion order AND list order.
+        trace.append([(d, msgs) for d, msgs in inboxes.items()])
+    return trace, net.round_index, net.stats.comparable()
+
+
+@pytest.mark.engine("reference")  # differential by construction
+class TestExchangeFuzzParity:
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    @pytest.mark.parametrize("batch", [False, True], ids=["plain", "batch"])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_rounds_indistinguishable(self, mode, batch, seed):
+        ref = _replay("reference", mode, seed, batch=batch)
+        bat = _replay("batched", mode, seed, batch=batch)
+        assert ref == bat
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_malformed_src_indistinguishable(self, mode):
+        """A Mapping entry whose message src disagrees with the sender key
+        must raise identically in every mode and under every engine."""
+        outcomes = {}
+        for engine in ENGINES:
+            net = NCCNetwork(16, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            msgs = [Message(0, d % 16, "x") for d in range(net.capacity + 3)]
+            msgs[2] = Message(1, 2, "x")  # wrong src, hidden mid-group
+            with pytest.raises(ValueError) as e:
+                net.exchange({0: msgs})
+            outcomes[engine] = (str(e.value), net.stats.comparable())
+        assert outcomes["reference"] == outcomes["batched"]
+
+    def test_huge_destination_id_rejected_not_allocated(self):
+        """A single absurd dst id in a large round must raise the reference
+        ValueError, not size a count table to dst.max()+1 slots."""
+        outcomes = {}
+        for engine in ENGINES:
+            net = NCCNetwork(1024, NCCConfig(seed=1, engine=engine))
+            msgs = [Message(s % 1024, (s + 1) % 1024, "x") for s in range(300)]
+            msgs[150] = Message(150, 10**12, "x")
+            with pytest.raises(ValueError) as e:
+                net.exchange(msgs)
+            outcomes[engine] = str(e.value)
+        assert outcomes["reference"] == outcomes["batched"]
+
+    def test_id_beyond_int64_rejected_identically(self):
+        """An id that does not fit an int64 column must still raise the
+        reference ValueError (not OverflowError) under every engine and
+        for both submission forms."""
+        outcomes = {}
+        for engine in ENGINES:
+            for batch in (False, True):
+                net = NCCNetwork(1024, NCCConfig(seed=1, engine=engine))
+                dsts = [(s + 1) % 1024 for s in range(300)]
+                dsts[150] = 2**63
+                if batch:
+                    out = {0: MessageBatch.from_columns(0, dsts, ["x"] * 300)}
+                else:
+                    out = {0: [Message(0, d, "x") for d in dsts]}
+                with pytest.raises(ValueError) as e:
+                    net.exchange(out)
+                outcomes[(engine, batch)] = str(e.value)
+        assert len(set(outcomes.values())) == 1
+
+    def test_from_columns_rejects_mismatched_column_lengths(self):
+        """Misaligned parallel columns must error, not silently drop the
+        tail of the traffic (zip truncation would corrupt accounting)."""
+        with pytest.raises(ValueError):
+            MessageBatch.from_columns(0, [1, 2, 3], ["a", "b"])
+        with pytest.raises(ValueError):
+            MessageBatch.from_columns([0, 1], [1, 2, 3], ["a", "b", "c"])
+
+    def test_non_int_node_ids_rejected_at_message_boundary(self):
+        """Float ids would be distinct inbox keys to a per-message walk but
+        truncate in an int64 column — the Message contract rejects them
+        before any engine can diverge."""
+        with pytest.raises(TypeError, match="node ids must be ints"):
+            Message(0, 2.5, "x")
+        with pytest.raises(TypeError, match="node ids must be ints"):
+            Message(1.5, 2, "x")
+        with pytest.raises(TypeError, match="node ids must be ints"):
+            MessageBatch.from_columns(0, [1, 2.5], ["a", "b"])
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_bad_destination_indistinguishable(self, mode):
+        outcomes = {}
+        for engine in ENGINES:
+            net = NCCNetwork(16, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            msgs = [Message(0, d % 16, "x") for d in range(net.capacity + 3)]
+            msgs[-1] = Message(0, 99, "x")  # out-of-range dst
+            with pytest.raises(ValueError) as e:
+                net.exchange({0: msgs})
+            outcomes[engine] = (str(e.value), net.stats.comparable())
+        assert outcomes["reference"] == outcomes["batched"]

@@ -125,6 +125,69 @@ class TestCapacityEnforcement:
         assert nw.stats.violation_count == 0
 
 
+class TestValidationBeforeTrim:
+    """Regression: validation must happen before DROP-mode trimming.
+
+    A Mapping entry whose message ``src`` disagrees with its sender key
+    used to escape detection in DROP mode whenever the random trim dropped
+    the offending message; STRICT and DROP must report the same violating
+    messages.
+    """
+
+    def overloaded_with_mismatch(self, nw):
+        msgs = [Message(0, d % nw.n, "x") for d in range(nw.capacity + 5)]
+        msgs[1] = Message(1, 3, "x")  # wrong src, inside an over-budget group
+        return msgs
+
+    @pytest.mark.parametrize("mode", list(Enforcement))
+    def test_mismatched_src_rejected_in_every_mode(self, mode):
+        nw = net(64, mode)
+        with pytest.raises(ValueError, match="enqueued under sender"):
+            nw.exchange({0: self.overloaded_with_mismatch(nw)})
+
+    @pytest.mark.parametrize("mode", list(Enforcement))
+    def test_bad_dst_rejected_in_every_mode(self, mode):
+        nw = net(64, mode)
+        msgs = [Message(0, d % nw.n, "x") for d in range(nw.capacity + 5)]
+        msgs[1] = Message(0, 999, "x")
+        with pytest.raises(ValueError, match="outside"):
+            nw.exchange({0: msgs})
+
+    def test_drop_rng_not_consumed_by_rejected_round(self):
+        """The rejected round must not advance the DROP sampling stream."""
+        nw = net(64, Enforcement.DROP)
+        with pytest.raises(ValueError):
+            nw.exchange({0: self.overloaded_with_mismatch(nw)})
+        state_after_reject = nw._drop_rng.getstate()
+        nw2 = net(64, Enforcement.DROP)
+        assert state_after_reject == nw2._drop_rng.getstate()
+
+
+class TestEngineSelection:
+    @pytest.mark.engine("reference")  # asserts the unpatched default
+    def test_default_engine_is_reference(self):
+        assert net().engine.name == "reference"
+
+    def test_batched_engine_selected_via_config(self):
+        nw = net(16, engine="batched")
+        assert nw.engine.name == "batched"
+        assert "batched" in repr(nw)
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            NCCConfig(engine="warp-drive")
+
+    def test_both_engines_agree_on_simple_round(self):
+        results = {}
+        for engine in ("reference", "batched"):
+            nw = net(16, engine=engine)
+            inbox = nw.exchange([Message(0, 1, "a"), Message(2, 1, "b")])
+            results[engine] = (list(inbox.items()), nw.stats.comparable())
+        assert results["reference"] == results["batched"]
+
+
 class TestMessageSize:
     def test_oversized_payload_strict(self):
         nw = net(16)

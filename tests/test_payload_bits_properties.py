@@ -1,0 +1,181 @@
+"""Seeded randomized property tests for payload bit accounting.
+
+Properties certified over randomized payload shapes:
+
+* non-negativity — every sizeable payload costs >= 0 bits (and scalars > 0);
+* container additivity — a tuple/list/frozenset costs exactly the sum of
+  its parts (structure is protocol, not wire format);
+* memoized == unmemoized — :func:`payload_bits_memoized` agrees with
+  :func:`payload_bits` on every input, on repeat (cache-hit) calls, and
+  across cache clears, including the ``IntEnum`` and ``size_bits()``
+  fallback branches that the cache must *not* capture.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+import pytest
+
+from repro.ncc import message
+from repro.ncc.message import (
+    clear_payload_bits_memo,
+    payload_bits,
+    payload_bits_memoized,
+)
+
+
+class Color(enum.IntEnum):
+    RED = 0
+    GREEN = 5
+    BLUE = 200
+
+
+class Sketch:
+    """Stand-in for parity sketches: sizes itself via ``size_bits()``."""
+
+    def __init__(self, bits: int):
+        self._bits = bits
+
+    def size_bits(self) -> int:
+        return self._bits
+
+    def __eq__(self, other: object) -> bool:  # equality does NOT pin size
+        return isinstance(other, Sketch)
+
+    def __hash__(self) -> int:
+        return 17
+
+
+def random_scalar(rng: random.Random):
+    kind = rng.randrange(8)
+    if kind == 0:
+        return rng.randint(-(1 << 40), 1 << 40)
+    if kind == 1:
+        return rng.choice([True, False])
+    if kind == 2:
+        return None
+    if kind == 3:
+        return rng.random() * 1000
+    if kind == 4:
+        return "".join(rng.choice("abcdef") for _ in range(rng.randrange(0, 7)))
+    if kind == 5:
+        return "".join(rng.choice("abcdef") for _ in range(9, 20))
+    if kind == 6:
+        return rng.choice(list(Color))
+    return Sketch(rng.randrange(1, 64))
+
+
+def random_payload(rng: random.Random, depth: int = 0):
+    if depth < 3 and rng.random() < 0.4:
+        parts = [random_payload(rng, depth + 1) for _ in range(rng.randrange(0, 5))]
+        kind = rng.randrange(3)
+        if kind == 0:
+            return tuple(parts)
+        if kind == 1:
+            return list(parts)
+        try:
+            return frozenset(parts)
+        except TypeError:  # unhashable part (list inside)
+            return tuple(parts)
+    return random_scalar(rng)
+
+
+@pytest.mark.parametrize("seed", range(8))
+class TestRandomizedProperties:
+    def test_non_negative(self, seed):
+        rng = random.Random(seed)
+        for _ in range(300):
+            assert payload_bits(random_payload(rng)) >= 0
+
+    def test_container_additivity(self, seed):
+        rng = random.Random(seed)
+        for _ in range(300):
+            parts = [random_payload(rng) for _ in range(rng.randrange(0, 6))]
+            total = sum(payload_bits(p) for p in parts)
+            assert payload_bits(tuple(parts)) == total
+            assert payload_bits(list(parts)) == total
+            try:
+                fs = frozenset(parts)
+            except TypeError:
+                continue
+            # frozensets deduplicate, so compare against their own parts
+            assert payload_bits(fs) == sum(payload_bits(p) for p in fs)
+
+    def test_memoized_equals_unmemoized(self, seed):
+        rng = random.Random(seed)
+        clear_payload_bits_memo()
+        payloads = [random_payload(rng) for _ in range(400)]
+        for p in payloads:
+            assert payload_bits_memoized(p) == payload_bits(p)
+        # Second pass hits the cache for the tuple-shaped payloads.
+        for p in payloads:
+            assert payload_bits_memoized(p) == payload_bits(p)
+        clear_payload_bits_memo()
+        for p in payloads:
+            assert payload_bits_memoized(p) == payload_bits(p)
+
+
+class TestScalarRules:
+    def test_scalar_positive(self):
+        for p in (0, 1, -1, True, False, None, 0.0, "", "tag", 1 << 60):
+            assert payload_bits(p) >= 1
+
+    def test_int_rules(self):
+        assert payload_bits(0) == 1
+        assert payload_bits(1) == 1
+        assert payload_bits(-1) == 2  # sign bit
+        assert payload_bits(255) == 8
+
+    def test_string_rules(self):
+        assert payload_bits("tag") == 4  # constant-size protocol alphabet
+        assert payload_bits("x" * 9) == 72  # long strings pay per char
+
+
+class TestFallbackBranches:
+    def test_intenum_uses_bit_length(self):
+        assert payload_bits(Color.RED) == 1
+        assert payload_bits(Color.GREEN) == 3
+        assert payload_bits(Color.BLUE) == 8
+        for c in Color:
+            assert payload_bits_memoized(c) == payload_bits(c)
+
+    def test_size_bits_protocol(self):
+        assert payload_bits(Sketch(48)) == 48
+        assert payload_bits_memoized(Sketch(48)) == 48
+
+    def test_unsizeable_rejected(self):
+        with pytest.raises(TypeError):
+            payload_bits(object())
+        with pytest.raises(TypeError):
+            payload_bits_memoized(object())
+
+
+class TestMemoSafety:
+    def test_equal_value_different_type_not_conflated(self):
+        """1 == 1.0 == True, but an int is 1 bit and a float is 32: the
+        cache must never serve one type's size for another's."""
+        clear_payload_bits_memo()
+        assert payload_bits_memoized((1,)) == 1
+        assert payload_bits_memoized((1.0,)) == 32  # would be 1 if conflated
+        assert payload_bits_memoized((True,)) == 1
+
+    def test_size_bits_objects_not_cached(self):
+        """Two equal Sketches with different sizes must size independently
+        even inside tuples (equality does not pin size for such objects)."""
+        clear_payload_bits_memo()
+        assert payload_bits_memoized((Sketch(8),)) == 8
+        assert payload_bits_memoized((Sketch(32),)) == 32
+
+    def test_unhashable_tuple_falls_through(self):
+        clear_payload_bits_memo()
+        p = (1, [2, 3])
+        assert payload_bits_memoized(p) == payload_bits(p)
+
+    def test_cache_bounded(self):
+        clear_payload_bits_memo()
+        for i in range(message._BITS_MEMO_LIMIT + 50):
+            payload_bits_memoized((i, i + 1))
+        assert len(message._BITS_MEMO) <= message._BITS_MEMO_LIMIT
+        clear_payload_bits_memo()

@@ -17,7 +17,13 @@ from tests.conftest import make_runtime
 SETTINGS = dict(
     max_examples=15,
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        # test classes are stateless; --engine=both replay parametrizes the
+        # autouse engine fixture, giving one class instance per engine
+        HealthCheck.differing_executors,
+    ],
 )
 
 
