@@ -13,9 +13,31 @@ Report tables are exactly the rows EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 _REPORTS: list[str] = []
+
+#: Where benchmark timings are persisted for the CI perf-trajectory
+#: artifact; sections are merged so several benchmark modules can
+#: contribute to one file.
+BENCH_JSON_PATH = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
+
+
+def emit_bench_json(section: str, payload: dict) -> None:
+    """Merge ``payload`` under ``section`` into the benchmark JSON file."""
+    data: dict = {}
+    try:
+        with open(BENCH_JSON_PATH, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        data = {}
+    data[section] = payload
+    with open(BENCH_JSON_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def add_report(text: str) -> None:

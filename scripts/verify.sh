@@ -4,13 +4,29 @@
 #   1. the full test-suite under the reference round engine (tier-1);
 #   2. the same suite replayed under the batched round engine — every test
 #      must pass unchanged because the engines are observably identical;
-#   3. the engine fast-path benchmark (>= 2x columnar speedup at n = 1024
-#      plus stats/drop parity on violating rounds).
+#   3. the engine fast-path benchmark (>= 2x columnar engine speedup at
+#      n = 1024 on steady-state resubmission, plus stats/drop parity on
+#      violating rounds);
+#   4. the columnar-submission benchmark (>= 1.5x end-to-end through
+#      `exchange` on aggregation-heavy traffic at n = 1024, plus a full
+#      aggregation-run no-regression check).
+#
+# Timings land in BENCH_engine.json (override with BENCH_ENGINE_JSON) so CI
+# can archive the perf trajectory across PRs.
 #
 # Usage: scripts/verify.sh [extra pytest args]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# The batched engine and both benchmark gates need numpy; fail up front with
+# a clear message instead of an import traceback halfway through the suite.
+if ! python -c "import numpy" >/dev/null 2>&1; then
+    echo "verify: error: numpy is not installed." >&2
+    echo "verify: the batched round engine and the benchmark gates require it;" >&2
+    echo "verify: install it (pip install numpy) and re-run." >&2
+    exit 1
+fi
 
 echo "== tier-1: reference engine =="
 python -m pytest -x -q "$@"
@@ -20,5 +36,8 @@ python -m pytest -x -q --engine=batched "$@"
 
 echo "== engine fast-path benchmark =="
 python -m pytest -q benchmarks/bench_engine_fastpath.py
+
+echo "== columnar-submission benchmark =="
+python -m pytest -q benchmarks/bench_primitives.py -k "columnar or no_regression"
 
 echo "verify: all gates passed"

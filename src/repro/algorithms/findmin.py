@@ -28,7 +28,7 @@ Lemma 3.1: O(log W log n) multicast/aggregation iterations per invocation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from ..hashing.kwise import KWiseHash
 from ..ncc.graph_input import InputGraph

@@ -33,11 +33,11 @@ the O(a)-coloring consumes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ProtocolError
 from ..ncc.graph_input import InputGraph
-from ..ncc.message import Message
+from ..ncc.message import BatchBuilder
 from ..primitives.aggregation import AggregationProblem
 from ..primitives.direct import spread_exchange
 from ..primitives.functions import MAX, SUM, tuple_of
@@ -368,23 +368,24 @@ class OrientationAlgorithm:
         salt = rt.shared.salted_key
 
         window = max(1, d_star_i)
-        schedule: dict[int, list[Message]] = {r: [] for r in range(window)}
+        schedule: list[list[tuple[int, int, int]]] = [[] for _ in range(window)]
         for u in active:
             for v in red_of.get(u, ()):
                 eid = g.edge_id(u, v)
                 key = salt(nonce, eid)
-                schedule[h_round(key)].append(
-                    Message(u, h_node(key), ("e", eid, u), kind="orientation:rendezvous")
-                )
+                schedule[h_round(key)].append((u, h_node(key), eid))
 
         active_red: dict[int, set[int]] = {u: set() for u in active}
-        pending_responses: list[Message] = []
+        pending_responses: list[tuple[int, int, int]] = []
         for r in range(window + 1):
-            msgs = list(pending_responses)
+            out = BatchBuilder(kind="orientation:rendezvous")
+            for src, dst, eid in pending_responses:
+                out.add(src, dst, ("act", eid), kind="orientation:rendezvous-ack")
             pending_responses = []
             if r < window:
-                msgs.extend(schedule[r])
-            inbox = net.exchange(msgs)
+                for src, dst, eid in schedule[r]:
+                    out.add(src, dst, ("e", eid, src))
+            inbox = net.exchange(out)
             for node, received in inbox.items():
                 matches: dict[int, int] = {}
                 for m in received:
@@ -402,14 +403,13 @@ class OrientationAlgorithm:
                 for eid, count in matches.items():
                     if count >= 2:
                         a, b = g.arc_of_id(eid)
-                        pending_responses.append(
-                            Message(node, a, ("act", eid), kind="orientation:rendezvous-ack")
-                        )
-                        pending_responses.append(
-                            Message(node, b, ("act", eid), kind="orientation:rendezvous-ack")
-                        )
+                        pending_responses.append((node, a, eid))
+                        pending_responses.append((node, b, eid))
         if pending_responses:
-            inbox = net.exchange(pending_responses)
+            out = BatchBuilder(kind="orientation:rendezvous-ack")
+            for src, dst, eid in pending_responses:
+                out.add(src, dst, ("act", eid))
+            inbox = net.exchange(out)
             for node, received in inbox.items():
                 for m in received:
                     eid = m.payload[1]

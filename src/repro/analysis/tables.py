@@ -102,7 +102,7 @@ def run_bfs_row(
     rt = NCCRuntime(g.n, config or bench_config(seed))
     result = BFSAlgorithm(rt, g).run(0)
     expected, _ = bfs_tree(g, 0)
-    row = _describe(g, with_diameter=True, a_known=(3 if family == 'grid' else a))
+    row = _describe(g, with_diameter=True, a_known=(3 if family == "grid" else a))
     row.update(
         rounds=result.rounds,
         phases=result.phases,

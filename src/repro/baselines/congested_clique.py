@@ -17,7 +17,7 @@ engine's bookkeeping so the benchmark prints comparable rows.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 from ..errors import CapacityError

@@ -8,8 +8,6 @@ classical textbook algorithms implemented directly on
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
 from typing import Iterable
 
 from ..ncc.graph_input import InputGraph, canonical_edge

@@ -25,7 +25,9 @@ round counts, fewer simulated message objects — used by large benchmarks).
 
 Straight butterfly edges connect nodes of one column and therefore stay
 inside one NCC node: they elapse a butterfly round but send no NCC message.
-Cross edges become real messages through :class:`~repro.ncc.network.NCCNetwork`.
+Cross edges become real messages through :class:`~repro.ncc.network.NCCNetwork`,
+submitted columnar per host via :class:`~repro.ncc.message.BatchBuilder` so
+routed rounds stay on the batched engine's array path.
 """
 
 from __future__ import annotations
@@ -34,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
 from ..errors import ProtocolError
-from ..ncc.message import Message
+from ..ncc.message import BatchBuilder
 from ..ncc.network import NCCNetwork
 from .topology import BFNode, ButterflyGrid
 
@@ -148,6 +150,7 @@ class CombiningRouter:
         self.target_col_of = target_col_of
         self.combine = combine
         self.kind = kind
+        self._token_kind = kind + ":token"
         self.trees = TreeSet() if record_trees else None
         self._queues: dict[BFNode, dict[GroupT, Any]] = {}
         self._ran = False
@@ -267,35 +270,28 @@ class CombiningRouter:
                     break
                 raise ProtocolError("combining router deadlocked (tokens)")
 
-            # --- build NCC messages for cross edges -------------------
-            msgs: list[Message] = []
+            # --- build NCC messages for cross edges (columnar) --------
+            out = BatchBuilder(kind=self.kind)
             local_data: list[tuple[BFNode, BFNode, GroupT, Any]] = []
             local_tokens: list[BFNode] = []
             for src, dst, g, val in transmissions:
                 if bf.is_local_edge(src, dst):
                     local_data.append((src, dst, g, val))
                 else:
-                    msgs.append(
-                        Message(
-                            bf.host(src),
-                            bf.host(dst),
-                            ("D", dst.level, g, val),
-                            kind=self.kind,
-                        )
+                    out.add(
+                        bf.host(src), bf.host(dst), ("D", dst.level, g, val)
                     )
             for node in token_sends:
                 straight, cross = bf.down_neighbors(node)
                 local_tokens.append(straight)
-                msgs.append(
-                    Message(
-                        bf.host(node),
-                        bf.host(cross),
-                        ("T", cross.level),
-                        kind=self.kind + ":token",
-                    )
+                out.add(
+                    bf.host(node),
+                    bf.host(cross),
+                    ("T", cross.level),
+                    kind=self._token_kind,
                 )
 
-            inboxes = net.exchange(msgs)
+            inboxes = net.exchange(out)
 
             # --- apply arrivals ---------------------------------------
             def arrive_data(dst: BFNode, g: GroupT, val: Any, src: BFNode) -> None:
@@ -359,6 +355,7 @@ class MulticastRouter:
         self.trees = trees
         self.rank_of = rank_of
         self.kind = kind
+        self._token_kind = kind + ":token"
 
     def run(self, root_packets: dict[GroupT, Any]) -> RoutingResult:
         """Spread each group's packet from its tree root to all tree leaves.
@@ -458,34 +455,27 @@ class MulticastRouter:
                     break
                 raise ProtocolError("multicast router deadlocked (tokens)")
 
-            msgs: list[Message] = []
+            out = BatchBuilder(kind=self.kind)
             local_data: list[tuple[BFNode, GroupT, Any]] = []
             local_tokens: list[BFNode] = []
             for src, dst, g, val in sends:
                 if bf.is_local_edge(src, dst):
                     local_data.append((dst, g, val))
                 else:
-                    msgs.append(
-                        Message(
-                            bf.host(src),
-                            bf.host(dst),
-                            ("D", dst.level, g, val),
-                            kind=self.kind,
-                        )
+                    out.add(
+                        bf.host(src), bf.host(dst), ("D", dst.level, g, val)
                     )
             for node in token_sends:
                 straight, cross = bf.up_neighbors(node)
                 local_tokens.append(straight)
-                msgs.append(
-                    Message(
-                        bf.host(node),
-                        bf.host(cross),
-                        ("T", cross.level),
-                        kind=self.kind + ":token",
-                    )
+                out.add(
+                    bf.host(node),
+                    bf.host(cross),
+                    ("T", cross.level),
+                    kind=self._token_kind,
                 )
 
-            inboxes = net.exchange(msgs)
+            inboxes = net.exchange(out)
 
             def arrive_token(dst: BFNode) -> None:
                 nonlocal done_at_top

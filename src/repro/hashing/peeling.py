@@ -24,7 +24,7 @@ unit tests (which fill it directly).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Iterable, Sequence
 
 from .kwise import KWiseHash
 

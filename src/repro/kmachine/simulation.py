@@ -23,7 +23,7 @@ vertex partition, with a pure-Python fallback when numpy is unavailable.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping
 
 try:  # pragma: no cover - exercised only on numpy-free installs

@@ -69,19 +69,75 @@ class BatchedEngine(RoundEngine):
             # exactly like the reference engine.
             return self._run_walks(senders, groups)
 
+        # Two ways to know the send-side facts of a round: full per-message
+        # ``src``/``bits`` columns, or per-group metadata proved at batch
+        # construction (uniform sender + bits sum/max).  The metadata form
+        # replaces O(messages) column work with O(senders) work and is the
+        # common case for primitive-built traffic.
+        src = bits = None
+        usrc = bsum = bmax = None
+        # One classification pass: are all groups MessageBatch, do they all
+        # have cached numpy columns (steady-state resubmission), and do they
+        # all carry construction-time metadata (fresh builder batches)?
+        all_batches = cached = meta = True
+        for g in groups:
+            if type(g) is not MessageBatch:
+                all_batches = cached = meta = False
+                break
+            if g._int_cols is None:
+                cached = False
+            if g._uniform_src is None or g._bits_agg is None:
+                meta = False
         try:
-            if all(type(g) is MessageBatch for g in groups):
-                # Columnar submission: concatenate the cached per-batch
-                # columns (one call for all three int rows, one for the
-                # object refs).
+            if all_batches and cached:
+                # Steady-state resubmission (the same batches replayed
+                # round after round, e.g. by benchmarks): concatenate the
+                # cached per-batch arrays — one call for all three int
+                # rows, one for the object refs.
                 cols = _np.concatenate([g.int_cols for g in groups], axis=1)
                 if cols.dtype != _np.int64:  # a batch degraded to lists
                     return self._run_walks(senders, groups)
                 src, dst, bits = cols
                 obj = _np.concatenate([g.obj_col for g in groups])
+            elif all_batches and meta:
+                # Fresh builder/from_columns batches (the common case:
+                # primitives build new batches every round): the sender is
+                # uniform per group by construction and the bits aggregates
+                # were captured at finalize, so only the dst and object
+                # columns need to exist per message — send-side checks
+                # become O(senders) instead of O(messages).
+                dst_l: list[int] = []
+                flat: list[Message] = []
+                for g in groups:
+                    dst_l += g.list_cols[1]
+                    flat += g
+                dst = _np.fromiter(dst_l, _np.int64, m_count)
+                obj = _np.fromiter(flat, dtype=object, count=m_count)
+                k = len(groups)
+                usrc = _np.fromiter([g._uniform_src for g in groups], _np.int64, k)
+                bsum = _np.fromiter([g._bits_agg[0] for g in groups], _np.int64, k)
+                bmax = _np.fromiter([g._bits_agg[1] for g in groups], _np.int64, k)
+            elif all_batches:
+                # Batches without construction-time metadata: flat-extend
+                # the Python-list columns — one memcpy per group — then
+                # lower each column once.
+                src_l: list[int] = []
+                dst_l = []
+                bits_l: list[int] = []
+                flat = []
+                for g in groups:
+                    s, d, b = g.list_cols
+                    src_l += s
+                    dst_l += d
+                    bits_l += b
+                    flat += g
+                src = _np.fromiter(src_l, _np.int64, m_count)
+                dst = _np.fromiter(dst_l, _np.int64, m_count)
+                bits = _np.fromiter(bits_l, _np.int64, m_count)
+                obj = _np.fromiter(flat, dtype=object, count=m_count)
             else:
                 # Plain lists: lower the groups to columns once, flat order.
-                flat: list[Message] = []
+                flat = []
                 for g in groups:
                     flat.extend(g)
                 src = _np.fromiter([m.src for m in flat], _np.int64, m_count)
@@ -112,13 +168,19 @@ class BatchedEngine(RoundEngine):
             bounds = (dsts_present, group_counts)
 
         max_sent = int(counts.max())
+        if src is not None:
+            src_consistent = bool((src == _np.repeat(snd, counts)).all())
+            max_bits = int(bits.max())
+        else:
+            src_consistent = bool((usrc == snd).all())
+            max_bits = int(bmax.max())
         clean = (
             bounds is not None
             and 0 <= int(snd.min())
             and int(snd.max()) < n
             and max_sent <= net.capacity
-            and int(bits.max()) <= net.message_bits
-            and bool((src == _np.repeat(snd, counts)).all())
+            and max_bits <= net.message_bits
+            and src_consistent
         )
         if not clean:
             # Malformed input or a send/bits anomaly: replay the canonical
@@ -136,7 +198,7 @@ class BatchedEngine(RoundEngine):
             if max_sent > stats.max_sent_per_round:
                 stats.max_sent_per_round = max_sent
             sent_messages = m_count
-            sent_bits = int(bits.sum())
+            sent_bits = int(bits.sum()) if bits is not None else int(bsum.sum())
 
         return self._deliver(obj, dst, bounds), sent_messages, sent_bits
 

@@ -92,7 +92,12 @@ def _memo_safe(payload: Any) -> bool:
     if t in _MEMO_SCALARS:
         return True
     if t is tuple:
-        return all(_memo_safe(p) for p in payload)
+        # Plain loop, not all(genexpr): this runs once per cache probe on
+        # the hottest path in the simulator.
+        for p in payload:
+            if not _memo_safe(p):
+                return False
+        return True
     return False
 
 
@@ -185,18 +190,47 @@ class MessageBatch(list):
     back to their per-message paths.
     """
 
-    __slots__ = ("_int_cols", "_obj_col")
+    __slots__ = ("_int_cols", "_obj_col", "_list_cols", "_uniform_src", "_bits_agg")
 
     def __init__(self, messages: Iterable[Message]):
         super().__init__(messages)
         self._int_cols = None
         self._obj_col = None
+        self._list_cols = None
+        #: The single sender id shared by every message, when the
+        #: constructor can prove it (BatchBuilder groups by sender;
+        #: from_columns with a scalar src).  ``None`` = unknown/mixed.
+        self._uniform_src = None
+        #: ``(sum, max)`` of the bits column, captured at finalize so a
+        #: clean round needs no per-message bits array at all.
+        self._bits_agg = None
 
     @property
     def int_cols(self):
         cols = self._int_cols
         if cols is None:
             cols = self._int_cols = self._build_int_cols()
+        return cols
+
+    @property
+    def list_cols(self) -> tuple[list[int], list[int], list[int]]:
+        """``(src, dst, bits)`` as plain Python lists.
+
+        :meth:`from_columns` captures these for free while constructing the
+        messages; a batch built straight from ``Message`` objects derives
+        them on first access.  The batched engine flat-extends these lists
+        across a round's groups — one C-level ``memcpy`` per group instead
+        of a per-message attribute walk or per-group numpy allocations
+        (fresh small batches dominate primitive rounds, so per-batch array
+        construction would cost more than it saves).
+        """
+        cols = self._list_cols
+        if cols is None:
+            cols = self._list_cols = (
+                [m.src for m in self],
+                [m.dst for m in self],
+                [m.bits for m in self],
+            )
         return cols
 
     @property
@@ -212,23 +246,20 @@ class MessageBatch(list):
 
     def _build_int_cols(self):
         k = len(self)
+        srcs, dsts, bits = self.list_cols
         if _np is not None:
             try:
                 cols = _np.empty((3, k), dtype=_np.int64)
-                cols[0] = _np.fromiter((m.src for m in self), _np.int64, k)
-                cols[1] = _np.fromiter((m.dst for m in self), _np.int64, k)
-                cols[2] = _np.fromiter((m.bits for m in self), _np.int64, k)
+                cols[0] = _np.fromiter(srcs, _np.int64, k)
+                cols[1] = _np.fromiter(dsts, _np.int64, k)
+                cols[2] = _np.fromiter(bits, _np.int64, k)
                 return cols
             except OverflowError:
                 # An id/bits value beyond int64 cannot be columnar; the
                 # list form routes engines onto their per-message walks,
                 # which raise the canonical out-of-range errors.
                 pass
-        return [
-            [m.src for m in self],
-            [m.dst for m in self],
-            [m.bits for m in self],
-        ]
+        return [srcs, dsts, bits]
 
     @classmethod
     def from_columns(
@@ -237,17 +268,40 @@ class MessageBatch(list):
         dsts: Sequence[int],
         payloads: Sequence[Any],
         *,
-        kind: str = "",
+        kind: str | Sequence[str] = "",
     ) -> "MessageBatch":
-        """Build a batch from parallel columns (the cheap constructor)."""
+        """Build a batch from parallel columns (the cheap constructor).
+
+        ``kind`` may be a single tag for the whole batch or a parallel
+        column of per-message tags (a round may mix e.g. data and token
+        messages from one sender).
+        """
         if isinstance(src, int):
             srcs: Sequence[int] = (src,) * len(dsts)
         else:
             srcs = src
-        return cls(
-            Message(s, d, p, kind)
-            for s, d, p in zip(srcs, dsts, payloads, strict=True)
-        )
+        if isinstance(kind, str):
+            kinds: Sequence[str] = (kind,) * len(dsts)
+        else:
+            kinds = kind
+        msgs: list[Message] = []
+        src_l: list[int] = []
+        dst_l: list[int] = []
+        bits_l: list[int] = []
+        for s, d, p, k in zip(srcs, dsts, payloads, kinds, strict=True):
+            m = Message(s, d, p, k)
+            msgs.append(m)
+            src_l.append(s)
+            dst_l.append(d)
+            bits_l.append(m.bits)
+        batch = cls(msgs)
+        # The columns are known as a by-product of construction; cache them
+        # so the engine never re-reads per-message attributes.
+        batch._list_cols = (src_l, dst_l, bits_l)
+        if isinstance(src, int):
+            batch._uniform_src = src
+        batch._bits_agg = (sum(bits_l), max(bits_l, default=0))
+        return batch
 
     # -- frozen: all mutators raise ------------------------------------
     def _frozen(self, *_args: Any, **_kwargs: Any):
@@ -259,3 +313,107 @@ class MessageBatch(list):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MessageBatch({list.__repr__(self)})"
+
+
+class BatchBuilder:
+    """Accumulates one round's ``(dst, payload)`` pairs per sender and
+    finalizes them into per-sender :class:`MessageBatch` groups.
+
+    This is the columnar submission helper every primitive uses: instead of
+    materializing a flat ``list[Message]`` and letting
+    :meth:`~repro.ncc.network.NCCNetwork.exchange` bucket it per sender, the
+    primitive appends ``(src, dst, payload)`` triples here and submits the
+    builder itself.  :meth:`batches` groups by sender in first-occurrence
+    order with per-sender append order preserved — exactly the normalization
+    ``exchange`` applies to a flat iterable — so the submission form is
+    observably identical under every engine, while the batched engine gets
+    cached columns to concatenate instead of per-message attribute walks.
+
+    A builder is single-shot: it belongs to one round.  ``kind`` set at
+    construction tags every message; :meth:`add` may override it per message
+    (e.g. routers mixing data and token traffic from one sender).
+    """
+
+    __slots__ = ("kind", "_groups", "_spent")
+
+    def __init__(self, kind: str = ""):
+        self.kind = kind
+        # src -> (messages, dsts, bits): the Message is built once, here,
+        # and its columns are captured as a by-product — finalization never
+        # re-walks the messages.
+        self._groups: dict[int, tuple[list[Message], list[int], list[int]]] = {}
+        self._spent = False
+
+    def add(self, src: int, dst: int, payload: Any, kind: str | None = None) -> None:
+        """Queue one ``src -> dst`` message carrying ``payload``."""
+        if self._spent:
+            raise TypeError(
+                "BatchBuilder already finalized (its batches share the "
+                "builder's columns; adding would corrupt them)"
+            )
+        m = Message(src, dst, payload, self.kind if kind is None else kind)
+        g = self._groups.get(src)
+        if g is None:
+            self._groups[src] = g = ([], [], [])
+        g[0].append(m)
+        g[1].append(dst)
+        g[2].append(m.bits)
+
+    def add_many(
+        self, src: int, dsts: Iterable[int], payloads: Iterable[Any]
+    ) -> None:
+        """Queue a run of messages from one sender (parallel columns).
+
+        Atomic: a length mismatch queues nothing, and an empty run does not
+        register the sender (``bool(builder)`` stays faithful to "has any
+        message", which round loops use as their stop condition).
+        """
+        if self._spent:
+            raise TypeError(
+                "BatchBuilder already finalized (its batches share the "
+                "builder's columns; adding would corrupt them)"
+            )
+        kind = self.kind
+        msgs: list[Message] = []
+        dst_l: list[int] = []
+        bits_l: list[int] = []
+        for d, p in zip(dsts, payloads, strict=True):
+            m = Message(src, d, p, kind)
+            msgs.append(m)
+            dst_l.append(d)
+            bits_l.append(m.bits)
+        if not msgs:
+            return
+        g = self._groups.get(src)
+        if g is None:
+            self._groups[src] = g = ([], [], [])
+        g[0].extend(msgs)
+        g[1].extend(dst_l)
+        g[2].extend(bits_l)
+
+    def __len__(self) -> int:
+        return sum(len(g[0]) for g in self._groups.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._groups)
+
+    def senders(self) -> list[int]:
+        return list(self._groups)
+
+    def batches(self) -> dict[int, MessageBatch]:
+        """Finalize into per-sender batches with pre-captured columns.
+
+        Finalization is zero-copy: the batches take ownership of the
+        builder's lists, so the builder is spent afterwards — further
+        ``add`` calls raise (a stale alias would silently corrupt the
+        frozen batches' cached columns).
+        """
+        self._spent = True
+        out: dict[int, MessageBatch] = {}
+        for src, (msgs, dsts, bits) in self._groups.items():
+            batch = MessageBatch(msgs)
+            batch._list_cols = ([src] * len(msgs), dsts, bits)
+            batch._uniform_src = src
+            batch._bits_agg = (sum(bits), max(bits, default=0))
+            out[src] = batch
+        return out

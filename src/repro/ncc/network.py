@@ -51,10 +51,10 @@ from typing import Iterable, Iterator, Mapping
 from ..config import DEFAULT_CONFIG, Enforcement, NCCConfig
 from ..errors import CapacityError, MessageSizeError, SimulationLimitError
 from .engine import RoundEngine, build_engine
-from .message import Message
+from .message import BatchBuilder, Message
 from .stats import NetworkStats, Violation
 
-OutgoingT = Mapping[int, list[Message]] | Iterable[Message]
+OutgoingT = Mapping[int, list[Message]] | Iterable[Message] | BatchBuilder
 
 
 class NCCNetwork:
@@ -121,9 +121,10 @@ class NCCNetwork:
     def exchange(self, outgoing: OutgoingT) -> dict[int, list[Message]]:
         """Run one synchronous round.
 
-        ``outgoing`` maps each sender to its messages (or is a flat iterable
-        of messages).  Returns the inbox of every node that received at least
-        one message.  Messages are received "at the beginning of the next
+        ``outgoing`` maps each sender to its messages, or is a flat iterable
+        of messages, or a :class:`~repro.ncc.message.BatchBuilder` holding
+        the round's traffic in columnar form.  Returns the inbox of every
+        node that received at least one message.  Messages are received "at the beginning of the next
         round" (Section 1.1); since the caller drives rounds explicitly, that
         simply means the return value is available to the caller's next
         iteration.
@@ -132,6 +133,12 @@ class NCCNetwork:
             raise SimulationLimitError(
                 f"simulation exceeded max_rounds={self.config.max_rounds}"
             )
+
+        if isinstance(outgoing, BatchBuilder):
+            # Columnar submission: the builder finalizes straight into
+            # per-sender MessageBatch groups (first-occurrence sender order,
+            # per-sender append order — identical to flat-list bucketing).
+            outgoing = outgoing.batches()
 
         per_sender: dict[int, list[Message]] = {}
         if isinstance(outgoing, Mapping):

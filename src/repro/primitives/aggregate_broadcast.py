@@ -22,8 +22,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Iterable, Mapping
 
-from ..butterfly.topology import BFNode, ButterflyGrid
-from ..ncc.message import Message
+from ..butterfly.topology import ButterflyGrid
+from ..ncc.message import BatchBuilder
 from ..ncc.network import NCCNetwork
 from .functions import Aggregate
 
@@ -46,12 +46,11 @@ def aggregate_and_broadcast(
     cols = bf.columns
 
     # Round 1: non-emulating nodes hand their value to their partner.
-    msgs = [
-        Message(u, u - cols, ("P", v), kind=kind)
-        for u, v in inputs.items()
-        if not bf.emulates(u)
-    ]
-    inbox = net.exchange(msgs)
+    out = BatchBuilder(kind=kind)
+    for u, v in inputs.items():
+        if not bf.emulates(u):
+            out.add(u, u - cols, ("P", v))
+    inbox = net.exchange(out)
 
     # Values now live at level-0 butterfly nodes.
     acc: dict[int, Any] = {}  # column -> partial aggregate (current level)
@@ -66,15 +65,15 @@ def aggregate_and_broadcast(
     # Aggregation phase: d rounds, level i -> i+1, fixing bit i to 0.
     for level in range(d):
         bit = 1 << level
-        msgs = []
+        out = BatchBuilder(kind=kind)
         nxt: dict[int, Any] = {}
         for col, v in acc.items():
             target = col & ~bit
             if target == col:
                 nxt[col] = fn(nxt[col], v) if col in nxt else v
             else:
-                msgs.append(Message(col, target, ("A", v), kind=kind))
-        inbox = net.exchange(msgs)
+                out.add(col, target, ("A", v))
+        inbox = net.exchange(out)
         for host, received in inbox.items():
             for m in received:
                 v = m.payload[1]
@@ -90,19 +89,19 @@ def aggregate_and_broadcast(
     holders = [0]
     for level in range(d - 1, -1, -1):
         bit = 1 << level
-        msgs = [
-            Message(col, col | bit, ("B", result), kind=kind) for col in holders
-        ]
-        net.exchange(msgs)
+        out = BatchBuilder(kind=kind)
+        for col in holders:
+            out.add(col, col | bit, ("B", result))
+        net.exchange(out)
         holders = holders + [col | bit for col in holders]
 
     # Final round: level-0 nodes inform their non-emulating partners.
-    msgs = []
+    out = BatchBuilder(kind=kind)
     for col in range(cols):
         partner = bf.partner_of_column(col)
         if partner is not None:
-            msgs.append(Message(col, partner, ("B", result), kind=kind))
-    net.exchange(msgs)
+            out.add(col, partner, ("B", result))
+    net.exchange(out)
 
     return result
 
@@ -157,13 +156,15 @@ def pipelined_broadcast(
         while idx < len(item_list):
             batch = item_list[idx : idx + cap]
             idx += cap
-            net.exchange([Message(src, 0, ("S", it), kind=kind) for it in batch])
+            out = BatchBuilder(kind=kind)
+            out.add_many(src, (0,) * len(batch), [("S", it) for it in batch])
+            net.exchange(out)
         received[0] = list(item_list)
 
     rate = max(1, net.capacity // 2)
     fifos: dict[int, deque] = {0: deque(item_list)}
     while fifos:
-        msgs: list[Message] = []
+        out = BatchBuilder(kind=kind)
         for u in list(fifos):
             q = fifos[u]
             take = min(rate, len(q))
@@ -172,12 +173,12 @@ def pipelined_broadcast(
                 del fifos[u]
             for child in (2 * u + 1, 2 * u + 2):
                 if child < n:
-                    msgs.extend(
-                        Message(u, child, ("B", it), kind=kind) for it in batch
+                    out.add_many(
+                        u, (child,) * take, [("B", it) for it in batch]
                     )
-        if not msgs:
+        if not out:
             break
-        inbox = net.exchange(msgs)
+        inbox = net.exchange(out)
         for v, rec in inbox.items():
             for m in rec:
                 item = m.payload[1]
@@ -212,12 +213,11 @@ def gather_to_root(
 
     # Non-emulating owners hand their item to the partner column first.
     cols = bf.columns
-    msgs = [
-        Message(u, u - cols, ("H", u, v), kind=kind)
-        for u, v in items.items()
-        if not bf.emulates(u)
-    ]
-    inbox = net.exchange(msgs)
+    out = BatchBuilder(kind=kind)
+    for u, v in items.items():
+        if not bf.emulates(u):
+            out.add(u, u - cols, ("H", u, v))
+    inbox = net.exchange(out)
     injected: list[tuple[int, int, Any]] = [
         (u, u, v) for u, v in items.items() if bf.emulates(u)
     ]

@@ -27,7 +27,7 @@ from typing import Any, Hashable, Mapping
 
 from ..butterfly.routing import CombiningRouter
 from ..butterfly.topology import ButterflyGrid
-from ..ncc.message import Message
+from ..ncc.message import BatchBuilder
 from ..ncc.network import NCCNetwork
 from ..rng import SharedRandomness
 from .aggregate_broadcast import barrier
@@ -122,18 +122,20 @@ def run_aggregation(
             kind=kind,
         )
 
-        # ----- Preprocessing: batched injection to random level-0 nodes.
+        # ----- Preprocessing: batched injection to random level-0 nodes,
+        # submitted columnar (one BatchBuilder per injection round).
         batch = net.config.batch_size(net.n)
-        pending: list[list[Message]] = []
+        pending: list[BatchBuilder] = []
         for u, groups in problem.memberships.items():
             u_rng = shared.node_rng(u, (tag, "inject"))
-            for j, (g, value) in enumerate(sorted(groups.items(), key=lambda kv: repr(kv[0]))):
+            ordered = sorted(groups.items(), key=lambda kv: repr(kv[0]))
+            for j, (g, value) in enumerate(ordered):
                 col = u_rng.randrange(bf.columns)
                 r = j // batch
                 while len(pending) <= r:
-                    pending.append([])
+                    pending.append(BatchBuilder(kind=kind))
                 # The host of level-0 column ``col`` is NCC node ``col``.
-                pending[r].append(Message(u, col, ("I", col, g, value), kind=kind))
+                pending[r].add(u, col, ("I", col, g, value))
         for round_msgs in pending:
             inbox = net.exchange(round_msgs)
             for host, msgs in inbox.items():
@@ -149,14 +151,12 @@ def run_aggregation(
         # ----- Postprocessing: deliver to real targets in random rounds.
         ell2 = problem.ell2_bound if problem.ell2_bound is not None else problem.ell2()
         window = max(1, math.ceil(ell2 / max(1, net.log2n)))
-        schedule: dict[int, list[Message]] = {r: [] for r in range(window)}
+        schedule = [BatchBuilder(kind=kind) for _ in range(window)]
         for g, value in res.results.items():
             t = problem.targets[g]
             src = target_col(key_of(g))  # host of (d, h(g))
             r_rng = shared.node_rng(src, (tag, "deliver", _group_key(g)))
-            schedule[r_rng.randrange(window)].append(
-                Message(src, t, ("R", g, value), kind=kind)
-            )
+            schedule[r_rng.randrange(window)].add(src, t, ("R", g, value))
         outcome = AggregationOutcome(values={}, rounds=0)
         for r in range(window):
             inbox = net.exchange(schedule[r])

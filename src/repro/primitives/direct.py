@@ -10,12 +10,15 @@ red-edge deliveries, and the leaf→member deliveries of the multicast.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
-from ..ncc.message import Message, MessageBatch
+from ..ncc.message import BatchBuilder, Message, MessageBatch
 from ..ncc.network import NCCNetwork
 
 SendT = tuple[int, int, Any]  # (src, dst, payload)
+
+#: Per-sender send queue as parallel columns: src -> (dsts, payloads).
+ColumnsT = Mapping[int, tuple[list[int], list[Any]]]
 
 
 def send_direct(
@@ -30,19 +33,41 @@ def send_direct(
     message list would produce, so the round is engine- and
     representation-independent.
     """
-    cols: dict[int, tuple[list[int], list[Any]]] = {}
+    out = BatchBuilder(kind=kind)
     for src, dst, payload in sends:
-        c = cols.get(src)
-        if c is None:
-            cols[src] = c = ([], [])
-        c[0].append(dst)
-        c[1].append(payload)
-    return net.exchange(
-        {
-            src: MessageBatch.from_columns(src, dsts, payloads, kind=kind)
-            for src, (dsts, payloads) in cols.items()
-        }
+        out.add(src, dst, payload)
+    return net.exchange(out)
+
+
+def send_chunked(
+    net: NCCNetwork, per_source: ColumnsT, chunk: int, *, kind: str = "direct"
+) -> Iterator[dict[int, list[Message]]]:
+    """Drain per-sender column queues at ``chunk`` messages per round.
+
+    Every sender advances through its queue in lockstep (round ``r`` sends
+    slice ``[r*chunk : (r+1)*chunk]``), the pattern the paper uses whenever
+    sources hand off more packets than the capacity allows (multicast and
+    multi-aggregation root handoffs, final keyed deliveries).  At least one
+    round always elapses, even with no traffic.  Yields each round's
+    inboxes; rounds are submitted columnar.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    rounds_needed = max(
+        (math.ceil(len(dsts) / chunk) for dsts, _ in per_source.values()),
+        default=0,
     )
+    rounds_needed = max(1, rounds_needed)
+    for r in range(rounds_needed):
+        lo, hi = r * chunk, (r + 1) * chunk
+        out = {
+            src: MessageBatch.from_columns(
+                src, dsts[lo:hi], payloads[lo:hi], kind=kind
+            )
+            for src, (dsts, payloads) in per_source.items()
+            if lo < len(dsts)
+        }
+        yield net.exchange(out)
 
 
 def spread_exchange(
@@ -64,7 +89,7 @@ def spread_exchange(
     """
     if window < 1:
         raise ValueError("window must be >= 1")
-    schedule: dict[int, list[Message]] = {r: [] for r in range(window)}
+    schedule = [BatchBuilder(kind=kind) for _ in range(window)]
     for idx, send in enumerate(sends):
         src, dst, payload = send
         if round_of is not None:
@@ -73,7 +98,7 @@ def spread_exchange(
             r = rng.randrange(window)
         else:
             r = idx % window
-        schedule[r].append(Message(src, dst, payload, kind=kind))
+        schedule[r].add(src, dst, payload)
     merged: dict[int, list[Message]] = {}
     for r in range(window):
         inbox = net.exchange(schedule[r])

@@ -22,11 +22,12 @@ from typing import Any, Callable, Hashable, Mapping
 
 from ..butterfly.routing import CombiningRouter, MulticastRouter, TreeSet
 from ..butterfly.topology import ButterflyGrid
-from ..ncc.message import Message
+from ..ncc.message import BatchBuilder
 from ..ncc.network import NCCNetwork
 from ..rng import SharedRandomness
 from .aggregate_broadcast import barrier
 from .aggregation import _group_key
+from .direct import send_chunked
 from .functions import Aggregate
 
 GroupT = Hashable
@@ -94,27 +95,19 @@ def run_multi_aggregation(
 
         # ---- Sources hand packets to tree-root hosts, batched at the
         # capacity limit (supports the multi-source extension of App. B.5).
-        import math
-
-        per_source: dict[int, list[Message]] = {}
+        per_source: dict[int, tuple[list[int], list[Any]]] = {}
         for g, payload in packets.items():
             root = trees.root.get(g)
             if root is None:
                 raise KeyError(f"no multicast tree for group {g!r}")
             src = sources[g]
-            per_source.setdefault(src, []).append(
-                Message(src, bf.host(root), ("M", g, payload), kind=kind)
-            )
-        batch = net.capacity
+            c = per_source.get(src)
+            if c is None:
+                per_source[src] = c = ([], [])
+            c[0].append(bf.host(root))
+            c[1].append(("M", g, payload))
         root_packets: dict[GroupT, Any] = {}
-        rounds_needed = max(
-            (math.ceil(len(v) / batch) for v in per_source.values()), default=1
-        )
-        for r in range(rounds_needed):
-            msgs = []
-            for src, queued in per_source.items():
-                msgs.extend(queued[r * batch : (r + 1) * batch])
-            inbox = net.exchange(msgs)
+        for inbox in send_chunked(net, per_source, net.capacity, kind=kind):
             for host, received in inbox.items():
                 for m in received:
                     _, g, payload = m.payload
@@ -132,8 +125,6 @@ def run_multi_aggregation(
         def group_key_of(rg: Any) -> int:
             if result_key is None:
                 return rg
-            from .aggregation import _group_key
-
             return _group_key(rg)
 
         router = CombiningRouter(
@@ -145,7 +136,7 @@ def run_multi_aggregation(
             kind=kind,
         )
         batch = net.config.batch_size(net.n)
-        pending: list[list[Message]] = []
+        pending: list[BatchBuilder] = []
         for col, payloads in sorted(res.results.items()):
             host = col
             leaf_rng = shared.node_rng(host, (tag, "leaf"))
@@ -163,10 +154,8 @@ def run_multi_aggregation(
                 dest = leaf_rng.randrange(bf.columns)
                 r = j // batch
                 while len(pending) <= r:
-                    pending.append([])
-                pending[r].append(
-                    Message(host, dest, ("S", dest, rgroup, value), kind=kind)
-                )
+                    pending.append(BatchBuilder(kind=kind))
+                pending[r].add(host, dest, ("S", dest, rgroup, value))
         for round_msgs in pending:
             inbox = net.exchange(round_msgs)
             for host, ms in inbox.items():
@@ -179,24 +168,16 @@ def run_multi_aggregation(
         # keyed mode one member may receive several aggregates).
         agg_res = router.run()
         barrier(net, bf)
-        per_root: dict[int, list[Message]] = {}
+        per_root: dict[int, tuple[list[int], list[Any]]] = {}
         for rgroup, value in agg_res.results.items():
             member = rgroup if result_key is None else rgroup[0]
             src = target_col(group_key_of(rgroup))  # host of (d, h(·))
-            per_root.setdefault(src, []).append(
-                Message(src, member, ("R", rgroup, value), kind=kind)
-            )
-        cap = net.capacity
-        import math as _math
-
-        rounds_needed = max(
-            (_math.ceil(len(v) / cap) for v in per_root.values()), default=1
-        )
-        for r in range(rounds_needed):
-            msgs = []
-            for src, queued in per_root.items():
-                msgs.extend(queued[r * cap : (r + 1) * cap])
-            inbox = net.exchange(msgs)
+            c = per_root.get(src)
+            if c is None:
+                per_root[src] = c = ([], [])
+            c[0].append(member)
+            c[1].append(("R", rgroup, value))
+        for inbox in send_chunked(net, per_root, net.capacity, kind=kind):
             for u, ms in inbox.items():
                 for m in ms:
                     _, rgroup, value = m.payload

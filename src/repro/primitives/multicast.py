@@ -20,11 +20,12 @@ from typing import Any, Hashable, Mapping
 
 from ..butterfly.routing import MulticastRouter, TreeSet
 from ..butterfly.topology import ButterflyGrid
-from ..ncc.message import Message
+from ..ncc.message import BatchBuilder
 from ..ncc.network import NCCNetwork
 from ..rng import SharedRandomness
 from .aggregate_broadcast import barrier
 from .aggregation import _group_key
+from .direct import send_chunked
 
 GroupT = Hashable
 
@@ -76,25 +77,19 @@ def run_multicast(
         # simplified variant has one group per source (a single round); the
         # extension it mentions — nodes sourcing multiple multicasts — just
         # batches these sends at the capacity limit.
-        per_source: dict[int, list[Message]] = {}
+        per_source: dict[int, tuple[list[int], list[Any]]] = {}
         for g, payload in packets.items():
             root = trees.root.get(g)
             if root is None:
                 raise KeyError(f"no multicast tree for group {g!r}")
             src = sources[g]
-            per_source.setdefault(src, []).append(
-                Message(src, bf.host(root), ("M", g, payload), kind=kind)
-            )
-        batch = net.capacity
+            c = per_source.get(src)
+            if c is None:
+                per_source[src] = c = ([], [])
+            c[0].append(bf.host(root))
+            c[1].append(("M", g, payload))
         root_packets: dict[GroupT, Any] = {}
-        rounds_needed = max(
-            (math.ceil(len(v) / batch) for v in per_source.values()), default=1
-        )
-        for r in range(rounds_needed):
-            msgs = []
-            for src, queued in per_source.items():
-                msgs.extend(queued[r * batch : (r + 1) * batch])
-            inbox = net.exchange(msgs)
+        for inbox in send_chunked(net, per_source, net.capacity, kind=kind):
             for host, received in inbox.items():
                 for m in received:
                     _, g, payload = m.payload
@@ -111,14 +106,14 @@ def run_multicast(
         if ell_bound is None:
             ell_bound = trees.member_load()
         window = max(1, math.ceil(max(1, ell_bound) / max(1, net.log2n)))
-        schedule: dict[int, list[Message]] = {r: [] for r in range(window)}
+        schedule = [BatchBuilder(kind=kind) for _ in range(window)]
         for col, payloads in res.results.items():
             host = col  # level-0 column col is hosted by NCC node col
             for g, payload in payloads.items():
                 for member in trees.leaf_members.get(g, {}).get(col, ()):
                     r_rng = shared.node_rng(host, (tag, "leaf", _group_key(g), member))
-                    schedule[r_rng.randrange(window)].append(
-                        Message(host, member, ("L", g, payload), kind=kind)
+                    schedule[r_rng.randrange(window)].add(
+                        host, member, ("L", g, payload)
                     )
         for r in range(window):
             inbox = net.exchange(schedule[r])

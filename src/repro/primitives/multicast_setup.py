@@ -16,7 +16,7 @@ from typing import Hashable, Iterable, Mapping
 
 from ..butterfly.routing import CombiningRouter, TreeSet
 from ..butterfly.topology import BFNode, ButterflyGrid
-from ..ncc.message import Message
+from ..ncc.message import BatchBuilder
 from ..ncc.network import NCCNetwork
 from ..rng import SharedRandomness
 from .aggregate_broadcast import barrier
@@ -96,7 +96,7 @@ def setup_multicast_trees_delegated(
         assert trees is not None
 
         batch = net.config.batch_size(net.n)
-        pending: list[list[Message]] = []
+        pending: list[BatchBuilder] = []
         for u, pairs in injections.items():
             u_rng = shared.node_rng(u, (tag, "inject"))
             for j, (g, member) in enumerate(
@@ -105,8 +105,8 @@ def setup_multicast_trees_delegated(
                 col = u_rng.randrange(bf.columns)
                 r = j // batch
                 while len(pending) <= r:
-                    pending.append([])
-                pending[r].append(Message(u, col, ("J", col, g, member), kind=kind))
+                    pending.append(BatchBuilder(kind=kind))
+                pending[r].add(u, col, ("J", col, g, member))
         for round_msgs in pending:
             inbox = net.exchange(round_msgs)
             for host, msgs in inbox.items():

@@ -125,6 +125,133 @@ class TestAlgorithmParity:
 
 
 # ----------------------------------------------------------------------
+# Primitive-level parity: every primitive that submits columnar
+# ----------------------------------------------------------------------
+# All primitives now build MessageBatch columns via BatchBuilder instead of
+# per-message Message lists; each one must stay observably identical under
+# both engines in every enforcement mode.
+def _memberships(rt):
+    rng = random.Random(11)
+    return {u: rng.sample(range(6), 2) for u in range(rt.n)}
+
+
+def _run_aggregation(rt):
+    from repro.primitives import SUM, AggregationProblem
+
+    rng = random.Random(5)
+    prob = AggregationProblem(
+        memberships={u: {g: u for g in rng.sample(range(8), 3)} for u in range(rt.n)},
+        targets={g: g for g in range(8)},
+        fn=SUM,
+    )
+    out = rt.aggregation(prob)
+    return (sorted(out.values.items()), sorted(out.by_target.items()), out.rounds)
+
+
+def _run_multicast_setup(rt):
+    trees = rt.multicast_setup(_memberships(rt))
+    return (
+        sorted(trees.root.items()),
+        sorted((g, sorted(m.items())) for g, m in trees.leaf_members.items()),
+        trees.congestion(),
+        trees.member_load(),
+    )
+
+
+def _run_multicast(rt):
+    trees = rt.multicast_setup(_memberships(rt))
+    out = rt.multicast(
+        trees, {g: (g, g + 100) for g in range(6)}, {g: g for g in range(6)}
+    )
+    return (sorted((u, sorted(p.items())) for u, p in out.received.items()), out.rounds)
+
+
+def _run_multi_aggregation(rt):
+    from repro.primitives import MIN
+
+    trees = rt.multicast_setup(_memberships(rt))
+    out = rt.multi_aggregation(
+        trees, {g: g for g in range(6)}, {g: g for g in range(6)}, MIN
+    )
+    return (sorted(out.values.items()), out.rounds)
+
+
+def _run_multi_aggregation_keyed(rt):
+    from repro.primitives import MIN
+
+    trees = rt.multicast_setup(_memberships(rt))
+    out = rt.multi_aggregation(
+        trees,
+        {g: g for g in range(6)},
+        {g: g for g in range(6)},
+        MIN,
+        annotate=lambda rng, g, member, payload: (rng.randrange(100), payload),
+        result_key=lambda g: g % 2,
+    )
+    return (
+        sorted((u, sorted(kv.items())) for u, kv in out.keyed.items()),
+        out.rounds,
+    )
+
+
+def _run_aggregate_broadcast(rt):
+    from repro.primitives import SUM
+
+    total = rt.aggregate_and_broadcast({u: u + 1 for u in range(rt.n)}, SUM)
+    return (total, rt.net.round_index)
+
+
+def _run_pipelined_broadcast(rt):
+    rec = rt.pipelined_broadcast(list(range(30)), src=3)
+    return (sorted(rec.items()), rt.net.round_index)
+
+
+def _run_gather(rt):
+    items = {u: ("item", u) for u in range(0, rt.n, 3)}
+    return (rt.gather_to_root(items), rt.net.round_index)
+
+
+def _run_direct(rt):
+    from repro.primitives.direct import send_direct, spread_exchange
+
+    rng = random.Random(2)
+    sends = [(u, (u * 7 + i) % rt.n, (u, i)) for u in range(rt.n) for i in range(3)]
+    inbox = send_direct(rt.net, sends)
+    spread = spread_exchange(rt.net, sends, 4, rng=rng)
+    return (
+        [(d, msgs) for d, msgs in inbox.items()],
+        [(d, msgs) for d, msgs in spread.items()],
+        rt.net.round_index,
+    )
+
+
+PRIMITIVES = {
+    "aggregation": _run_aggregation,
+    "multicast_setup": _run_multicast_setup,
+    "multicast": _run_multicast,
+    "multi_aggregation": _run_multi_aggregation,
+    "multi_aggregation_keyed": _run_multi_aggregation_keyed,
+    "aggregate_broadcast": _run_aggregate_broadcast,
+    "pipelined_broadcast": _run_pipelined_broadcast,
+    "gather_to_root": _run_gather,
+    "direct": _run_direct,
+}
+
+
+@pytest.mark.engine("reference")  # runs both engines itself; skip replays
+class TestPrimitiveParity:
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    @pytest.mark.parametrize("name", sorted(PRIMITIVES))
+    def test_primitive_indistinguishable(self, name, mode):
+        runs = {e: _execute(e, mode, PRIMITIVES[name]) for e in ENGINES}
+        ref, bat = runs["reference"], runs["batched"]
+        assert ref["error"] == bat["error"]
+        assert ref["result"] == bat["result"]
+        assert ref["rounds"] == bat["rounds"]
+        assert ref["stats"] == bat["stats"]
+
+
+# ----------------------------------------------------------------------
 # Raw-exchange fuzzing: violating and malformed rounds
 # ----------------------------------------------------------------------
 def _random_round(rng: random.Random, n: int, cap: int, *, batch: bool):
@@ -241,6 +368,65 @@ class TestExchangeFuzzParity:
             Message(1.5, 2, "x")
         with pytest.raises(TypeError, match="node ids must be ints"):
             MessageBatch.from_columns(0, [1, 2.5], ["a", "b"])
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_from_columns_empty_batch(self, mode):
+        """An empty batch must behave like no traffic at all: a round still
+        elapses, nothing is delivered, statistics untouched — identically
+        under both engines."""
+        outcomes = {}
+        for engine in ENGINES:
+            net = NCCNetwork(16, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            empty = MessageBatch.from_columns(3, [], [])
+            assert len(empty) == 0
+            assert empty.list_cols == ([], [], [])
+            inbox = net.exchange({3: empty})
+            outcomes[engine] = (inbox, net.round_index, net.stats.comparable())
+        assert outcomes["reference"] == outcomes["batched"]
+        assert outcomes["reference"][0] == {}
+        assert outcomes["reference"][1] == 1
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_from_columns_single_message(self, mode):
+        """A one-message batch delivers exactly that message, with correct
+        bits accounting, under both engines."""
+        outcomes = {}
+        for engine in ENGINES:
+            net = NCCNetwork(16, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            batch = MessageBatch.from_columns(4, [9], [("one", 5)], kind="solo")
+            inbox = net.exchange({4: batch})
+            outcomes[engine] = (
+                [(d, msgs) for d, msgs in inbox.items()],
+                net.stats.comparable(),
+            )
+        assert outcomes["reference"] == outcomes["batched"]
+        ((dst, msgs),) = outcomes["reference"][0]
+        assert dst == 9
+        assert len(msgs) == 1
+        assert msgs[0].payload == ("one", 5)
+        assert msgs[0].kind == "solo"
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_from_columns_mixed_payloads(self, mode):
+        """Mixed tuple/scalar payloads in one batch: sizing and delivery
+        must agree between engines (tuples sum their parts, scalars size
+        directly, None is a 1-bit token)."""
+        payloads = [("tup", 3, 7), 42, None, True, ("nested", (1, 2)), "tag"]
+        outcomes = {}
+        for engine in ENGINES:
+            net = NCCNetwork(16, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            batch = MessageBatch.from_columns(
+                0, list(range(1, len(payloads) + 1)), payloads, kind="mix"
+            )
+            inbox = net.exchange({0: batch})
+            outcomes[engine] = (
+                [(d, [(m.payload, m.bits) for m in msgs]) for d, msgs in inbox.items()],
+                net.stats.comparable(),
+            )
+        assert outcomes["reference"] == outcomes["batched"]
+        delivered = dict(outcomes["reference"][0])
+        assert delivered[2] == [(42, 6)]
+        assert delivered[3] == [(None, 1)]
 
     @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
     def test_bad_destination_indistinguishable(self, mode):

@@ -1,9 +1,9 @@
-"""Message payload bit accounting."""
+"""Message payload bit accounting, batch columns, and the batch builder."""
 
 import pytest
 
 from repro.hashing.sketches import ParitySketch
-from repro.ncc.message import Message, payload_bits
+from repro.ncc.message import BatchBuilder, Message, MessageBatch, payload_bits
 
 
 class TestPayloadBits:
@@ -66,3 +66,102 @@ class TestMessage:
 
     def test_repr_mentions_endpoints(self):
         assert "0->1" in repr(Message(0, 1, "hi"))
+
+
+class TestMessageBatchColumns:
+    def test_from_columns_captures_list_cols(self):
+        b = MessageBatch.from_columns(2, [5, 6], [("a", 1), 9], kind="k")
+        srcs, dsts, bits = b.list_cols
+        assert srcs == [2, 2]
+        assert dsts == [5, 6]
+        assert bits == [payload_bits(("a", 1)), payload_bits(9)]
+
+    def test_from_columns_empty(self):
+        b = MessageBatch.from_columns(0, [], [])
+        assert list(b) == []
+        assert b.list_cols == ([], [], [])
+
+    def test_from_columns_per_message_kinds(self):
+        b = MessageBatch.from_columns(0, [1, 2], ["x", "y"], kind=["a", "b"])
+        assert [m.kind for m in b] == ["a", "b"]
+
+    def test_raw_batch_derives_list_cols_lazily(self):
+        b = MessageBatch([Message(1, 2, "x"), Message(3, 4, "y")])
+        srcs, dsts, bits = b.list_cols
+        assert srcs == [1, 3]
+        assert dsts == [2, 4]
+        assert bits == [4, 4]
+
+    def test_batch_is_frozen(self):
+        b = MessageBatch.from_columns(0, [1], ["x"])
+        with pytest.raises(TypeError):
+            b.append(Message(0, 2, "y"))
+        with pytest.raises(TypeError):
+            b[0] = Message(0, 2, "y")
+
+
+class TestBatchBuilder:
+    def test_groups_by_sender_in_first_occurrence_order(self):
+        out = BatchBuilder(kind="t")
+        out.add(3, 1, "a")
+        out.add(0, 2, "b")
+        out.add(3, 5, "c")
+        batches = out.batches()
+        assert list(batches) == [3, 0]
+        assert [(m.src, m.dst, m.payload) for m in batches[3]] == [
+            (3, 1, "a"),
+            (3, 5, "c"),
+        ]
+        assert len(out) == 3
+        assert bool(out)
+        assert out.senders() == [3, 0]
+
+    def test_default_and_override_kinds(self):
+        out = BatchBuilder(kind="data")
+        out.add(0, 1, "x")
+        out.add(0, 2, "y", kind="token")
+        assert [m.kind for m in out.batches()[0]] == ["data", "token"]
+
+    def test_add_many_parallel_columns(self):
+        out = BatchBuilder(kind="k")
+        out.add_many(1, [4, 5], ["p", "q"])
+        (batch,) = out.batches().values()
+        assert [(m.dst, m.payload) for m in batch] == [(4, "p"), (5, "q")]
+        with pytest.raises(ValueError):
+            BatchBuilder().add_many(1, [1, 2, 3], ["only", "two"])
+
+    def test_empty_builder(self):
+        out = BatchBuilder()
+        assert not out
+        assert len(out) == 0
+        assert out.batches() == {}
+
+    def test_add_many_is_atomic(self):
+        """An empty run must not register the sender and a mismatched run
+        must queue nothing — ``bool(builder)`` drives round loops."""
+        out = BatchBuilder()
+        out.add_many(5, [], [])
+        assert not out
+        assert out.senders() == []
+        with pytest.raises(ValueError):
+            out.add_many(1, [1, 2, 3], ["only", "two"])
+        assert len(out) == 0
+
+    def test_rejects_non_int_ids_like_message(self):
+        out = BatchBuilder()
+        with pytest.raises(TypeError, match="node ids must be ints"):
+            out.add(0, 2.5, "x")
+
+    def test_spent_after_finalize(self):
+        """Finalization hands the builder's column lists to the (frozen)
+        batches zero-copy, so adding afterwards must raise instead of
+        silently corrupting the batches' cached columns."""
+        out = BatchBuilder()
+        out.add(0, 1, "x")
+        batch = out.batches()[0]
+        with pytest.raises(TypeError, match="finalized"):
+            out.add(0, 2, "y")
+        with pytest.raises(TypeError, match="finalized"):
+            out.add_many(0, [2], ["y"])
+        assert len(batch) == 1
+        assert batch.list_cols == ([0], [1], [4])
