@@ -9,7 +9,10 @@
 #      violating rounds);
 #   4. the columnar-submission benchmark (>= 1.5x end-to-end through
 #      `exchange` on aggregation-heavy traffic at n = 1024, plus a full
-#      aggregation-run no-regression check).
+#      aggregation-run no-regression check);
+#   5. the lazy-inbox whole-run gate (>= 2x full-aggregation-run vs the
+#      frozen PR 2 baseline at n = 1024, zero Message objects constructed
+#      on the clean run).
 #
 # Timings land in BENCH_engine.json (override with BENCH_ENGINE_JSON) so CI
 # can archive the perf trajectory across PRs.
@@ -39,5 +42,8 @@ python -m pytest -q benchmarks/bench_engine_fastpath.py
 
 echo "== columnar-submission benchmark =="
 python -m pytest -q benchmarks/bench_primitives.py -k "columnar or no_regression"
+
+echo "== lazy-inbox whole-run benchmark =="
+python -m pytest -q benchmarks/bench_primitives.py -k "lazy"
 
 echo "verify: all gates passed"

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
 from ..errors import ProtocolError
-from ..ncc.message import BatchBuilder
+from ..ncc.message import BatchBuilder, InboxBatch
 from ..ncc.network import NCCNetwork
 from .topology import BFNode, ButterflyGrid
 
@@ -192,144 +192,204 @@ class CombiningRouter:
             return RoutingResult(net.round_index - start_round, results, self.trees)
 
         lightweight = _lightweight(net)
+        columns = bf.columns
+        mask = columns - 1
+        bottom = d << d  # key of (d, 0); level-d keys are >= bottom
 
-        # Per-run caches: rank/target hashes are pure per group, and the
-        # contention loop consults them once per pending packet per round.
-        rank_cache: dict[GroupT, int] = {}
-        target_cache: dict[GroupT, int] = {}
+        # Hot-state encoding: a butterfly node (level, column) becomes the
+        # int key ``(level << d) | column`` so the per-packet loops hash
+        # machine ints instead of NamedTuples and never allocate a BFNode.
+        # The unique-path hop is pure arithmetic on the key: toward target
+        # column t, the next hop fixes bit ``level`` of the column —
+        # ``((key + columns) & ~bit) | (t & bit)`` — and the hop is local
+        # (straight, same NCC host) iff ``t & bit == column & bit``.
+        queues: dict[int, dict[GroupT, Any]] = {
+            (node.level << d) | node.column: pend
+            for node, pend in self._queues.items()
+        }
+        self._queues.clear()
 
-        def rank_of(g: GroupT) -> int:
-            r = rank_cache.get(g)
-            if r is None:
-                r = rank_cache[g] = self.rank_of(g)
-            return r
-
-        def target_of(g: GroupT) -> int:
-            t = target_cache.get(g)
-            if t is None:
-                t = target_cache[g] = self.target_col_of(g)
-            return t
+        # Per-run cache: rank/target hashes are pure per group, and the
+        # contention loop consults them once per pending packet per round —
+        # ``ginfo[g] = (target_col, (rank, g))`` folds both lookups and the
+        # contention tuple into one dict probe.
+        ginfo: dict[GroupT, tuple[int, tuple[int, GroupT]]] = {}
 
         # Token state: number of tokens received over up-edges.  Level-0
         # nodes are born ready (injection finished before run()).
-        tokens: dict[BFNode, int] = {}
-        token_sent: set[BFNode] = set()
+        tokens: dict[int, int] = {}
+        token_sent: set[int] = set()
         # Nodes that may be ready to emit tokens; refilled by events.
-        token_candidates: list[BFNode] = (
-            [] if lightweight else [BFNode(0, c) for c in range(bf.columns)]
+        token_candidates: list[int] = (
+            [] if lightweight else list(range(columns))  # level-0 keys
         )
         done_at_bottom = 0
-        bottom_needed = bf.columns  # every (d, col) must receive 2 tokens
+        bottom_needed = columns  # every (d, col) must receive 2 tokens
 
-        def node_ready(node: BFNode) -> bool:
-            if node.level >= d or node in token_sent:
+        def node_ready(key: int) -> bool:
+            if key >= bottom or key in token_sent:
                 return False
-            if node in self._queues:
+            if key in queues:
                 return False
-            if node.level == 0:
+            if key < columns:  # level 0
                 return True
-            return tokens.get(node, 0) >= 2
+            return tokens.get(key, 0) >= 2
+
+        def arrive_token(key: int) -> None:
+            nonlocal done_at_bottom
+            tokens[key] = tokens.get(key, 0) + 1
+            if key >= bottom:
+                if tokens[key] == 2:
+                    done_at_bottom += 1
+            elif tokens[key] >= 2 and node_ready(key):
+                token_candidates.append(key)
+
+        # Hot-loop locals: attribute loads once per run, not per packet.
+        combine = self.combine
+        trees = self.trees
 
         while True:
             # --- select token emissions (candidates from prior rounds;
             # a token never shares a round with the edge's last data) ---
-            token_sends: list[BFNode] = []
+            token_sends: list[int] = []
             if not lightweight:
-                fresh: list[BFNode] = []
-                for node in token_candidates:
-                    if node_ready(node):
-                        fresh.append(node)
+                fresh = [key for key in token_candidates if node_ready(key)]
                 token_candidates = []
-                for node in fresh:
-                    token_sent.add(node)
-                    token_sends.append(node)
+                for key in fresh:
+                    token_sent.add(key)
+                    token_sends.append(key)
 
-            transmissions: list[tuple[BFNode, BFNode, GroupT, Any]] = []
-            # --- select one data packet per (node, edge) --------------
-            for node in list(self._queues):
-                pend = self._queues[node]
-                best: dict[BFNode, tuple[int, GroupT]] = {}
-                for g in pend:
-                    nxt = bf.down_next(node, target_of(g))
-                    cand = (rank_of(g), g)
-                    if nxt not in best or cand < best[nxt]:
-                        best[nxt] = cand
-                for nxt, (_, g) in best.items():
-                    transmissions.append((node, nxt, g, pend.pop(g)))
+            # --- select one data packet per (node, edge) and emit it
+            # straight into the round's builder / local list (one pass per
+            # packet; straight edges stay in-column = in one NCC host) ---
+            out = BatchBuilder(kind=self.kind)
+            out_add = out.add
+            local_data: list[tuple[int, GroupT, Any]] = []  # (dst key, g, val)
+            local_tokens: list[int] = []
+            sent_data = False
+            for key in list(queues):
+                pend = queues[key]
+                level = key >> d
+                bit = 1 << level
+                col = key & mask
+                col_bit = col & bit
+                lvl1 = level + 1
+                base = (key + columns) & ~bit  # the bit-cleared down-hop
+                sent_data = True
+                if len(pend) == 1:
+                    # Single pending group: it wins its edge unopposed.
+                    g = next(iter(pend))
+                    gi = ginfo.get(g)
+                    if gi is None:
+                        gi = ginfo[g] = (
+                            self.target_col_of(g),
+                            (self.rank_of(g), g),
+                        )
+                    tbit = gi[0] & bit
+                    val = pend.pop(g)
+                    if tbit == col_bit:
+                        local_data.append((base | tbit, g, val))
+                    else:
+                        out_add(col, col ^ bit, ("D", lvl1, g, val))
+                else:
+                    best: dict[int, tuple[int, GroupT]] = {}
+                    best_get = best.get
+                    for g in pend:
+                        gi = ginfo.get(g)
+                        if gi is None:
+                            gi = ginfo[g] = (
+                                self.target_col_of(g),
+                                (self.rank_of(g), g),
+                            )
+                        nxt = base | (gi[0] & bit)
+                        cand = gi[1]
+                        cur = best_get(nxt)
+                        if cur is None or cand < cur:
+                            best[nxt] = cand
+                    for nxt, (_, g) in best.items():
+                        val = pend.pop(g)
+                        ncol = nxt & mask
+                        if ncol == col:
+                            local_data.append((nxt, g, val))
+                        else:
+                            out_add(col, ncol, ("D", lvl1, g, val))
                 if not pend:
-                    del self._queues[node]
-                    if not lightweight and node_ready(node):
-                        token_candidates.append(node)
+                    del queues[key]
+                    if not lightweight and node_ready(key):
+                        token_candidates.append(key)
 
-            if not transmissions and not token_sends:
+            if not sent_data and not token_sends:
                 if lightweight:
-                    if not self._queues:
+                    if not queues:
                         break
                     raise ProtocolError("combining router deadlocked")
                 if done_at_bottom >= bottom_needed:
                     break
                 raise ProtocolError("combining router deadlocked (tokens)")
 
-            # --- build NCC messages for cross edges (columnar) --------
-            out = BatchBuilder(kind=self.kind)
-            local_data: list[tuple[BFNode, BFNode, GroupT, Any]] = []
-            local_tokens: list[BFNode] = []
-            for src, dst, g, val in transmissions:
-                if bf.is_local_edge(src, dst):
-                    local_data.append((src, dst, g, val))
-                else:
-                    out.add(
-                        bf.host(src), bf.host(dst), ("D", dst.level, g, val)
-                    )
-            for node in token_sends:
-                straight, cross = bf.down_neighbors(node)
-                local_tokens.append(straight)
+            for key in token_sends:
+                level = key >> d
+                col = key & mask
+                local_tokens.append(key + columns)  # straight down-neighbour
                 out.add(
-                    bf.host(node),
-                    bf.host(cross),
-                    ("T", cross.level),
+                    col,
+                    col ^ (1 << level),
+                    ("T", level + 1),
                     kind=self._token_kind,
                 )
 
             inboxes = net.exchange(out)
 
-            # --- apply arrivals ---------------------------------------
-            def arrive_data(dst: BFNode, g: GroupT, val: Any, src: BFNode) -> None:
-                nonlocal results
-                if self.trees is not None:
-                    self.trees.add_edge(g, dst, src)
-                if dst.level == d:
-                    results[g] = self.combine(results[g], val) if g in results else val
+            # --- apply arrivals (inlined: this runs once per packet) ---
+            for dst_key, g, val in local_data:
+                if trees is not None:
+                    # A local hop is a straight edge: the source sits one
+                    # level up in the same column.
+                    lvl = dst_key >> d
+                    c = dst_key & mask
+                    trees.add_edge(g, BFNode(lvl, c), BFNode(lvl - 1, c))
+                if dst_key >= bottom:
+                    results[g] = combine(results[g], val) if g in results else val
                 else:
-                    q = self._queues.setdefault(dst, {})
-                    q[g] = self.combine(q[g], val) if g in q else val
-
-            def arrive_token(dst: BFNode) -> None:
-                nonlocal done_at_bottom
-                tokens[dst] = tokens.get(dst, 0) + 1
-                if dst.level == d:
-                    if tokens[dst] == 2:
-                        done_at_bottom += 1
-                elif tokens[dst] >= 2 and node_ready(dst):
-                    token_candidates.append(dst)
-
-            for src, dst, g, val in local_data:
-                arrive_data(dst, g, val, src)
-            for dst in local_tokens:
-                arrive_token(dst)
+                    q = queues.get(dst_key)
+                    if q is None:
+                        queues[dst_key] = q = {}
+                    q[g] = combine(q[g], val) if g in q else val
+            for dst_key in local_tokens:
+                arrive_token(dst_key)
+            # Column read: the payloads are all the routing logic needs, so
+            # a clean batched round stays free of Message objects here
+            # (payloads_of, inlined — this is the hottest loop in the repo).
             for host, received in inboxes.items():
-                for m in received:
-                    tag = m.payload[0]
-                    if tag == "D":
-                        _, lvl, g, val = m.payload
-                        # Reconstruct source from edge structure: the cross
-                        # up-neighbour of (lvl, host) is (lvl-1, host^bit).
-                        dst = BFNode(lvl, host)
-                        src = BFNode(lvl - 1, host ^ (1 << (lvl - 1)))
-                        arrive_data(dst, g, val, src)
+                payloads = (
+                    received.payloads()
+                    if type(received) is InboxBatch
+                    else [m.payload for m in received]
+                )
+                for payload in payloads:
+                    if payload[0] == "D":
+                        _, lvl, g, val = payload
+                        if trees is not None:
+                            # Reconstruct the source from edge structure:
+                            # the cross up-neighbour of (lvl, host) is
+                            # (lvl-1, host^bit).
+                            trees.add_edge(
+                                g,
+                                BFNode(lvl, host),
+                                BFNode(lvl - 1, host ^ (1 << (lvl - 1))),
+                            )
+                        if lvl == d:
+                            results[g] = (
+                                combine(results[g], val) if g in results else val
+                            )
+                        else:
+                            dst_key = (lvl << d) | host
+                            q = queues.get(dst_key)
+                            if q is None:
+                                queues[dst_key] = q = {}
+                            q[g] = combine(q[g], val) if g in q else val
                     else:
-                        _, lvl = m.payload
-                        arrive_token(BFNode(lvl, host))
+                        arrive_token((payload[1] << d) | host)
 
         if lightweight:
             # Token wave duration: one hop per level.
@@ -397,13 +457,15 @@ class MulticastRouter:
             )
 
         lightweight = _lightweight(net)
-        rank_cache: dict[GroupT, int] = {}
+        # Contention key (rank, group) per group, cached across rounds: the
+        # per-edge minimum consults it once per queued packet per round.
+        cand_cache: dict[GroupT, tuple[int, GroupT]] = {}
 
-        def rank_of(g: GroupT) -> int:
-            r = rank_cache.get(g)
-            if r is None:
-                r = rank_cache[g] = self.rank_of(g)
-            return r
+        def cand_of(g: GroupT) -> tuple[int, GroupT]:
+            c = cand_cache.get(g)
+            if c is None:
+                c = cand_cache[g] = (self.rank_of(g), g)
+            return c
 
         tokens: dict[BFNode, int] = {}
         token_sent: set[BFNode] = set()
@@ -434,7 +496,7 @@ class MulticastRouter:
             sends: list[tuple[BFNode, BFNode, GroupT, Any]] = []
             for edge in list(out_queues):
                 q = out_queues[edge]
-                g = min(q, key=lambda gg: (rank_of(gg), gg))
+                g = min(q, key=cand_of) if len(q) > 1 else next(iter(q))
                 val = q.pop(g)
                 sends.append((edge[0], edge[1], g, val))
                 if not q:
@@ -458,13 +520,12 @@ class MulticastRouter:
             out = BatchBuilder(kind=self.kind)
             local_data: list[tuple[BFNode, GroupT, Any]] = []
             local_tokens: list[BFNode] = []
+            out_add = out.add
             for src, dst, g, val in sends:
-                if bf.is_local_edge(src, dst):
+                if src.column == dst.column:
                     local_data.append((dst, g, val))
                 else:
-                    out.add(
-                        bf.host(src), bf.host(dst), ("D", dst.level, g, val)
-                    )
+                    out_add(src.column, dst.column, ("D", dst.level, g, val))
             for node in token_sends:
                 straight, cross = bf.up_neighbors(node)
                 local_tokens.append(straight)
@@ -491,14 +552,17 @@ class MulticastRouter:
             for dst in local_tokens:
                 arrive_token(dst)
             for host, received in inboxes.items():
-                for m in received:
-                    tag = m.payload[0]
-                    if tag == "D":
-                        _, lvl, g, val = m.payload
+                payloads = (
+                    received.payloads()
+                    if type(received) is InboxBatch
+                    else [m.payload for m in received]
+                )
+                for payload in payloads:
+                    if payload[0] == "D":
+                        _, lvl, g, val = payload
                         process_arrival(BFNode(lvl, host), g, val)
                     else:
-                        _, lvl = m.payload
-                        arrive_token(BFNode(lvl, host))
+                        arrive_token(BFNode(payload[1], host))
 
         if lightweight:
             net.idle_rounds(d + 1)

@@ -31,7 +31,7 @@ try:  # pragma: no cover - exercised only on numpy-free installs
 except ImportError:  # pragma: no cover
     _np = None
 
-from ..ncc.message import MessageBatch
+from ..ncc.message import InboxBatch, MessageBatch
 from ..ncc.network import NCCNetwork
 from .model import random_vertex_partition
 
@@ -101,6 +101,16 @@ class KMachineSimulation:
             # observer time the engine has validated src == sender key.
             cols = _np.concatenate([g.int_cols[:2] for g in groups], axis=1)
             src_ids, dst_ids = cols
+        elif all(type(g) is InboxBatch for g in groups):
+            # Lazy columnar submissions: read the id columns straight off
+            # the batches — materializing Messages here would undo the
+            # whole point of the deferred round.
+            src_ids = _np.fromiter(
+                (s for g in groups for s in g.srcs()), _np.int64, total
+            )
+            dst_ids = _np.fromiter(
+                (d for g in groups for d in g.dsts()), _np.int64, total
+            )
         else:
             src_ids = _np.fromiter(
                 (src for src, msgs in per_sender.items() for _ in msgs),
@@ -131,8 +141,12 @@ class KMachineSimulation:
         local = 0
         for src, msgs in per_sender.items():
             m_src = self.assignment[src]
-            for m in msgs:
-                m_dst = self.assignment[m.dst]
+            dsts = (
+                msgs.dsts()
+                if type(msgs) is InboxBatch
+                else (m.dst for m in msgs)
+            )
+            for m_dst in map(self.assignment.__getitem__, dsts):
                 if m_src == m_dst:
                     local += 1
                 else:

@@ -19,15 +19,28 @@ columns are simply concatenated (no per-message attribute access at all);
 plain lists are lowered to columns first.  The clean round — no violations,
 no malformed input — never takes a per-message Python branch.
 
+Deferred (lazy) rounds go further still: when every group is a
+column-backed :class:`~repro.ncc.message.InboxBatch` — the default
+:class:`~repro.ncc.message.BatchBuilder` output — the send-side checks run
+entirely off construction metadata (uniform sender, bits sum/max, C-level
+min/max over the dst columns) and delivery permutes the *columns*, handing
+each destination an ``InboxBatch`` span.  A clean deferred round therefore
+constructs **zero** ``Message`` objects end-to-end, at any round size, with
+or without numpy (small or numpy-free rounds bucket the columns in plain
+Python instead of via argsort — same observables, still object-free).
+
 A round with *any* anomaly replays the canonical walks of
 :class:`~repro.ncc.engine.RoundEngine`, which keeps the violation-ledger
 order, STRICT raise points, and DROP-mode rng draws byte-for-byte identical
 to the reference engine — the invariant ``tests/test_engine_parity.py``
-certifies.  Receive-side overloads (the model-faithful DROP scenario) keep
-the bucketed argsort delivery and only walk per-inbox, not per-message.
+certifies.  (For lazy groups the walk materializes the messages, which is
+exactly what the reference engine observes.)  Receive-side overloads (the
+model-faithful DROP scenario) keep the bucketed argsort delivery and only
+walk per-inbox, not per-message.
 
-numpy is optional: without it the engine degrades to the canonical walks
-(identical behavior, no speedup), so importing this module never hard-fails.
+numpy is optional: without it non-deferred submissions degrade to the
+canonical walks (identical behavior, no speedup), so importing this module
+never hard-fails.
 """
 
 from __future__ import annotations
@@ -40,7 +53,7 @@ except ImportError:  # pragma: no cover
     _np = None
 
 from .engine import RoundEngine, RoundResult, register_engine
-from .message import Message, MessageBatch
+from .message import BuilderBatches, InboxBatch, Message, MessageBatch
 
 HAVE_NUMPY = _np is not None
 
@@ -60,6 +73,34 @@ class BatchedEngine(RoundEngine):
             return {}, 0, 0
         senders = list(per_sender.keys())
         groups = [per_sender[s] for s in senders]
+        if type(per_sender) is BuilderBatches:
+            # The builder's frozen finalize product: every group is proven
+            # column-backed, uniform-sender, whole-span and keyed by its
+            # own sender — no classification pass, no src-consistency scan,
+            # and the bit totals were tracked during accumulation.
+            return self._run_deferred(
+                senders,
+                groups,
+                trusted=True,
+                round_bits=(per_sender.bits_sum, per_sender.bits_max),
+            )
+        deferred = True
+        for g in groups:
+            # The lazy path needs builder-shaped groups: column-backed,
+            # uniform sender, whole-span (delivered spans have non-scalar
+            # srcs and resubmissions of them take the generic paths below).
+            if (
+                type(g) is not InboxBatch
+                or g._msgs is not None
+                or type(g._srcs) is not int
+                or g._start != 0
+                or g._end != len(g._payloads)
+                or not g._payloads
+            ):
+                deferred = False
+                break
+        if deferred:
+            return self._run_deferred(senders, groups)
         if _np is None:
             return self._run_walks(senders, groups)
         counts_l = [len(g) for g in groups]
@@ -207,11 +248,262 @@ class BatchedEngine(RoundEngine):
         return self._recv_walk(self._bucket(accepted)), sent_messages, sent_bits
 
     # ------------------------------------------------------------------
+    # Deferred (lazy columnar) rounds
+    # ------------------------------------------------------------------
+    def _run_deferred(
+        self, senders, groups, trusted: bool = False, round_bits=None
+    ) -> RoundResult:
+        """Execute a round whose groups are all column-backed, uniform-src
+        :class:`InboxBatch` es.  All send-side facts come from construction
+        metadata; a clean round constructs no ``Message`` anywhere.  Any
+        anomaly — bad ids, src mismatch, capacity or bits overruns —
+        replays the canonical walks (which materialize the lazy groups
+        exactly as the reference engine observes them) before any
+        statistic is touched.  ``trusted`` (the frozen ``BuilderBatches``
+        form) skips the src-consistency scan the builder already
+        guarantees, and ``round_bits`` carries its pre-tracked
+        ``(sum, max)`` bit totals."""
+        net = self.net
+        n = net.n
+        counts = []
+        m_count = 0
+        max_sent = 0
+        clean = True
+        try:
+            if round_bits is not None:
+                sent_bits, max_bits = round_bits
+                for s, g in zip(senders, groups):
+                    c = g._end
+                    counts.append(c)
+                    m_count += c
+                    if not 0 <= s < n:
+                        clean = False
+                        break
+                    if c > max_sent:
+                        max_sent = c
+            else:
+                sent_bits = 0
+                max_bits = 0
+                for s, g in zip(senders, groups):
+                    c = g._end
+                    counts.append(c)
+                    m_count += c
+                    if not 0 <= s < n or (not trusted and g._srcs != s):
+                        clean = False
+                        break
+                    agg = g._bits_agg
+                    bsum, bmax = agg if agg is not None else g.bits_agg
+                    sent_bits += bsum
+                    if bmax > max_bits:
+                        max_bits = bmax
+                    if c > max_sent:
+                        max_sent = c
+        except TypeError:
+            # A non-numeric sender key: the canonical walk raises the
+            # reference engine's error.
+            return self._run_walks(senders, groups)
+        if not clean or max_sent > net.capacity or max_bits > net.message_bits:
+            return self._run_walks(senders, groups)
+
+        delivered = self._deliver_deferred(
+            senders,
+            counts,
+            m_count,
+            max_sent,
+            [g._dsts for g in groups],
+            [g._payloads for g in groups],
+            [g._kinds for g in groups],
+        )
+        if delivered is None:  # bad/over-wide destination ids
+            return self._run_walks(senders, groups)
+        return delivered, m_count, sent_bits
+
+    def run_builder(self, builder) -> RoundResult:
+        """Execute a round straight off a deferred builder's raw columns —
+        no per-group batch objects at all on the clean path.  Anomalous,
+        eager, or empty rounds finalize normally and replay through
+        :meth:`run_round` (identical observables by construction)."""
+        if not builder._deferred or not builder._groups:
+            return self.run_round(builder.batches())
+        net = self.net
+        n = net.n
+        senders: list[int] = []
+        counts: list[int] = []
+        dcols: list[list[int]] = []
+        pcols: list[list] = []
+        kcols: list = []
+        m_count = 0
+        max_sent = 0
+        ok = True
+        for s, cols in builder._groups.items():
+            if type(s) is not int or not 0 <= s < n:
+                ok = False
+                break
+            dsts = cols[0]
+            c = len(dsts)
+            senders.append(s)
+            counts.append(c)
+            dcols.append(dsts)
+            pcols.append(cols[1])
+            kcols.append(cols[3])
+            m_count += c
+            if c > max_sent:
+                max_sent = c
+        if not ok or max_sent > net.capacity or builder._bits_max > net.message_bits:
+            return self.run_round(builder.batches())
+        delivered = self._deliver_deferred(
+            senders, counts, m_count, max_sent, dcols, pcols, kcols
+        )
+        if delivered is None:  # bad/over-wide destination ids
+            return self.run_round(builder.batches())
+        builder._spent = True
+        return delivered, m_count, builder._bits_sum
+
+    def _deliver_deferred(self, senders, counts, m_count, max_sent, dcols, pcols, kcols):
+        """Shared clean-path tail of the deferred forms: bounds-check the
+        destination columns, commit the send watermark, and deliver.
+        Returns ``None`` — with no statistic touched — when a destination
+        id is out of range or too wide for an int64 column, so the caller
+        replays the canonical walks and raises the reference errors."""
+        net = self.net
+        stats = net.stats
+        n = net.n
+        if _np is not None and m_count >= SMALL_ROUND_CUTOFF:
+            dst_l: list[int] = []
+            pay_l: list = []
+            for i, dsts in enumerate(dcols):
+                dst_l += dsts
+                pay_l += pcols[i]
+            try:
+                dst = _np.fromiter(dst_l, _np.int64, m_count)
+            except (OverflowError, TypeError, ValueError):
+                # An id beyond int64 cannot be columnar; the walks raise
+                # the canonical out-of-range error.
+                return None
+            if int(dst.min()) < 0 or int(dst.max()) >= n:
+                return None
+            if max_sent > stats.max_sent_per_round:
+                stats.max_sent_per_round = max_sent
+            return self._deliver_deferred_np(
+                senders, kcols, counts, m_count, dst, pay_l
+            )
+        for dsts in dcols:
+            if min(dsts) < 0 or max(dsts) >= n:
+                return None
+        if max_sent > stats.max_sent_per_round:
+            stats.max_sent_per_round = max_sent
+        return self._deliver_deferred_py(senders, dcols, pcols, kcols)
+
+    @staticmethod
+    def _round_kind_scalar(kcols):
+        """The single kind tag shared by every message of the round, or
+        ``None`` when tags are mixed (token traffic etc.).  ``kcols`` holds
+        one kind column (scalar str or per-message list) per group."""
+        k0 = kcols[0]
+        if type(k0) is not str:
+            return None
+        for k in kcols:
+            if k != k0:  # a list column never equals a str
+                return None
+        return k0
+
+    def _deliver_deferred_np(self, senders, kcols, counts, m_count, dst, pay_l):
+        """Argsort-bucketed delivery of the round's columns: each inbox is
+        an :class:`InboxBatch` span over the permuted (src, payload, kind)
+        columns — no object column, no ``Message``.  The src column stays
+        an int64 array (boxed lazily on access) and the bits column is
+        dropped entirely — sizes are re-derived on demand, which delivered
+        inboxes almost never need."""
+        net = self.net
+        stats = net.stats
+        per_dst = _np.bincount(dst)
+        dsts_present = _np.flatnonzero(per_dst)
+        group_counts = per_dst[dsts_present]
+        order = _np.argsort(dst, kind="stable")
+        ends = _np.cumsum(group_counts)
+        starts = ends - group_counts
+        max_recv = int(group_counts.max())
+        arrival = _np.argsort(order[starts], kind="stable")
+
+        pay_perm = _np.fromiter(pay_l, dtype=object, count=m_count).take(order).tolist()
+        snd = _np.fromiter(senders, _np.int64, len(senders))
+        cnt = _np.fromiter(counts, _np.int64, len(counts))
+        src_perm = _np.repeat(snd, cnt).take(order)
+        kind_perm = self._round_kind_scalar(kcols)
+        if kind_perm is None:
+            kinds_l: list[str] = []
+            for i, k in enumerate(kcols):
+                kinds_l += k if type(k) is list else [k] * counts[i]
+            kind_perm = (
+                _np.fromiter(kinds_l, dtype=object, count=m_count).take(order).tolist()
+            )
+
+        starts_l = starts.tolist()
+        ends_l = ends.tolist()
+        dsts_l = dsts_present.tolist()
+        over = InboxBatch._over
+        delivered: dict[int, InboxBatch] = {}
+        for j in arrival.tolist():
+            delivered[dsts_l[j]] = over(
+                src_perm, dsts_l[j], pay_perm, None, kind_perm,
+                starts_l[j], ends_l[j],
+            )
+        if max_recv <= net.capacity:
+            if max_recv > stats.max_received_per_round:
+                stats.max_received_per_round = max_recv
+            return delivered
+        # Overloaded receivers: the canonical receive walk keeps ledger
+        # order and DROP rng draws identical (sampling an InboxBatch draws
+        # the same indices a list would; only then are messages built).
+        return self._recv_walk(delivered)
+
+    def _deliver_deferred_py(self, senders, dcols, pcols, kcols):
+        """Plain-Python columnar bucketing for small or numpy-free deferred
+        rounds: one pass over the columns into per-destination column
+        lists — still zero ``Message`` construction.  (Like the numpy
+        path, the bits column is dropped; sizes re-derive on demand.)"""
+        net = self.net
+        stats = net.stats
+        kind_scalar = self._round_kind_scalar(kcols)
+        boxes: dict[int, tuple[list[int], list, list[str]]] = {}
+        for j, s in enumerate(senders):
+            pays = pcols[j]
+            kinds = kcols[j]
+            klist = kinds if type(kinds) is list else None
+            for i, d in enumerate(dcols[j]):
+                b = boxes.get(d)
+                if b is None:
+                    boxes[d] = b = ([], [], [])
+                b[0].append(s)
+                b[1].append(pays[i])
+                if kind_scalar is None:
+                    b[2].append(kinds if klist is None else klist[i])
+        over = InboxBatch._over
+        delivered: dict[int, InboxBatch] = {}
+        max_recv = 0
+        for d, (srcs, pays, kinds) in boxes.items():
+            c = len(pays)
+            if c > max_recv:
+                max_recv = c
+            delivered[d] = over(
+                srcs, d, pays, None,
+                kind_scalar if kind_scalar is not None else kinds,
+                0, c,
+            )
+        if max_recv <= net.capacity:
+            if max_recv > stats.max_received_per_round:
+                stats.max_received_per_round = max_recv
+            return delivered
+        return self._recv_walk(delivered)
+
+    # ------------------------------------------------------------------
     def _deliver(self, obj, dst, bounds) -> dict[int, list[Message]]:
         """Bucket the object column into inboxes via one stable argsort and
         enforce receive capacity.  Inboxes are emitted in first-arrival
         order and each keeps the flat (send-order) message order, matching
-        the reference engine's incremental dict bucketing."""
+        the reference engine's incremental dict bucketing.  Clean rounds
+        return message-backed :class:`InboxBatch` spans over the permuted
+        object column — no ``.tolist()``, no per-inbox list slicing."""
         net = self.net
         stats = net.stats
         dsts_present, group_counts = bounds
@@ -227,24 +519,24 @@ class BatchedEngine(RoundEngine):
         # sorting groups by it recovers first-arrival order.
         arrival = _np.argsort(order[starts], kind="stable")
 
-        permuted = obj.take(order).tolist()
+        permuted = obj.take(order)
         starts_l = starts.tolist()
         ends_l = ends.tolist()
         dsts_l = dsts_present.tolist()
 
+        of_messages = InboxBatch._of_messages
+        inboxes: dict[int, InboxBatch] = {}
+        for j in arrival.tolist():
+            inboxes[dsts_l[j]] = of_messages(
+                permuted, dsts_l[j], starts_l[j], ends_l[j]
+            )
         if max_recv <= net.capacity:
             if max_recv > stats.max_received_per_round:
                 stats.max_received_per_round = max_recv
-            delivered: dict[int, list[Message]] = {}
-            for j in arrival.tolist():
-                delivered[dsts_l[j]] = permuted[starts_l[j] : ends_l[j]]
-            return delivered
+            return inboxes
 
-        # Overloaded receivers: materialize the inboxes (still bucketed) and
-        # run the canonical receive walk for ledger/rng parity.
-        inboxes: dict[int, list[Message]] = {}
-        for j in arrival.tolist():
-            inboxes[dsts_l[j]] = permuted[starts_l[j] : ends_l[j]]
+        # Overloaded receivers: run the canonical receive walk over the
+        # (still bucketed) spans for ledger/rng parity.
         return self._recv_walk(inboxes)
 
 

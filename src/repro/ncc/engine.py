@@ -44,13 +44,19 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..config import Enforcement
 from ..errors import ConfigurationError
-from .message import Message
+from .message import InboxBatch, Message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .network import NCCNetwork
 
+#: One delivered inbox: a plain message list (reference engine, anomalous
+#: rounds) or a lazy :class:`~repro.ncc.message.InboxBatch` column view
+#: (batched engine, clean rounds).  The two compare equal element-wise and
+#: are interchangeable by the engine-indistinguishability contract.
+InboxT = list[Message] | InboxBatch
+
 #: ``run_round`` result: (delivered inboxes, sent messages, sent bits).
-RoundResult = tuple[dict[int, list[Message]], int, int]
+RoundResult = tuple[dict[int, InboxT], int, int]
 
 
 class RoundEngine:
@@ -65,6 +71,12 @@ class RoundEngine:
 
     #: Registry name; also surfaced by ``NCCNetwork.__repr__``.
     name = "abstract"
+
+    #: Optional fast entry point taking a spent-able
+    #: :class:`~repro.ncc.message.BatchBuilder` directly (same contract as
+    #: ``run_round`` over the builder's finalize product).  ``None`` means
+    #: the network finalizes the builder and calls :meth:`run_round`.
+    run_builder = None
 
     def __init__(self, net: "NCCNetwork"):
         self.net = net

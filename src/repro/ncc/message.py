@@ -11,10 +11,22 @@ sender's messages together with parallel ``(src, dst, bits)`` arrays so the
 batched round engine can account a whole group without touching per-message
 attributes.  It behaves exactly like the plain list the reference engine
 expects.
+
+:class:`InboxBatch` goes one step further: a lazy, frozen,
+``list[Message]``-compatible *view* over parallel ``(src, dst, payload,
+bits, kind)`` columns that materializes a :class:`Message` only when an
+element is actually accessed.  It serves both directions of a round: the
+(default) deferred mode of :class:`BatchBuilder` finalizes each sender's
+traffic into one, and the batched engine delivers each destination's slice
+of the round's permuted columns as one — so a clean batched-engine round
+never constructs a single ``Message`` end-to-end.  Consumers that only need
+the payload column read it via :meth:`InboxBatch.payloads` (or the
+engine-agnostic :func:`payloads_of`) without triggering materialization.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence as _SequenceABC
 from typing import Any, Iterable, Sequence
 
 try:  # pragma: no cover - exercised only on numpy-free installs
@@ -113,16 +125,47 @@ def payload_bits_memoized(payload: Any) -> int:
     ``tests/test_payload_bits_properties.py``); payloads outside the safe
     cacheable subset fall through to the plain recursive walk.
     """
-    if type(payload) is not tuple or not _memo_safe(payload):
+    if type(payload) is not tuple:
         return payload_bits(payload)
+    # Flat safety scan inlined (this is the hottest call in the simulator):
+    # scalars are checked in place, only nested tuples recurse.
+    scalars = _MEMO_SCALARS
+    for p in payload:
+        t = type(p)
+        if t not in scalars and (t is not tuple or not _memo_safe(p)):
+            return payload_bits(payload)
     hit = _BITS_MEMO.get(payload)
     if hit is not None:
         return hit
-    bits = payload_bits(payload)
+    # Memo miss on a safe tuple: size it in place (same rules as
+    # :func:`payload_bits`, one frame instead of one per element).
+    bits = 0
+    for p in payload:
+        t = p.__class__
+        if t is int:
+            bits += (p.bit_length() or 1) + (1 if p < 0 else 0)
+        elif t is str:
+            bits += 4 if len(p) <= 8 else 8 * len(p)
+        elif t is tuple:
+            bits += payload_bits_memoized(p)
+        else:  # bool / None (the only remaining memo-safe scalars)
+            bits += 1
     if len(_BITS_MEMO) >= _BITS_MEMO_LIMIT:
         _BITS_MEMO.clear()
     _BITS_MEMO[payload] = bits
     return bits
+
+
+#: Process-wide count of ``Message.__init__`` calls — the construction
+#: accounting the lazy-inbox tests assert on ("a clean batched round builds
+#: zero Message objects").  A monotone counter, never reset: tests snapshot
+#: it around the region under scrutiny.
+_construction_count = 0
+
+
+def message_construction_count() -> int:
+    """Total :class:`Message` objects constructed so far (test hook)."""
+    return _construction_count
 
 
 class Message:
@@ -136,6 +179,8 @@ class Message:
     __slots__ = ("src", "dst", "payload", "kind", "bits")
 
     def __init__(self, src: int, dst: int, payload: Any, kind: str = "", bits: int = -1):
+        global _construction_count
+        _construction_count += 1
         # Node identifiers are ints by model contract (0..n-1); rejecting
         # other numeric types here keeps every engine's id handling
         # identical (a float id would be a distinct inbox key to a
@@ -167,7 +212,19 @@ class Message:
         )
 
     def __hash__(self) -> int:
-        return hash((self.src, self.dst, repr(self.payload), self.kind))
+        # Must agree with __eq__, which compares payloads with ``==``:
+        # hashing the payload itself keeps equal-but-distinct values (1,
+        # True, 1.0) on one hash, where the old ``repr(payload)`` key split
+        # them and broke set/dict dedup.  Unhashable payloads contribute
+        # nothing to the hash — any derived key (repr included) would
+        # split equal values again ([1] == [1.0], different reprs), so
+        # those messages simply collide on (src, dst, kind) and equality
+        # disambiguates.
+        try:
+            payload_key = hash(self.payload)
+        except TypeError:
+            payload_key = 0
+        return hash((self.src, self.dst, self.kind, payload_key))
 
 
 class MessageBatch(list):
@@ -277,6 +334,10 @@ class MessageBatch(list):
         messages from one sender).
         """
         if isinstance(src, int):
+            # bool passes the int check (it subclasses int); normalize it so
+            # a ``True`` sender does not leak into the ``_uniform_src``
+            # metadata and the int64 engine columns as a non-int.
+            src = int(src)
             srcs: Sequence[int] = (src,) * len(dsts)
         else:
             srcs = src
@@ -315,9 +376,416 @@ class MessageBatch(list):
         return f"MessageBatch({list.__repr__(self)})"
 
 
+class BuilderBatches(dict):
+    """The finalize product of :class:`BatchBuilder`'s deferred mode: a
+    frozen ``sender -> InboxBatch`` mapping.
+
+    The type itself is the engine's provenance proof: every value is a
+    column-backed, uniform-sender, whole-span :class:`InboxBatch` with int
+    keys and no empty groups, so the batched engine may take its lazy
+    columnar path without a per-group classification pass.  That proof
+    only holds if the mapping cannot be edited afterwards — hence frozen.
+
+    ``bits_sum`` / ``bits_max`` carry the round-level bit aggregates the
+    builder tracked while accumulating, so the engine's send-side
+    accounting is O(1) instead of O(senders) dict walks.
+    """
+
+    __slots__ = ("bits_sum", "bits_max")
+
+    def __init__(self, bits_sum: int = 0, bits_max: int = 0):
+        super().__init__()
+        self.bits_sum = bits_sum
+        self.bits_max = bits_max
+
+    def _frozen(self, *_args: Any, **_kwargs: Any):
+        raise TypeError("BuilderBatches is immutable (engine provenance proof)")
+
+    __setitem__ = __delitem__ = _frozen
+    update = pop = popitem = clear = setdefault = _frozen
+
+
+class InboxBatch(_SequenceABC):
+    """A lazy, frozen ``list[Message]``-compatible view over parallel
+    ``(src, dst, payload, bits, kind)`` columns.
+
+    Two backings exist:
+
+    * *column-backed* — the deferred :class:`BatchBuilder` output (uniform
+      ``src``, per-message ``dst``) and the batched engine's clean-round
+      delivery (shared permuted round columns, a ``[start, end)`` span per
+      destination, uniform ``dst``).  A :class:`Message` is constructed
+      only when an element is accessed, and cached per index;
+      :meth:`payloads` / :meth:`srcs` / :meth:`items` read the columns
+      without constructing anything.
+    * *message-backed* — a span over an already-materialized message
+      column (the batched engine's eager ``MessageBatch`` delivery);
+      element access just indexes, nothing is re-built.
+
+    The view is frozen: it has no mutators, and the scalar/list columns it
+    wraps are owned by the batch (accessors return copies).  Equality is
+    element-wise against any ``list[Message]`` or other ``InboxBatch`` —
+    including order — without materializing; lists compare equal to it via
+    the reflected operator.  Like a list it is unhashable.
+    """
+
+    __slots__ = (
+        "_srcs", "_dsts", "_payloads", "_bits", "_kinds",
+        "_start", "_end", "_msgs", "_mat", "_bits_agg",
+    )
+
+    def __init__(
+        self,
+        srcs: int | Sequence[int],
+        dsts: int | Sequence[int],
+        payloads: Sequence[Any],
+        *,
+        bits: Sequence[int] | None = None,
+        kinds: str | Sequence[str] = "",
+    ):
+        k = len(payloads)
+        self._srcs = _norm_id_column(srcs, k)
+        self._dsts = _norm_id_column(dsts, k)
+        self._payloads = list(payloads)
+        if bits is None:
+            self._bits = [payload_bits_memoized(p) for p in self._payloads]
+        else:
+            self._bits = list(bits)
+            if len(self._bits) != k:
+                raise ValueError("bits column length mismatch")
+        if isinstance(kinds, str):
+            self._kinds: str | list[str] = kinds
+        else:
+            self._kinds = list(kinds)
+            if len(self._kinds) != k:
+                raise ValueError("kind column length mismatch")
+        self._start = 0
+        self._end = k
+        self._msgs = None
+        self._mat = None
+        self._bits_agg = None
+
+    # -- trusted constructors (columns already validated) ----------------
+    @classmethod
+    def _over(cls, srcs, dsts, payloads, bits, kinds, start, end, bits_agg=None):
+        """Span ``[start, end)`` over shared, pre-validated columns."""
+        self = object.__new__(cls)
+        self._srcs = srcs
+        self._dsts = dsts
+        self._payloads = payloads
+        self._bits = bits
+        self._kinds = kinds
+        self._start = start
+        self._end = end
+        self._msgs = None
+        self._mat = None
+        self._bits_agg = bits_agg
+        return self
+
+    @classmethod
+    def _of_messages(cls, msgs, dst, start, end):
+        """Span over an already-materialized message column."""
+        self = object.__new__(cls)
+        self._srcs = self._payloads = self._bits = self._kinds = None
+        self._dsts = dst
+        self._start = start
+        self._end = end
+        self._msgs = msgs
+        self._mat = None
+        self._bits_agg = None
+        return self
+
+    # -- sequence protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return self._end - self._start
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(len(self)))]
+        k = self._end - self._start
+        if i < 0:
+            i += k
+        if not 0 <= i < k:
+            raise IndexError("inbox index out of range")
+        if self._msgs is not None:
+            return self._msgs[self._start + i]
+        mat = self._mat
+        if mat is None:
+            mat = self._mat = [None] * k
+        m = mat[i]
+        if m is None:
+            j = self._start + i
+            s = self._srcs
+            if type(s) is not int:
+                s = s[j]
+                if type(s) is not int:
+                    s = int(s)  # int64 column (engine delivery)
+            d = self._dsts
+            if type(d) is not int:
+                d = d[j]
+                if type(d) is not int:
+                    d = int(d)
+            kn = self._kinds
+            if type(kn) is not str:
+                kn = kn[j]
+            b = self._bits
+            if b is None:
+                # Deferred bits column: Message re-derives the identical
+                # size (payload_bits is deterministic).
+                m = Message(s, d, self._payloads[j], kn)
+            else:
+                m = Message(s, d, self._payloads[j], kn, bits=b[j])
+            mat[i] = m
+        return m
+
+    def __iter__(self):
+        if self._msgs is not None:
+            msgs = self._msgs
+            for j in range(self._start, self._end):
+                yield msgs[j]
+        else:
+            for i in range(self._end - self._start):
+                yield self[i]
+
+    # -- per-index column reads (no materialization) ---------------------
+    def _src_at(self, i: int) -> int:
+        if self._msgs is not None:
+            return self._msgs[self._start + i].src
+        s = self._srcs
+        if type(s) is int:
+            return s
+        v = s[self._start + i]
+        return v if type(v) is int else int(v)
+
+    def _dst_at(self, i: int) -> int:
+        if self._msgs is not None:
+            return self._msgs[self._start + i].dst
+        d = self._dsts
+        if type(d) is int:
+            return d
+        v = d[self._start + i]
+        return v if type(v) is int else int(v)
+
+    def _payload_at(self, i: int) -> Any:
+        if self._msgs is not None:
+            return self._msgs[self._start + i].payload
+        return self._payloads[self._start + i]
+
+    def _kind_at(self, i: int) -> str:
+        if self._msgs is not None:
+            return self._msgs[self._start + i].kind
+        k = self._kinds
+        return k if type(k) is not list else k[self._start + i]
+
+    # -- column accessors -------------------------------------------------
+    def payloads(self) -> list[Any]:
+        """The payload column (fresh list; no ``Message`` is constructed)."""
+        if self._msgs is not None:
+            return [m.payload for m in self]
+        return self._payloads[self._start:self._end]
+
+    def srcs(self) -> list[int]:
+        """The sender column (fresh list; no ``Message`` is constructed)."""
+        if self._msgs is not None:
+            return [m.src for m in self]
+        s = self._srcs
+        if type(s) is int:
+            return [s] * (self._end - self._start)
+        col = s[self._start:self._end]
+        return col if type(col) is list else col.tolist()
+
+    def dsts(self) -> list[int]:
+        """The destination column (fresh list)."""
+        if self._msgs is not None:
+            return [m.dst for m in self]
+        d = self._dsts
+        if type(d) is int:
+            return [d] * (self._end - self._start)
+        col = d[self._start:self._end]
+        return col if type(col) is list else col.tolist()
+
+    def kinds(self) -> list[str]:
+        """The kind-tag column (fresh list)."""
+        if self._msgs is not None:
+            return [m.kind for m in self]
+        k = self._kinds
+        if type(k) is not list:
+            return [k] * (self._end - self._start)
+        return k[self._start:self._end]
+
+    def items(self) -> list[tuple[int, Any]]:
+        """``(src, payload)`` pairs, the shape most consumers unpack."""
+        return list(zip(self.srcs(), self.payloads()))
+
+    @property
+    def bits_agg(self) -> tuple[int, int]:
+        """``(sum, max)`` of the bits column (cached)."""
+        agg = self._bits_agg
+        if agg is None:
+            if self._msgs is not None:
+                col = [m.bits for m in self]
+            elif self._bits is None:
+                col = [
+                    payload_bits_memoized(p)
+                    for p in self._payloads[self._start:self._end]
+                ]
+            else:
+                col = self._bits[self._start:self._end]
+            agg = self._bits_agg = (sum(col), max(col, default=0))
+        return agg
+
+    # -- equality ---------------------------------------------------------
+    __hash__ = None  # like a list
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if isinstance(other, InboxBatch):
+            k = len(self)
+            if len(other) != k:
+                return False
+            for i in range(k):
+                if (
+                    self._src_at(i) != other._src_at(i)
+                    or self._dst_at(i) != other._dst_at(i)
+                    or self._payload_at(i) != other._payload_at(i)
+                    or self._kind_at(i) != other._kind_at(i)
+                ):
+                    return False
+            return True
+        if isinstance(other, list):
+            k = len(self)
+            if len(other) != k:
+                return False
+            for i, m in enumerate(other):
+                if not isinstance(m, Message):
+                    return NotImplemented
+                if (
+                    m.src != self._src_at(i)
+                    or m.dst != self._dst_at(i)
+                    or m.payload != self._payload_at(i)
+                    or m.kind != self._kind_at(i)
+                ):
+                    return False
+            return True
+        return NotImplemented
+
+    @classmethod
+    def _concat(cls, a: "InboxBatch", b: "InboxBatch"):
+        """Concatenate two batches; stays lazy when both are column-backed
+        (used by multi-round inbox merges), else returns a plain list."""
+        if a._msgs is not None or b._msgs is not None:
+            return list(a) + list(b)
+        ka, kb = len(a), len(b)
+        sa, sb = a._srcs, b._srcs
+        srcs = sa if type(sa) is int and type(sb) is int and sa == sb else a.srcs() + b.srcs()
+        da, db = a._dsts, b._dsts
+        dsts = da if type(da) is int and type(db) is int and da == db else a.dsts() + b.dsts()
+        kn_a, kn_b = a._kinds, b._kinds
+        if type(kn_a) is str and type(kn_b) is str and kn_a == kn_b:
+            kinds: str | list[str] = kn_a
+        else:
+            kinds = a.kinds() + b.kinds()
+        ba, bb = a._bits, b._bits
+        bits = (
+            None
+            if ba is None or bb is None
+            else ba[a._start:a._end] + bb[b._start:b._end]
+        )
+        return cls._over(
+            srcs, dsts, a.payloads() + b.payloads(), bits, kinds, 0, ka + kb
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InboxBatch({list(self)!r})"
+
+
+def _norm_id_column(ids: int | Sequence[int], k: int) -> int | list[int]:
+    """Validate and normalize a node-id column: a scalar stays scalar
+    (bool normalized to int), a sequence must be ``k`` ints."""
+    if isinstance(ids, int):
+        return int(ids)
+    col = list(ids)
+    if len(col) != k:
+        raise ValueError("id column length mismatch")
+    for x in col:
+        if not isinstance(x, int):
+            raise TypeError(f"node ids must be ints, got {type(x).__name__}")
+    return col
+
+
+def payloads_of(inbox: Sequence[Message] | InboxBatch) -> list[Any]:
+    """Payload column of one inbox, engine-agnostic.
+
+    For an :class:`InboxBatch` this reads the column without constructing
+    ``Message`` objects; for a plain list it walks the attributes.  The hot
+    consumers (routers, primitives) read inboxes through this so clean
+    batched-engine rounds stay object-free end-to-end.
+    """
+    if isinstance(inbox, InboxBatch):
+        return inbox.payloads()
+    return [m.payload for m in inbox]
+
+
+def srcs_of(inbox: Sequence[Message] | InboxBatch) -> list[int]:
+    """Sender column of one inbox, engine-agnostic (see :func:`payloads_of`)."""
+    if isinstance(inbox, InboxBatch):
+        return inbox.srcs()
+    return [m.src for m in inbox]
+
+
+def items_of(inbox: Sequence[Message] | InboxBatch) -> list[tuple[int, Any]]:
+    """``(src, payload)`` pairs of one inbox, engine-agnostic."""
+    if isinstance(inbox, InboxBatch):
+        return inbox.items()
+    return [(m.src, m.payload) for m in inbox]
+
+
+def merge_round_inboxes(
+    merged: dict[int, list[Message] | InboxBatch],
+    inbox: dict[int, list[Message] | InboxBatch],
+) -> None:
+    """Fold one round's inboxes into an accumulating per-receiver dict.
+
+    Preserves arrival order and keeps column-backed batches lazy: merging
+    two ``InboxBatch``es concatenates their columns instead of
+    materializing messages.  Plain lists are copied (never aliased) so the
+    accumulator owns everything it holds.
+    """
+    for dst, msgs in inbox.items():
+        cur = merged.get(dst)
+        if cur is None:
+            merged[dst] = msgs if isinstance(msgs, InboxBatch) else list(msgs)
+        elif isinstance(cur, InboxBatch) and isinstance(msgs, InboxBatch):
+            merged[dst] = InboxBatch._concat(cur, msgs)
+        else:
+            lst = cur if type(cur) is list else list(cur)
+            lst.extend(msgs)
+            merged[dst] = lst
+
+
+#: Process-wide default for :class:`BatchBuilder`'s deferred mode.  True
+#: (the shipped default) means builders record columns and finalize into
+#: lazy :class:`InboxBatch` groups — no ``Message`` is constructed unless
+#: an engine or consumer actually touches one.  The eager mode (False)
+#: reproduces the pre-lazy pipeline (``Message`` built in :meth:`add`,
+#: :class:`MessageBatch` groups) and is kept as the measured baseline of
+#: ``benchmarks/bench_primitives.py``'s whole-run gate.
+_DEFERRED_DEFAULT = True
+
+
+def set_deferred_submission(flag: bool) -> bool:
+    """Set the process-wide deferred-submission default; returns the
+    previous value (benchmark/test hook — always restore)."""
+    global _DEFERRED_DEFAULT
+    previous = _DEFERRED_DEFAULT
+    _DEFERRED_DEFAULT = bool(flag)
+    return previous
+
+
 class BatchBuilder:
     """Accumulates one round's ``(dst, payload)`` pairs per sender and
-    finalizes them into per-sender :class:`MessageBatch` groups.
+    finalizes them into per-sender columnar groups.
 
     This is the columnar submission helper every primitive uses: instead of
     materializing a flat ``list[Message]`` and letting
@@ -326,23 +794,36 @@ class BatchBuilder:
     builder itself.  :meth:`batches` groups by sender in first-occurrence
     order with per-sender append order preserved — exactly the normalization
     ``exchange`` applies to a flat iterable — so the submission form is
-    observably identical under every engine, while the batched engine gets
-    cached columns to concatenate instead of per-message attribute walks.
+    observably identical under every engine.
+
+    In the default *deferred* mode only the ``(dst, payload, bits, kind)``
+    columns are recorded and finalization produces lazy
+    :class:`InboxBatch` groups: no ``Message`` object exists unless the
+    reference walk (or a consumer) materializes one.  Eager mode
+    (``deferred=False`` or :func:`set_deferred_submission`) builds the
+    ``Message`` in :meth:`add` and finalizes into :class:`MessageBatch`
+    groups, reproducing the previous pipeline.
 
     A builder is single-shot: it belongs to one round.  ``kind`` set at
     construction tags every message; :meth:`add` may override it per message
     (e.g. routers mixing data and token traffic from one sender).
     """
 
-    __slots__ = ("kind", "_groups", "_spent")
+    __slots__ = ("kind", "_groups", "_spent", "_deferred", "_bits_sum", "_bits_max")
 
-    def __init__(self, kind: str = ""):
+    def __init__(self, kind: str = "", *, deferred: bool | None = None):
         self.kind = kind
-        # src -> (messages, dsts, bits): the Message is built once, here,
-        # and its columns are captured as a by-product — finalization never
-        # re-walks the messages.
-        self._groups: dict[int, tuple[list[Message], list[int], list[int]]] = {}
+        # Deferred: src -> [dsts, payloads, bits, kinds] where ``kinds`` is
+        # the scalar tag until a per-message override forces a column.
+        # Eager: src -> (messages, dsts, bits) — the Message is built once,
+        # in add(), and its columns captured as a by-product.
+        self._groups: dict[int, Any] = {}
         self._spent = False
+        self._deferred = _DEFERRED_DEFAULT if deferred is None else bool(deferred)
+        # Round-level bit aggregates, tracked as messages are queued so the
+        # engine's send-side accounting needs no per-group reduction.
+        self._bits_sum = 0
+        self._bits_max = 0
 
     def add(self, src: int, dst: int, payload: Any, kind: str | None = None) -> None:
         """Queue one ``src -> dst`` message carrying ``payload``."""
@@ -351,13 +832,46 @@ class BatchBuilder:
                 "BatchBuilder already finalized (its batches share the "
                 "builder's columns; adding would corrupt them)"
             )
-        m = Message(src, dst, payload, self.kind if kind is None else kind)
+        if not self._deferred:
+            m = Message(src, dst, payload, self.kind if kind is None else kind)
+            g = self._groups.get(src)
+            if g is None:
+                self._groups[src] = g = ([], [], [])
+            g[0].append(m)
+            g[1].append(dst)
+            g[2].append(m.bits)
+            return
+        # Deferred: same validation and sizing the Message constructor
+        # would perform, minus the object.  (type() fast path; the
+        # isinstance retry accepts bool/IntEnum ids like the Message
+        # constructor does, but normalizes them to plain ints — a bool in
+        # a column would corrupt the delivered inbox keys/scalars.)
+        if type(src) is not int or type(dst) is not int:
+            if not isinstance(src, int) or not isinstance(dst, int):
+                raise TypeError(
+                    f"node ids must be ints, got "
+                    f"{type(src).__name__} -> {type(dst).__name__}"
+                )
+            src = int(src)
+            dst = int(dst)
+        bits = payload_bits_memoized(payload)
+        self._bits_sum += bits
+        if bits > self._bits_max:
+            self._bits_max = bits
+        k = self.kind if kind is None else kind
         g = self._groups.get(src)
         if g is None:
-            self._groups[src] = g = ([], [], [])
-        g[0].append(m)
-        g[1].append(dst)
-        g[2].append(m.bits)
+            self._groups[src] = [[dst], [payload], [bits], k]
+            return
+        g[0].append(dst)
+        g[1].append(payload)
+        g[2].append(bits)
+        kinds = g[3]
+        if type(kinds) is list:
+            kinds.append(k)
+        elif k != kinds:
+            # First override in this group: expand the scalar to a column.
+            g[3] = [kinds] * (len(g[0]) - 1) + [k]
 
     def add_many(
         self, src: int, dsts: Iterable[int], payloads: Iterable[Any]
@@ -373,23 +887,60 @@ class BatchBuilder:
                 "BatchBuilder already finalized (its batches share the "
                 "builder's columns; adding would corrupt them)"
             )
-        kind = self.kind
-        msgs: list[Message] = []
-        dst_l: list[int] = []
-        bits_l: list[int] = []
-        for d, p in zip(dsts, payloads, strict=True):
-            m = Message(src, d, p, kind)
-            msgs.append(m)
-            dst_l.append(d)
-            bits_l.append(m.bits)
-        if not msgs:
+        if not self._deferred:
+            kind = self.kind
+            msgs: list[Message] = []
+            dst_l: list[int] = []
+            bits_l: list[int] = []
+            for d, p in zip(dsts, payloads, strict=True):
+                m = Message(src, d, p, kind)
+                msgs.append(m)
+                dst_l.append(d)
+                bits_l.append(m.bits)
+            if not msgs:
+                return
+            g = self._groups.get(src)
+            if g is None:
+                self._groups[src] = g = ([], [], [])
+            g[0].extend(msgs)
+            g[1].extend(dst_l)
+            g[2].extend(bits_l)
             return
+        if type(src) is not int:
+            if not isinstance(src, int):
+                raise TypeError(f"node ids must be ints, got {type(src).__name__}")
+            src = int(src)
+        dst_l = list(dsts)
+        pay_l = list(payloads)
+        if len(dst_l) != len(pay_l):
+            raise ValueError("add_many requires parallel columns of equal length")
+        for i, d in enumerate(dst_l):
+            if type(d) is not int:
+                if not isinstance(d, int):
+                    raise TypeError(
+                        f"node ids must be ints, got "
+                        f"{type(src).__name__} -> {type(d).__name__}"
+                    )
+                dst_l[i] = int(d)
+        bits_l = [payload_bits_memoized(p) for p in pay_l]
+        if not dst_l:
+            return
+        self._bits_sum += sum(bits_l)
+        mx = max(bits_l)
+        if mx > self._bits_max:
+            self._bits_max = mx
         g = self._groups.get(src)
         if g is None:
-            self._groups[src] = g = ([], [], [])
-        g[0].extend(msgs)
-        g[1].extend(dst_l)
+            self._groups[src] = [dst_l, pay_l, bits_l, self.kind]
+            return
+        g[0].extend(dst_l)
+        g[1].extend(pay_l)
         g[2].extend(bits_l)
+        kinds = g[3]
+        if type(kinds) is list:
+            kinds.extend([self.kind] * len(dst_l))
+        elif self.kind != kinds:
+            g[3] = [kinds] * (len(g[0]) - len(dst_l)) + [self.kind] * len(dst_l)
 
     def __len__(self) -> int:
         return sum(len(g[0]) for g in self._groups.values())
@@ -400,17 +951,39 @@ class BatchBuilder:
     def senders(self) -> list[int]:
         return list(self._groups)
 
-    def batches(self) -> dict[int, MessageBatch]:
+    def batches(self) -> "dict[int, MessageBatch] | BuilderBatches":
         """Finalize into per-sender batches with pre-captured columns.
 
-        Finalization is zero-copy: the batches take ownership of the
-        builder's lists, so the builder is spent afterwards — further
-        ``add`` calls raise (a stale alias would silently corrupt the
-        frozen batches' cached columns).
+        Deferred mode yields lazy :class:`InboxBatch` groups inside a
+        frozen :class:`BuilderBatches` mapping (the engine's proof that the
+        lazy columnar path applies); eager mode yields plain
+        :class:`MessageBatch` groups.  Finalization is zero-copy either
+        way: the batches take ownership of the builder's lists, so the
+        builder is spent afterwards — further ``add`` calls raise (a stale
+        alias would silently corrupt the frozen batches' cached columns).
         """
         self._spent = True
+        # ``int(src)`` normalizes a (pathological) bool sender key so the
+        # finalize product can be fed to an engine as-is — the same
+        # coercion ``exchange`` applies to Mapping submissions.
+        if self._deferred:
+            lazy = BuilderBatches(self._bits_sum, self._bits_max)
+            lazy_set = dict.__setitem__  # lazy itself is frozen
+            over = InboxBatch._over
+            for src, (dsts, pays, bits, kinds) in self._groups.items():
+                if type(src) is not int:
+                    src = int(src)
+                # Per-group bit aggregates stay lazy (InboxBatch derives
+                # and caches them if the batch is ever resubmitted solo);
+                # the round-level aggregates ride on the mapping itself.
+                lazy_set(
+                    lazy, src, over(src, dsts, pays, bits, kinds, 0, len(dsts))
+                )
+            return lazy
         out: dict[int, MessageBatch] = {}
         for src, (msgs, dsts, bits) in self._groups.items():
+            if type(src) is not int:
+                src = int(src)
             batch = MessageBatch(msgs)
             batch._list_cols = ([src] * len(msgs), dsts, bits)
             batch._uniform_src = src

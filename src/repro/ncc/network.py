@@ -50,8 +50,8 @@ from typing import Iterable, Iterator, Mapping
 
 from ..config import DEFAULT_CONFIG, Enforcement, NCCConfig
 from ..errors import CapacityError, MessageSizeError, SimulationLimitError
-from .engine import RoundEngine, build_engine
-from .message import BatchBuilder, Message
+from .engine import InboxT, RoundEngine, build_engine
+from .message import BatchBuilder, InboxBatch, Message, merge_round_inboxes
 from .stats import NetworkStats, Violation
 
 OutgoingT = Mapping[int, list[Message]] | Iterable[Message] | BatchBuilder
@@ -118,16 +118,23 @@ class NCCNetwork:
     # ------------------------------------------------------------------
     # The round
     # ------------------------------------------------------------------
-    def exchange(self, outgoing: OutgoingT) -> dict[int, list[Message]]:
+    def exchange(self, outgoing: OutgoingT) -> dict[int, InboxT]:
         """Run one synchronous round.
 
         ``outgoing`` maps each sender to its messages, or is a flat iterable
         of messages, or a :class:`~repro.ncc.message.BatchBuilder` holding
-        the round's traffic in columnar form.  Returns the inbox of every
-        node that received at least one message.  Messages are received "at the beginning of the next
-        round" (Section 1.1); since the caller drives rounds explicitly, that
-        simply means the return value is available to the caller's next
-        iteration.
+        the round's traffic in columnar form.
+
+        Returns the inbox of every node that received at least one message,
+        keyed by receiver in first-arrival order.  The model says messages
+        are received "at the beginning of the next round" (Section 1.1);
+        since the caller drives rounds explicitly, that simply means the
+        return value is available to the caller's next iteration.  Each
+        inbox is ``list[Message]``-compatible but not necessarily a list:
+        the batched engine delivers lazy
+        :class:`~repro.ncc.message.InboxBatch` column views on clean rounds
+        (element access materializes a ``Message``; ``payloads()`` and
+        friends read the columns without constructing any).
         """
         if self._round >= self.config.max_rounds:
             raise SimulationLimitError(
@@ -136,9 +143,24 @@ class NCCNetwork:
 
         if isinstance(outgoing, BatchBuilder):
             # Columnar submission: the builder finalizes straight into
-            # per-sender MessageBatch groups (first-occurrence sender order,
-            # per-sender append order — identical to flat-list bucketing).
-            outgoing = outgoing.batches()
+            # per-sender groups (first-occurrence sender order, per-sender
+            # append order — identical to flat-list bucketing) with int
+            # keys and no empty groups, so the normalization loop below
+            # would be a no-op.  An engine that can consume the builder's
+            # raw columns does so directly (skipping the per-group batch
+            # objects); with an observer installed the batch form is
+            # materialized anyway because observers receive the mapping.
+            if self.round_observer is None:
+                run_builder = self.engine.run_builder
+                if run_builder is not None:
+                    delivered, sent_messages, sent_bits = run_builder(outgoing)
+                    self._round += 1
+                    self.stats.record_round(
+                        tuple(self._phase_stack), sent_messages, sent_bits
+                    )
+                    return delivered
+            per_sender = outgoing.batches()
+            return self._finish_round(per_sender)
 
         per_sender: dict[int, list[Message]] = {}
         if isinstance(outgoing, Mapping):
@@ -148,15 +170,25 @@ class NCCNetwork:
                     existing = per_sender.get(src)
                     if existing is None:
                         # Engines never mutate a sender's group, so the
-                        # caller's list (or MessageBatch) can be shared
-                        # instead of copied.
-                        per_sender[src] = msgs if isinstance(msgs, list) else list(msgs)
+                        # caller's list (or MessageBatch / InboxBatch) can
+                        # be shared instead of copied — listing an
+                        # InboxBatch here would defeat its laziness.
+                        per_sender[src] = (
+                            msgs
+                            if isinstance(msgs, (list, InboxBatch))
+                            else list(msgs)
+                        )
                     else:  # distinct keys coercing to the same int
-                        per_sender[src] = existing + list(msgs)
+                        per_sender[src] = list(existing) + list(msgs)
         else:
             for m in outgoing:
                 per_sender.setdefault(m.src, []).append(m)
 
+        return self._finish_round(per_sender)
+
+    def _finish_round(self, per_sender: Mapping[int, list[Message]]) -> dict[int, InboxT]:
+        """Engine dispatch + round bookkeeping shared by every submission
+        form of :meth:`exchange`."""
         delivered, sent_messages, sent_bits = self.engine.run_round(per_sender)
 
         if self.round_observer is not None:
@@ -167,23 +199,29 @@ class NCCNetwork:
 
     def run_rounds(
         self, schedule: Mapping[int, list[Message]]
-    ) -> dict[int, list[Message]]:
+    ) -> dict[int, InboxT]:
         """Run a multi-round send schedule keyed by round offset.
 
         ``schedule[r]`` is the list of messages sent in the r-th round from
-        now (0-based).  All inboxes are merged into one dict keyed by
-        receiver; useful for the "pick a random round in {1..s}" spreading
-        pattern the paper uses repeatedly.  Rounds with no traffic still
-        elapse (they are part of the protocol's fixed-length window).
-        Every round goes through :meth:`exchange` and therefore through the
-        configured round engine.
+        now (0-based); negative keys are rejected — they can never elapse,
+        so their traffic would silently vanish.  All inboxes are merged
+        into one dict keyed by receiver; useful for the "pick a random
+        round in {1..s}" spreading pattern the paper uses repeatedly.
+        Rounds with no traffic still elapse (they are part of the
+        protocol's fixed-length window).  Every round goes through
+        :meth:`exchange` and therefore through the configured round engine.
         """
-        merged: dict[int, list[Message]] = {}
+        negative = sorted(r for r in schedule if r < 0)
+        if negative:
+            raise ValueError(
+                f"run_rounds schedule keys must be 0-based round offsets; "
+                f"got negative keys {negative} whose traffic would never "
+                f"be sent"
+            )
+        merged: dict[int, InboxT] = {}
         horizon = max(schedule.keys(), default=-1)
         for r in range(horizon + 1):
-            inb = self.exchange(schedule.get(r, ()))
-            for dst, msgs in inb.items():
-                merged.setdefault(dst, []).extend(msgs)
+            merge_round_inboxes(merged, self.exchange(schedule.get(r, ())))
         return merged
 
     def idle_rounds(self, k: int) -> None:

@@ -65,7 +65,17 @@ class NetworkStats:
         self.rounds += 1
         self.messages += messages
         self.bits += bits
-        for label in active_phases:
+        labels = (
+            active_phases
+            if isinstance(active_phases, tuple)
+            else tuple(active_phases)
+        )
+        if len(labels) > 1:
+            # The phase stack is raw nesting: a label nested inside itself
+            # (e.g. a primitive reentered under the same tag) must charge
+            # each round/message/bit once, not once per stack level.
+            labels = dict.fromkeys(labels)
+        for label in labels:
             ps = self.phases.setdefault(label, PhaseStats())
             ps.rounds += 1
             ps.messages += messages

@@ -23,7 +23,7 @@ from collections import deque
 from typing import Any, Iterable, Mapping
 
 from ..butterfly.topology import ButterflyGrid
-from ..ncc.message import BatchBuilder
+from ..ncc.message import BatchBuilder, payloads_of
 from ..ncc.network import NCCNetwork
 from .functions import Aggregate
 
@@ -58,8 +58,8 @@ def aggregate_and_broadcast(
         if bf.emulates(u):
             acc[u] = fn(acc[u], v) if u in acc else v
     for host, received in inbox.items():
-        for m in received:
-            v = m.payload[1]
+        for payload in payloads_of(received):
+            v = payload[1]
             acc[host] = fn(acc[host], v) if host in acc else v
 
     # Aggregation phase: d rounds, level i -> i+1, fixing bit i to 0.
@@ -75,8 +75,8 @@ def aggregate_and_broadcast(
                 out.add(col, target, ("A", v))
         inbox = net.exchange(out)
         for host, received in inbox.items():
-            for m in received:
-                v = m.payload[1]
+            for payload in payloads_of(received):
+                v = payload[1]
                 nxt[host] = fn(nxt[host], v) if host in nxt else v
         acc = nxt
 
@@ -171,17 +171,18 @@ def pipelined_broadcast(
             batch = [q.popleft() for _ in range(take)]
             if not q:
                 del fifos[u]
+            # One wrapped column serves both children (the builder copies
+            # nothing — payload refs are shared on the wire model too).
+            wrapped = [("B", it) for it in batch]
             for child in (2 * u + 1, 2 * u + 2):
                 if child < n:
-                    out.add_many(
-                        u, (child,) * take, [("B", it) for it in batch]
-                    )
+                    out.add_many(u, (child,) * take, wrapped)
         if not out:
             break
         inbox = net.exchange(out)
         for v, rec in inbox.items():
-            for m in rec:
-                item = m.payload[1]
+            for payload in payloads_of(rec):
+                item = payload[1]
                 if v != src:
                     received[v].append(item)
                 if 2 * v + 1 < n:
@@ -222,8 +223,7 @@ def gather_to_root(
         (u, u, v) for u, v in items.items() if bf.emulates(u)
     ]
     for host, rec in inbox.items():
-        for m in rec:
-            _, owner, v = m.payload
+        for _tag, owner, v in payloads_of(rec):
             injected.append((host, owner, v))
 
     router = CombiningRouter(

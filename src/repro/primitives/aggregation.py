@@ -27,7 +27,7 @@ from typing import Any, Hashable, Mapping
 
 from ..butterfly.routing import CombiningRouter
 from ..butterfly.topology import ButterflyGrid
-from ..ncc.message import BatchBuilder
+from ..ncc.message import BatchBuilder, payloads_of
 from ..ncc.network import NCCNetwork
 from ..rng import SharedRandomness
 from .aggregate_broadcast import barrier
@@ -138,9 +138,8 @@ def run_aggregation(
                 pending[r].add(u, col, ("I", col, g, value))
         for round_msgs in pending:
             inbox = net.exchange(round_msgs)
-            for host, msgs in inbox.items():
-                for m in msgs:
-                    _, col, g, value = m.payload
+            for msgs in inbox.values():
+                for _tag, col, g, value in payloads_of(msgs):
                     router.inject(col, g, value)
         barrier(net, bf)
 
@@ -161,8 +160,7 @@ def run_aggregation(
         for r in range(window):
             inbox = net.exchange(schedule[r])
             for t, msgs in inbox.items():
-                for m in msgs:
-                    _, g, value = m.payload
+                for _tag, g, value in payloads_of(msgs):
                     outcome.values[g] = value
                     outcome.by_target.setdefault(t, {})[g] = value
         barrier(net, bf)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
-from ..ncc.message import BatchBuilder, Message, MessageBatch
+from ..ncc.message import BatchBuilder, InboxBatch, Message, merge_round_inboxes
 from ..ncc.network import NCCNetwork
 
 SendT = tuple[int, int, Any]  # (src, dst, payload)
@@ -23,12 +23,12 @@ ColumnsT = Mapping[int, tuple[list[int], list[Any]]]
 
 def send_direct(
     net: NCCNetwork, sends: Iterable[SendT], *, kind: str = "direct"
-) -> dict[int, list[Message]]:
+) -> dict[int, list[Message] | InboxBatch]:
     """One round of direct messages; returns the inboxes.
 
-    Sends are grouped per sender into columnar
-    :class:`~repro.ncc.message.MessageBatch` submissions so the batched
-    round engine can account them without per-message walks; sender order
+    Sends are grouped per sender into lazy columnar submissions (the
+    builder's deferred mode) so the batched round engine can account and
+    deliver them without constructing ``Message`` objects; sender order
     (first occurrence) and per-sender message order match what a flat
     message list would produce, so the round is engine- and
     representation-independent.
@@ -41,7 +41,7 @@ def send_direct(
 
 def send_chunked(
     net: NCCNetwork, per_source: ColumnsT, chunk: int, *, kind: str = "direct"
-) -> Iterator[dict[int, list[Message]]]:
+) -> Iterator[dict[int, list[Message] | InboxBatch]]:
     """Drain per-sender column queues at ``chunk`` messages per round.
 
     Every sender advances through its queue in lockstep (round ``r`` sends
@@ -49,7 +49,8 @@ def send_chunked(
     sources hand off more packets than the capacity allows (multicast and
     multi-aggregation root handoffs, final keyed deliveries).  At least one
     round always elapses, even with no traffic.  Yields each round's
-    inboxes; rounds are submitted columnar.
+    inboxes; rounds are submitted columnar (lazily — the column slices go
+    straight into the builder, no ``Message`` objects).
     """
     if chunk < 1:
         raise ValueError("chunk must be >= 1")
@@ -60,13 +61,10 @@ def send_chunked(
     rounds_needed = max(1, rounds_needed)
     for r in range(rounds_needed):
         lo, hi = r * chunk, (r + 1) * chunk
-        out = {
-            src: MessageBatch.from_columns(
-                src, dsts[lo:hi], payloads[lo:hi], kind=kind
-            )
-            for src, (dsts, payloads) in per_source.items()
-            if lo < len(dsts)
-        }
+        out = BatchBuilder(kind=kind)
+        for src, (dsts, payloads) in per_source.items():
+            if lo < len(dsts):
+                out.add_many(src, dsts[lo:hi], payloads[lo:hi])
         yield net.exchange(out)
 
 
@@ -78,14 +76,16 @@ def spread_exchange(
     round_of: Callable[[int, SendT], int] | None = None,
     rng=None,
     kind: str = "direct-spread",
-) -> dict[int, list[Message]]:
+) -> dict[int, list[Message] | InboxBatch]:
     """Send messages spread over ``window`` rounds; merge all inboxes.
 
     ``round_of(index, send)`` may pin a message to a specific round in
     ``[0, window)`` (the paper's hash-selected rounds, e.g. ``r(id(e))`` in
     Stage 3); otherwise rounds are chosen uniformly via ``rng`` (falling
     back to a deterministic stripe).  The window always elapses fully —
-    these are fixed-length protocol sub-phases.
+    these are fixed-length protocol sub-phases.  The merged inboxes stay
+    lazy when the engine delivered column views (concatenating columns,
+    not messages).
     """
     if window < 1:
         raise ValueError("window must be >= 1")
@@ -99,11 +99,9 @@ def spread_exchange(
         else:
             r = idx % window
         schedule[r].add(src, dst, payload)
-    merged: dict[int, list[Message]] = {}
+    merged: dict[int, list[Message] | InboxBatch] = {}
     for r in range(window):
-        inbox = net.exchange(schedule[r])
-        for dst, msgs in inbox.items():
-            merged.setdefault(dst, []).extend(msgs)
+        merge_round_inboxes(merged, net.exchange(schedule[r]))
     return merged
 
 

@@ -22,7 +22,7 @@ from typing import Any, Callable, Hashable, Mapping
 
 from ..butterfly.routing import CombiningRouter, MulticastRouter, TreeSet
 from ..butterfly.topology import ButterflyGrid
-from ..ncc.message import BatchBuilder
+from ..ncc.message import BatchBuilder, payloads_of
 from ..ncc.network import NCCNetwork
 from ..rng import SharedRandomness
 from .aggregate_broadcast import barrier
@@ -108,9 +108,8 @@ def run_multi_aggregation(
             c[1].append(("M", g, payload))
         root_packets: dict[GroupT, Any] = {}
         for inbox in send_chunked(net, per_source, net.capacity, kind=kind):
-            for host, received in inbox.items():
-                for m in received:
-                    _, g, payload = m.payload
+            for received in inbox.values():
+                for _tag, g, payload in payloads_of(received):
                     root_packets[g] = payload
 
         # ---- Spreading phase.
@@ -158,9 +157,8 @@ def run_multi_aggregation(
                 pending[r].add(host, dest, ("S", dest, rgroup, value))
         for round_msgs in pending:
             inbox = net.exchange(round_msgs)
-            for host, ms in inbox.items():
-                for m in ms:
-                    _, col2, rgroup, value = m.payload
+            for ms in inbox.values():
+                for _tag, col2, rgroup, value in payloads_of(ms):
                     router.inject(col2, rgroup, value)
         barrier(net, bf)
 
@@ -179,8 +177,7 @@ def run_multi_aggregation(
             c[1].append(("R", rgroup, value))
         for inbox in send_chunked(net, per_root, net.capacity, kind=kind):
             for u, ms in inbox.items():
-                for m in ms:
-                    _, rgroup, value = m.payload
+                for _tag, rgroup, value in payloads_of(ms):
                     if result_key is None:
                         outcome.values[u] = value
                     else:

@@ -20,7 +20,7 @@ from typing import Any, Hashable, Mapping
 
 from ..butterfly.routing import MulticastRouter, TreeSet
 from ..butterfly.topology import ButterflyGrid
-from ..ncc.message import BatchBuilder
+from ..ncc.message import BatchBuilder, payloads_of
 from ..ncc.network import NCCNetwork
 from ..rng import SharedRandomness
 from .aggregate_broadcast import barrier
@@ -90,9 +90,8 @@ def run_multicast(
             c[1].append(("M", g, payload))
         root_packets: dict[GroupT, Any] = {}
         for inbox in send_chunked(net, per_source, net.capacity, kind=kind):
-            for host, received in inbox.items():
-                for m in received:
-                    _, g, payload = m.payload
+            for received in inbox.values():
+                for _tag, g, payload in payloads_of(received):
                     root_packets[g] = payload
 
         # ---- Spreading phase down the recorded trees.
@@ -118,8 +117,7 @@ def run_multicast(
         for r in range(window):
             inbox = net.exchange(schedule[r])
             for u, received in inbox.items():
-                for m in received:
-                    _, g, payload = m.payload
+                for _tag, g, payload in payloads_of(received):
                     outcome.received.setdefault(u, {})[g] = payload
         barrier(net, bf)
 

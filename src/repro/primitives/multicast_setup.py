@@ -16,7 +16,7 @@ from typing import Hashable, Iterable, Mapping
 
 from ..butterfly.routing import CombiningRouter, TreeSet
 from ..butterfly.topology import BFNode, ButterflyGrid
-from ..ncc.message import BatchBuilder
+from ..ncc.message import BatchBuilder, payloads_of
 from ..ncc.network import NCCNetwork
 from ..rng import SharedRandomness
 from .aggregate_broadcast import barrier
@@ -109,9 +109,8 @@ def setup_multicast_trees_delegated(
                 pending[r].add(u, col, ("J", col, g, member))
         for round_msgs in pending:
             inbox = net.exchange(round_msgs)
-            for host, msgs in inbox.items():
-                for m in msgs:
-                    _, col, g, member = m.payload
+            for msgs in inbox.values():
+                for _tag, col, g, member in payloads_of(msgs):
                     router.inject(col, g, member)
                     trees.add_leaf_member(g, col, member)
         barrier(net, bf)

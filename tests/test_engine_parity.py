@@ -22,6 +22,8 @@ import random
 
 import pytest
 
+import repro.ncc.batched as batched_mod
+import repro.ncc.message as message_mod
 from repro import Enforcement, NCCConfig, NCCRuntime, ReproError
 from repro.algorithms.bfs import BFSAlgorithm
 from repro.algorithms.broadcast_trees import build_broadcast_trees
@@ -33,7 +35,13 @@ from repro.algorithms.mis import MISAlgorithm
 from repro.algorithms.mst import MSTAlgorithm
 from repro.algorithms.orientation import OrientationAlgorithm
 from repro.graphs import generators, weights
-from repro.ncc.message import Message, MessageBatch
+from repro.ncc.message import (
+    BatchBuilder,
+    InboxBatch,
+    Message,
+    MessageBatch,
+    message_construction_count,
+)
 from repro.ncc.network import NCCNetwork
 
 ENGINES = ("reference", "batched")
@@ -438,4 +446,209 @@ class TestExchangeFuzzParity:
             with pytest.raises(ValueError) as e:
                 net.exchange({0: msgs})
             outcomes[engine] = (str(e.value), net.stats.comparable())
+        assert outcomes["reference"] == outcomes["batched"]
+
+
+# ----------------------------------------------------------------------
+# Lazy inbox (InboxBatch) delivery: list-equivalence + zero construction
+# ----------------------------------------------------------------------
+def _deferred_round_traffic(n, per_sender_count, *, mixed_kinds=False):
+    """One deterministic deferred round: every node sends ``per_sender_count``
+    messages along shifted permutations (clean at <= capacity)."""
+    out = BatchBuilder(kind="lazy")
+    for u in range(n):
+        for i in range(per_sender_count):
+            kind = "lazy:token" if mixed_kinds and i == 0 else None
+            out.add(u, (u + i + 1) % n, ("P", u, i), kind=kind)
+    return out
+
+
+@pytest.mark.engine("reference")  # differential by construction
+class TestInboxBatchParity:
+    """The batched engine delivers lazy ``InboxBatch`` column views; they
+    must be observably interchangeable with the reference engine's plain
+    lists — content, list order, dict insertion order, statistics — in
+    every enforcement mode, while constructing zero ``Message`` objects on
+    clean rounds."""
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    @pytest.mark.parametrize("count", [2, 8], ids=["small", "argsort"])
+    @pytest.mark.parametrize("mixed", [False, True], ids=["uniform-kind", "mixed-kind"])
+    def test_deferred_round_indistinguishable(self, mode, count, mixed):
+        n = 32
+        inboxes = {}
+        stats = {}
+        for engine in ENGINES:
+            net = NCCNetwork(n, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            inboxes[engine] = net.exchange(
+                _deferred_round_traffic(n, count, mixed_kinds=mixed)
+            )
+            stats[engine] = net.stats.comparable()
+        ref, bat = inboxes["reference"], inboxes["batched"]
+        assert stats["reference"] == stats["batched"]
+        # Dict equality AND order, both comparison directions.
+        assert list(ref.keys()) == list(bat.keys())
+        assert ref == bat
+        assert [(d, m) for d, m in bat.items()] == [(d, m) for d, m in ref.items()]
+        # The batched engine delivered lazy views; the reference, lists.
+        assert all(type(box) is list for box in ref.values())
+        assert all(type(box) is InboxBatch for box in bat.values())
+        # Column accessors agree with the reference lists without
+        # constructing messages.
+        before = message_construction_count()
+        for dst, box in bat.items():
+            assert box.payloads() == [m.payload for m in ref[dst]]
+            assert box.srcs() == [m.src for m in ref[dst]]
+            assert box.dsts() == [dst] * len(ref[dst])
+            assert box.kinds() == [m.kind for m in ref[dst]]
+            assert box.items() == [(m.src, m.payload) for m in ref[dst]]
+        assert message_construction_count() == before
+
+    @pytest.mark.parametrize("count", [2, 8], ids=["small", "argsort"])
+    def test_clean_batched_round_constructs_zero_messages(self, count):
+        n = 32
+        net = NCCNetwork(
+            n, NCCConfig(seed=1, enforcement=Enforcement.COUNT, engine="batched")
+        )
+        out = _deferred_round_traffic(n, count)
+        before = message_construction_count()
+        inbox = net.exchange(out)
+        assert message_construction_count() == before, (
+            "a clean batched round must not construct Message objects"
+        )
+        # Materialization happens exactly when elements are touched.
+        m = next(iter(inbox.values()))[0]
+        assert message_construction_count() == before + 1
+        assert isinstance(m, Message)
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_resubmitted_inbox_batches_indistinguishable(self, mode):
+        """Delivered InboxBatches can be re-exchanged: as flat traffic they
+        re-bucket by the messages' own senders; as a Mapping keyed by the
+        old receivers both engines must reject the src mismatch
+        identically (mixed-src groups take the generic paths)."""
+        outcomes = {}
+        for engine in ENGINES:
+            net = NCCNetwork(
+                32, NCCConfig(seed=1, enforcement=mode, engine=engine)
+            )
+            inbox = net.exchange(_deferred_round_traffic(32, 3))
+            flat = [m for box in inbox.values() for m in box]
+            second = net.exchange(flat)
+            resub = {dst: box for dst, box in inbox.items()}
+            try:
+                net.exchange(resub)
+                third = ("delivered",)
+            except (ReproError, ValueError) as e:
+                third = (type(e).__name__, str(e))
+            outcomes[engine] = (
+                [(d, list(m)) for d, m in second.items()],
+                third,
+                net.stats.comparable(),
+            )
+        assert outcomes["reference"] == outcomes["batched"]
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_deferred_overload_walks_match(self, mode):
+        """Receive overload through deferred submission: DROP draws, the
+        violation ledger, and STRICT raises must match the reference."""
+        n = 64
+        outcomes = {}
+        for engine in ENGINES:
+            net = NCCNetwork(n, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            out = BatchBuilder(kind="hot")
+            for u in range(net.capacity + 10):
+                out.add(u, 0, ("h", u))
+            try:
+                inbox = net.exchange(out)
+                outcomes[engine] = (
+                    "ok",
+                    [(d, sorted(m.payload[1] for m in msgs)) for d, msgs in inbox.items()],
+                    net.stats.comparable(),
+                )
+            except ReproError as e:
+                outcomes[engine] = (type(e).__name__, str(e), net.stats.comparable())
+        assert outcomes["reference"] == outcomes["batched"]
+
+    def test_deferred_bad_ids_walk_to_reference_errors(self):
+        """Out-of-range ids inside a deferred submission raise the
+        reference engine's ValueError under both engines — for both the
+        small and the argsort-sized round, and including ids too wide for
+        an int64 column (which must not surface as OverflowError)."""
+        for count, bad_dst in ((2, 99), (8, 99), (2, 2**63), (8, 2**63)):
+            outcomes = {}
+            for engine in ENGINES:
+                net = NCCNetwork(16, NCCConfig(seed=1, engine=engine))
+                out = BatchBuilder()
+                for u in range(16):
+                    for i in range(count):
+                        out.add(u, (u + i + 1) % 16, i)
+                out.add(3, bad_dst, "bad")
+                with pytest.raises(ValueError) as e:
+                    net.exchange(out)
+                outcomes[engine] = (str(e.value), net.stats.comparable())
+            assert outcomes["reference"] == outcomes["batched"]
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_duplicate_coercing_keys_merge_inbox_batches(self, mode):
+        """Mapping submissions with distinct keys coercing to one int must
+        merge even when the first value is a delivered InboxBatch."""
+        outcomes = {}
+        for engine in ENGINES:
+            net = NCCNetwork(32, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            inbox = net.exchange(_deferred_round_traffic(32, 2))
+            box = inbox[2]  # receiver 2's batch: all messages have dst 2
+            # 2.5 and 2 are distinct dict keys but coerce to one sender.
+            resent = {2.5: box, 2: [Message(2, 5, "extra")]}
+            try:
+                second = net.exchange(resent)
+                outcomes[engine] = (
+                    "ok",
+                    [(d, list(m)) for d, m in second.items()],
+                    net.stats.comparable(),
+                )
+            except (ReproError, ValueError) as e:
+                outcomes[engine] = (type(e).__name__, str(e), net.stats.comparable())
+        assert outcomes["reference"] == outcomes["batched"]
+
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    def test_numpy_free_degraded_path(self, mode, monkeypatch):
+        """Without numpy the deferred path buckets the columns in plain
+        Python: still InboxBatch delivery, still zero construction on
+        clean rounds, still indistinguishable from the reference."""
+        monkeypatch.setattr(batched_mod, "_np", None)
+        monkeypatch.setattr(message_mod, "_np", None)
+        n = 32
+        inboxes = {}
+        stats = {}
+        constructed = {}
+        for engine in ENGINES:
+            net = NCCNetwork(n, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            before = message_construction_count()
+            inboxes[engine] = net.exchange(_deferred_round_traffic(n, 8))
+            constructed[engine] = message_construction_count() - before
+            stats[engine] = net.stats.comparable()
+        assert stats["reference"] == stats["batched"]
+        assert inboxes["reference"] == inboxes["batched"]
+        assert list(inboxes["reference"]) == list(inboxes["batched"])
+        assert constructed["batched"] == 0
+        assert constructed["reference"] > 0
+        assert all(type(b) is InboxBatch for b in inboxes["batched"].values())
+
+    def test_numpy_free_overload_parity(self, monkeypatch):
+        monkeypatch.setattr(batched_mod, "_np", None)
+        monkeypatch.setattr(message_mod, "_np", None)
+        outcomes = {}
+        for engine in ENGINES:
+            net = NCCNetwork(
+                64, NCCConfig(seed=1, enforcement=Enforcement.DROP, engine=engine)
+            )
+            out = BatchBuilder(kind="hot")
+            for u in range(net.capacity + 10):
+                out.add(u, 0, ("h", u))
+            inbox = net.exchange(out)
+            outcomes[engine] = (
+                [(d, sorted(m.payload[1] for m in msgs)) for d, msgs in inbox.items()],
+                net.stats.comparable(),
+            )
         assert outcomes["reference"] == outcomes["batched"]

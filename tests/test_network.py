@@ -54,6 +54,20 @@ class TestExchangeMechanics:
         assert nw.round_index == 4  # rounds 0..3 all elapse
         assert {m.payload for m in merged[1]} == {"a", "b"}
 
+    def test_run_rounds_rejects_negative_keys(self):
+        """Regression: ``horizon = max(keys)`` silently dropped any traffic
+        scheduled under a negative round key (messages vanished, zero
+        rounds elapsed).  Negative offsets are schedule bugs — raise."""
+        nw = net()
+        with pytest.raises(ValueError, match="negative"):
+            nw.run_rounds({-2: [Message(0, 1, "lost")]})
+        assert nw.round_index == 0  # nothing elapsed before the rejection
+        with pytest.raises(ValueError, match=r"\[-3, -1\]"):
+            nw.run_rounds(
+                {-1: [Message(0, 1, "a")], -3: [], 2: [Message(0, 1, "b")]}
+            )
+        assert nw.round_index == 0
+
     def test_idle_rounds(self):
         nw = net()
         nw.idle_rounds(7)

@@ -28,6 +28,37 @@ class TestNetworkStats:
         assert s.phase("a:b").rounds == 1
         assert s.phase("a:b").messages == 4
 
+    def test_nested_same_label_counts_once(self):
+        """Regression: a label nested inside itself (phase("x") within
+        phase("x")) must charge each round/message/bit once, not once per
+        stack level."""
+        s = NetworkStats()
+        s.record_round(("x", "x"), messages=4, bits=40)
+        assert s.phase("x").rounds == 1
+        assert s.phase("x").messages == 4
+        assert s.phase("x").bits == 40
+        # Totals are unaffected by the dedup.
+        assert (s.rounds, s.messages, s.bits) == (1, 4, 40)
+
+    def test_nested_same_label_deep_and_mixed(self):
+        s = NetworkStats()
+        s.record_round(("a", "b", "a", "a"), messages=2, bits=6)
+        assert s.phase("a").as_dict() == {
+            "rounds": 1, "messages": 2, "bits": 6, "entries": 0,
+        }
+        assert s.phase("b").rounds == 1
+
+    def test_nested_same_label_end_to_end(self):
+        from repro import Enforcement, NCCConfig, NCCNetwork
+        from repro.ncc.message import Message
+
+        nw = NCCNetwork(8, NCCConfig(seed=1, enforcement=Enforcement.COUNT))
+        with nw.phase("x"):
+            with nw.phase("x"):
+                nw.exchange([Message(0, 1, 1)])
+        ps = nw.stats.phase("x")
+        assert (ps.rounds, ps.messages, ps.entries) == (1, 1, 2)
+
     def test_phase_entries(self):
         s = NetworkStats()
         s.record_phase_entry("x")
