@@ -1,0 +1,89 @@
+"""Experiment-API sweep gates: parallel Session speedup + determinism.
+
+Two claims behind ``Session.run_many``:
+
+* **P-SWEEP (speedup)** — on a machine with ≥ 2 cores, fanning a scenario
+  grid out over worker processes is measurably faster than running it
+  serially (the runs are independent simulations; the only shared state is
+  the immutable spec list).  Gated at ≥ 1.2× with jobs=2 — conservative so
+  CI runners with noisy neighbours pass, while still failing if the pool
+  ever serializes (lock contention, pickling the world, …).
+* **byte-determinism** — the parallel JSONL is byte-identical to the
+  serial JSONL (also covered per-spec in ``tests/test_session.py``; here
+  it rides along on the big grid for free).
+
+Timings land in ``BENCH_engine.json`` under ``sweep_session`` so the CI
+artifact tracks sweep throughput across PRs.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.api import Session, sweep_grid
+
+from .conftest import emit_bench_json, run_once
+
+SEED = 1
+
+#: the gated grid: heavy enough that per-run work dominates pool overhead
+#: (~10 s serial), small enough for CI.
+GRID = sweep_grid(["mst", "mis", "matching"], [48, 64], seeds=[0, 1])
+
+
+def _run_grid(jobs: int):
+    t0 = time.perf_counter()
+    reports = Session().run_many(GRID, jobs=jobs)
+    return reports, time.perf_counter() - t0
+
+
+def test_sweep_parallel_speedup(benchmark, report):
+    cores = os.cpu_count() or 1
+    serial_reports, serial_s = _run_grid(jobs=1)
+    parallel_reports, parallel_s = _run_grid(jobs=2)
+
+    assert all(r.correct for r in serial_reports)
+    serial_lines = [r.to_json_line() for r in serial_reports]
+    parallel_lines = [r.to_json_line() for r in parallel_reports]
+    assert serial_lines == parallel_lines, "parallel sweep is not deterministic"
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    emit_bench_json(
+        "sweep_session",
+        {
+            "grid_runs": len(GRID),
+            "cores": cores,
+            "serial_s": round(serial_s, 3),
+            "parallel_jobs2_s": round(parallel_s, 3),
+            "speedup_jobs2": round(speedup, 2),
+        },
+    )
+    report(
+        f"Session sweep throughput ({len(GRID)} runs: 3 algos x 2 sizes x 2 seeds)\n"
+        f"  cores={cores}  serial={serial_s:.2f}s  jobs=2={parallel_s:.2f}s  "
+        f"speedup={speedup:.2f}x\n"
+        f"  JSONL byte-identical across jobs: yes"
+    )
+
+    if cores < 2:
+        pytest.skip("speedup gate needs >= 2 cores; determinism still checked")
+    assert speedup >= 1.2, (
+        f"parallel sweep not measurably faster: {speedup:.2f}x "
+        f"(serial {serial_s:.2f}s vs jobs=2 {parallel_s:.2f}s)"
+    )
+
+
+def test_sweep_caching_amortizes_setup(benchmark, report):
+    """Per-n butterfly/workload caching: re-running a spec in one session
+    must not rebuild the instance (same objects, same report bytes)."""
+    session = Session()
+    spec = GRID[1]
+    first = session.run(spec)
+    workloads = dict(session._workload_cache)
+    grids = dict(session._bf_cache)
+    second = session.run(spec)
+    assert session._workload_cache == workloads
+    assert session._bf_cache == grids
+    assert first.to_json_line() == second.to_json_line()
+    run_once(benchmark, lambda: session.run(spec))

@@ -11,17 +11,20 @@ Two sweeps probe the two variables of the bound:
 
 import pytest
 
-from repro.analysis import tables
+from repro.registry import get_algorithm
 from repro.analysis.complexity import rank_models
 from repro.analysis.reporting import format_table
 
 from .conftest import run_once
 
+# Row runners resolved through the algorithm registry.
+run_bfs_row = get_algorithm("bfs").run_row
+
 SEED = 1
 
 
 def test_bfs_grid_diameter_sweep(benchmark, report):
-    rows = [tables.run_bfs_row(n, family="grid", seed=SEED) for n in (16, 36, 64, 144, 256)]
+    rows = [run_bfs_row(n, family="grid", seed=SEED) for n in (16, 36, 64, 144, 256)]
     assert all(r["correct"] for r in rows)
     assert all(r["violations"] == 0 for r in rows)
 
@@ -42,11 +45,11 @@ def test_bfs_grid_diameter_sweep(benchmark, report):
         + "\n  model fits (best first): "
         + "; ".join(f"{f.model} nrmse={f.rmse:.2f}" for f in fits[:3])
     )
-    run_once(benchmark, lambda: tables.run_bfs_row(64, family="grid", seed=SEED))
+    run_once(benchmark, lambda: run_bfs_row(64, family="grid", seed=SEED))
 
 
 def test_bfs_arboricity_sweep(benchmark, report):
-    rows = [tables.run_bfs_row(96, a=a, seed=SEED) for a in (1, 2, 4, 8)]
+    rows = [run_bfs_row(96, a=a, seed=SEED) for a in (1, 2, 4, 8)]
     assert all(r["correct"] for r in rows)
     # Forest unions have tiny diameter; rounds should grow sublinearly in a
     # (the a-term rides inside one log n factor).
@@ -58,4 +61,4 @@ def test_bfs_arboricity_sweep(benchmark, report):
             title="T1-BFS arboricity sweep at n=96",
         )
     )
-    run_once(benchmark, lambda: tables.run_bfs_row(64, a=4, seed=SEED))
+    run_once(benchmark, lambda: run_bfs_row(64, a=4, seed=SEED))

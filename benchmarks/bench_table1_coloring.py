@@ -6,17 +6,20 @@ colors used ≤ 2(1+ε)â = O(a), independent of ∆ (the star row pins that).""
 
 import pytest
 
-from repro.analysis import tables
+from repro.registry import bench_config, get_algorithm
 from repro.analysis.complexity import rank_models
 from repro.analysis.reporting import format_table
 
 from .conftest import run_once
 
+# Row runners resolved through the algorithm registry.
+run_coloring_row = get_algorithm("coloring").run_row
+
 SEED = 1
 
 
 def test_coloring_n_sweep(benchmark, report):
-    rows = [tables.run_coloring_row(n, a=2, seed=SEED) for n in (32, 64, 128, 256)]
+    rows = [run_coloring_row(n, a=2, seed=SEED) for n in (32, 64, 128, 256)]
     assert all(r["correct"] for r in rows)
     assert all(r["violations"] == 0 for r in rows)
 
@@ -38,7 +41,7 @@ def test_coloring_n_sweep(benchmark, report):
         + "\n  model fits (best first): "
         + "; ".join(f"{f.model} nrmse={f.rmse:.2f}" for f in fits[:3])
     )
-    run_once(benchmark, lambda: tables.run_coloring_row(64, a=2, seed=SEED))
+    run_once(benchmark, lambda: run_coloring_row(64, a=2, seed=SEED))
 
 
 def test_coloring_quality_independent_of_delta(benchmark, report):
@@ -51,7 +54,7 @@ def test_coloring_quality_independent_of_delta(benchmark, report):
     rows = []
     for n in (32, 64, 128):
         g = generators.star(n)
-        rt = NCCRuntime(n, tables.bench_config(SEED))
+        rt = NCCRuntime(n, bench_config(SEED))
         res = ColoringAlgorithm(rt, g).run()
         assert is_proper_coloring(g, res.colors)
         rows.append([n, n - 1, res.a_hat, res.palette_size, res.colors_used()])
@@ -67,7 +70,7 @@ def test_coloring_quality_independent_of_delta(benchmark, report):
 
 
 def test_coloring_arboricity_sweep(benchmark, report):
-    rows = [tables.run_coloring_row(96, a=a, seed=SEED) for a in (1, 2, 4)]
+    rows = [run_coloring_row(96, a=a, seed=SEED) for a in (1, 2, 4)]
     assert all(r["correct"] for r in rows)
     # Palette grows linearly in â (the 2(1+ε)â formula).
     palettes = [r["palette"] for r in rows]
@@ -79,4 +82,4 @@ def test_coloring_arboricity_sweep(benchmark, report):
             title="T1-COL arboricity sweep at n=96",
         )
     )
-    run_once(benchmark, lambda: tables.run_coloring_row(48, a=4, seed=SEED))
+    run_once(benchmark, lambda: run_coloring_row(48, a=4, seed=SEED))

@@ -12,11 +12,14 @@ models.  The reproduction claim holds when
 
 import pytest
 
-from repro.analysis import tables
+from repro.registry import bench_config, get_algorithm
 from repro.analysis.complexity import PAPER_MODELS, growth_exponent, rank_models
 from repro.analysis.reporting import format_table
 
 from .conftest import run_once
+
+# Row runners resolved through the algorithm registry.
+run_mst_row = get_algorithm("mst").run_row
 
 NS = [16, 32, 64, 96]
 SEED = 1
@@ -24,7 +27,7 @@ SEED = 1
 
 @pytest.fixture(scope="module")
 def sweep_rows():
-    return [tables.run_mst_row(n, a=2, seed=SEED) for n in NS]
+    return [run_mst_row(n, a=2, seed=SEED) for n in NS]
 
 
 def test_mst_sweep(benchmark, sweep_rows, report):
@@ -61,7 +64,7 @@ def test_mst_sweep(benchmark, sweep_rows, report):
     )
 
     # Wall-time benchmark: one representative mid-size run.
-    run_once(benchmark, lambda: tables.run_mst_row(48, a=2, seed=SEED))
+    run_once(benchmark, lambda: run_mst_row(48, a=2, seed=SEED))
 
 
 def test_mst_weight_regimes(benchmark, report):
@@ -79,7 +82,7 @@ def test_mst_weight_regimes(benchmark, report):
         ("all-ties", lambda g: weights.with_constant_weights(g)),
     ]:
         g = wfn(base)
-        rt = NCCRuntime(32, tables.bench_config(SEED))
+        rt = NCCRuntime(32, bench_config(SEED))
         res = MSTAlgorithm(rt, g).run()
         rows.append([regime, res.rounds, res.phases, res.edges == kruskal_msf(g)])
         assert rows[-1][-1]

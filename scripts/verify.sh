@@ -12,7 +12,11 @@
 #      aggregation-run no-regression check);
 #   5. the lazy-inbox whole-run gate (>= 2x full-aggregation-run vs the
 #      frozen PR 2 baseline at n = 1024, zero Message objects constructed
-#      on the clean run).
+#      on the clean run);
+#   6. the experiment-API sweep gates (Session.run_many byte-deterministic
+#      for any jobs value; >= 1.2x parallel speedup when >= 2 cores), plus
+#      a `python -m repro sweep` smoke whose JSONL lands in
+#      SWEEP_results.jsonl (override with SWEEP_JSONL) for the CI artifact.
 #
 # Timings land in BENCH_engine.json (override with BENCH_ENGINE_JSON) so CI
 # can archive the perf trajectory across PRs.
@@ -45,5 +49,13 @@ python -m pytest -q benchmarks/bench_primitives.py -k "columnar or no_regression
 
 echo "== lazy-inbox whole-run benchmark =="
 python -m pytest -q benchmarks/bench_primitives.py -k "lazy"
+
+echo "== sweep session benchmark =="
+python -m pytest -q benchmarks/bench_sweep.py
+
+echo "== sweep smoke (parallel Session + JSONL) =="
+python -m repro sweep --algos mst --ns 32 --seeds 0:2 --jobs 2 --out - \
+    > "${SWEEP_JSONL:-SWEEP_results.jsonl}"
+echo "sweep smoke wrote $(wc -l < "${SWEEP_JSONL:-SWEEP_results.jsonl}") reports"
 
 echo "verify: all gates passed"

@@ -6,7 +6,28 @@ model, its communication primitives, and the paper's graph algorithms
 the comparison substrates (sequential and naive baselines, Congested Clique
 separation experiments, the k-machine simulation of Appendix A).
 
-Quickstart::
+Quickstart — the experiment API (registry + RunSpec/RunReport + Session)::
+
+    from repro import RunSpec, Session
+
+    session = Session()
+    report = session.run(RunSpec("mst", n=64, seed=3))
+    print(report.rounds, report.correct, report.engine)
+
+    # A whole scenario grid, fanned out over worker processes, persisted
+    # as deterministic RunReport JSONL (same bytes for any jobs= value):
+    from repro.api import sweep_grid
+    specs = sweep_grid(["mst", "mis"], [64, 128], seeds=range(5))
+    reports = session.run_many(specs, jobs=8, out="results.jsonl")
+
+Every algorithm is discoverable through :mod:`repro.registry`
+(:func:`~repro.registry.get_algorithm`, names or aliases like ``"MM"``),
+and the same registry drives the CLI (``python -m repro sweep --algos
+mst,mis --ns 64,128 --seeds 0:5 --jobs 8 --out results.jsonl``), the
+benchmarks, and the engine-parity harness.
+
+The lower-level substrate is unchanged — build a runtime and run an
+algorithm object directly when you need the raw result::
 
     from repro import NCCRuntime, InputGraph
     from repro.algorithms import MSTAlgorithm
@@ -33,7 +54,21 @@ from .ncc.graph_input import InputGraph
 from .ncc.network import NCCNetwork
 from .runtime import NCCRuntime
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: experiment-API symbols re-exported lazily (keeps ``import repro`` light
+#: and the algorithm modules unimported until first registry use).
+_API_EXPORTS = {
+    "AlgorithmSpec": "registry",
+    "RunReport": "api",
+    "RunSpec": "api",
+    "Session": "api",
+    "UnknownAlgorithmError": "registry",
+    "algorithm_names": "registry",
+    "get_algorithm": "registry",
+    "iter_algorithms": "registry",
+    "register_algorithm": "registry",
+}
 
 __all__ = [
     "NCCRuntime",
@@ -50,4 +85,14 @@ __all__ = [
     "SimulationLimitError",
     "InputGraphError",
     "__version__",
+    *sorted(_API_EXPORTS),
 ]
+
+
+def __getattr__(name: str):
+    module = _API_EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{module}", __name__), name)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from ..ncc.graph_input import InputGraph
 from ..primitives.functions import MAX, MIN
+from ..registry import register_algorithm
 from ..runtime import NCCRuntime
 from .broadcast_trees import BroadcastTrees, build_broadcast_trees, neighborhood_multi_aggregate
 
@@ -93,3 +94,49 @@ class BFSAlgorithm:
             phases=phases,
             rounds=rt.net.round_index - start_round,
         )
+
+
+# ----------------------------------------------------------------------
+# Registry entry (Table 1 row T1-BFS)
+# ----------------------------------------------------------------------
+def _workload(n: int, a: int, seed: int, family: str = "forest") -> InputGraph:
+    from ..graphs import generators
+    from ..registry import standard_workload
+
+    if family == "grid":
+        side = max(2, int(round(n**0.5)))
+        return generators.grid(side, side)
+    return standard_workload(n, a, seed)
+
+
+def _check(g: InputGraph, result: BFSResult, params: dict) -> bool:
+    from ..baselines.sequential import bfs_tree
+
+    expected, _ = bfs_tree(g, result.source)
+    return result.dist == expected
+
+
+def _describe(g: InputGraph, result: BFSResult, rt: NCCRuntime, params: dict) -> dict:
+    from ..registry import describe_workload
+
+    family = params.get("family", "forest")
+    row = describe_workload(
+        g, with_diameter=True, a_known=(3 if family == "grid" else params["a"])
+    )
+    row.update(rounds=result.rounds, phases=result.phases)
+    return row
+
+
+@register_algorithm(
+    "bfs",
+    aliases=("BFS", "bfs-tree"),
+    summary="BFS tree over broadcast trees (frontier multicasts)",
+    bound="O((a + D + log n) log n)",
+    table1_key="BFS",
+    build_workload=_workload,
+    check=_check,
+    describe=_describe,
+    workload_options=("family",),
+)
+def _run(rt: NCCRuntime, g: InputGraph, *, source: int = 0) -> BFSResult:
+    return BFSAlgorithm(rt, g).run(source)

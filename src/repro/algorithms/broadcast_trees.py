@@ -20,6 +20,7 @@ from typing import Any, Callable, Mapping
 from ..butterfly.routing import TreeSet
 from ..ncc.graph_input import InputGraph
 from ..primitives.functions import Aggregate
+from ..registry import register_algorithm, standard_workload
 from ..runtime import NCCRuntime
 from .orientation import Orientation, OrientationAlgorithm
 
@@ -105,3 +106,63 @@ def neighborhood_multi_aggregate(
         kind=kind,
     )
     return out.values
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+def _check(g: InputGraph, result: BroadcastTrees, params: dict) -> bool:
+    # Group u must be exactly N(u): every neighbour appears as a leaf member
+    # of u's tree, and each tree with members has a root.
+    for u in range(g.n):
+        expected = set(g.neighbors(u))
+        members = {
+            m for ms in result.trees.leaf_members.get(u, {}).values() for m in ms
+        }
+        if members != expected:
+            return False
+        if expected and u not in result.trees.root:
+            return False
+    return True
+
+
+def _describe(
+    g: InputGraph, result: BroadcastTrees, rt: NCCRuntime, params: dict
+) -> dict:
+    from ..registry import describe_workload
+
+    row = describe_workload(g, a_known=params["a"])
+    row.update(
+        rounds=result.setup_rounds + result.orientation_rounds,
+        setup_rounds=result.setup_rounds,
+        orientation_rounds=result.orientation_rounds,
+        congestion=result.congestion(),
+        max_outdegree=result.orientation.max_outdegree,
+    )
+    return row
+
+
+def _parity(rt: NCCRuntime, g: InputGraph):
+    bt = build_broadcast_trees(rt, g)
+    return (
+        bt.setup_rounds,
+        bt.orientation_rounds,
+        bt.congestion(),
+        bt.orientation.out_neighbors,
+        bt.trees.root,
+        bt.trees.leaf_members,
+    )
+
+
+@register_algorithm(
+    "broadcast_trees",
+    aliases=("broadcast-trees", "bt"),
+    summary="per-node neighbourhood multicast trees (Lemma 5.1 setup)",
+    bound="O(a + log n) setup",
+    build_workload=standard_workload,
+    check=_check,
+    describe=_describe,
+    parity=_parity,
+)
+def _run(rt: NCCRuntime, g: InputGraph) -> BroadcastTrees:
+    return build_broadcast_trees(rt, g)

@@ -31,6 +31,7 @@ from ..errors import ProtocolError
 from ..ncc.graph_input import InputGraph
 from ..primitives.aggregation import AggregationProblem
 from ..primitives.functions import MAX, SUM
+from ..registry import register_algorithm, standard_workload
 from ..runtime import NCCRuntime
 from .orientation import Orientation, OrientationAlgorithm
 
@@ -228,3 +229,44 @@ class ColoringAlgorithm:
             repetitions=repetitions,
             rounds=rt.net.round_index - start_round,
         )
+
+
+# ----------------------------------------------------------------------
+# Registry entry (Table 1 row T1-COL)
+# ----------------------------------------------------------------------
+def _check(g: InputGraph, result: ColoringResult, params: dict) -> bool:
+    from ..baselines.sequential import is_proper_coloring
+
+    return (
+        is_proper_coloring(g, result.colors)
+        and result.colors_used() <= result.palette_size
+    )
+
+
+def _describe(
+    g: InputGraph, result: ColoringResult, rt: NCCRuntime, params: dict
+) -> dict:
+    from ..registry import describe_workload
+
+    row = describe_workload(g, a_known=params["a"])
+    row.update(
+        rounds=result.rounds,
+        repetitions=result.repetitions,
+        colors_used=result.colors_used(),
+        palette=result.palette_size,
+    )
+    return row
+
+
+@register_algorithm(
+    "coloring",
+    aliases=("COL", "col", "o(a)-coloring"),
+    summary="O(a)-coloring over the orientation's level structure",
+    bound="O((a + log n) log^{3/2} n)",
+    table1_key="COL",
+    build_workload=standard_workload,
+    check=_check,
+    describe=_describe,
+)
+def _run(rt: NCCRuntime, g: InputGraph) -> ColoringResult:
+    return ColoringAlgorithm(rt, g).run()

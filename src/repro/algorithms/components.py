@@ -21,6 +21,7 @@ from ..errors import ProtocolError
 from ..ncc.graph_input import InputGraph, canonical_edge
 from ..primitives.direct import send_direct
 from ..primitives.functions import MAX, MIN
+from ..registry import register_algorithm, standard_workload
 from ..runtime import NCCRuntime
 from .findmin import EdgeSketcher, find_lightest_edges
 from .mst import HEADS, TAILS
@@ -234,3 +235,63 @@ class ConnectedComponentsAlgorithm:
             tag=rt.shared.fresh_tag("cc-trees"),
             kind="components:tree-rebuild",
         )
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+def _union_find_labels(n: int, edges) -> list[int]:
+    """Min-id component label per node under the given edge set."""
+    labels = list(range(n))
+
+    def find(u: int) -> int:
+        while labels[u] != u:
+            labels[u] = labels[labels[u]]
+            u = labels[u]
+        return u
+
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            labels[max(ru, rv)] = min(ru, rv)
+    return [find(u) for u in range(n)]
+
+
+def _check(g: InputGraph, result: ComponentsResult, params: dict) -> bool:
+    expected = _union_find_labels(g.n, g.edges())
+    if result.labels != expected:
+        return False
+    # The forest must be genuine graph edges forming the same partition with
+    # n - c edges (which forces acyclicity).
+    if len(result.forest) != g.n - result.component_count:
+        return False
+    if not all(g.has_edge(u, v) for u, v in result.forest):
+        return False
+    return _union_find_labels(g.n, result.forest) == expected
+
+
+def _describe(
+    g: InputGraph, result: ComponentsResult, rt: NCCRuntime, params: dict
+) -> dict:
+    from ..registry import describe_workload
+
+    row = describe_workload(g, a_known=params["a"])
+    row.update(
+        rounds=result.rounds,
+        phases=result.phases,
+        components=result.component_count,
+    )
+    return row
+
+
+@register_algorithm(
+    "components",
+    aliases=("CC", "connected-components"),
+    summary="connected components / spanning forest (unweighted Boruvka)",
+    bound="O(log^3 n)",
+    build_workload=standard_workload,
+    check=_check,
+    describe=_describe,
+)
+def _run(rt: NCCRuntime, g: InputGraph) -> ComponentsResult:
+    return ConnectedComponentsAlgorithm(rt, g).run()

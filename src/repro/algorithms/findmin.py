@@ -34,6 +34,7 @@ from ..hashing.kwise import KWiseHash
 from ..ncc.graph_input import InputGraph
 from ..primitives.aggregation import AggregationProblem
 from ..primitives.functions import XOR
+from ..registry import register_algorithm
 from ..runtime import NCCRuntime
 
 #: Direction markers: the up- and down-sketches travel in *separate*
@@ -122,6 +123,14 @@ def make_sketcher(rt: NCCRuntime, graph: InputGraph, *, tag: object) -> EdgeSket
     return EdgeSketcher(graph, hashes)
 
 
+@register_algorithm(
+    "findmin",
+    aliases=("find-min",),
+    summary="FindMin subroutine: lightest outgoing edge per component "
+    "(sketch binary search, Lemma 3.1) — not independently runnable",
+    bound="O(log W log n) per invocation",
+    kind="subroutine",
+)
 def find_lightest_edges(
     rt: NCCRuntime,
     graph: InputGraph,

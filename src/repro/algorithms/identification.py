@@ -34,6 +34,7 @@ from ..hashing.peeling import TrialTable, trials_of
 from ..ncc.graph_input import InputGraph
 from ..primitives.aggregation import AggregationProblem
 from ..primitives.functions import xor_count
+from ..registry import register_algorithm, standard_workload
 from ..runtime import NCCRuntime
 
 
@@ -142,3 +143,70 @@ def run_identification(
                 result.unsuccessful.add(u)
 
     return result
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+def _demo_playing(g: InputGraph) -> set[int]:
+    """The canonical demo cast: every third node plays."""
+    return {u for u in range(g.n) if u % 3 == 0}
+
+
+def _demo_run(rt: NCCRuntime, g: InputGraph) -> IdentificationResult:
+    """One identification pass on the canonical demo instance: learners are
+    the non-playing nodes, candidates are all their neighbours."""
+    playing = _demo_playing(g)
+    fam = identification_family(rt, 7, 256, tag="parity-fam")
+    learners = [u for u in range(g.n) if u not in playing]
+    candidates = {u: list(g.neighbors(u)) for u in learners}
+    potential = {v: [w for w in g.neighbors(v) if w not in playing] for v in playing}
+    return run_identification(rt, g, learners, candidates, potential, fam)
+
+
+def _check(g: InputGraph, result: IdentificationResult, params: dict) -> bool:
+    playing = _demo_playing(g)
+    for u in range(g.n):
+        if u in playing:
+            continue
+        true_red = {v for v in g.neighbors(u) if v not in playing}
+        recovered = set(result.red_neighbors.get(u, ()))
+        if not recovered <= true_red:
+            return False  # soundness: recovered arcs must be genuinely red
+        if u not in result.unsuccessful and recovered != true_red:
+            return False  # completeness for successful learners
+    return True
+
+
+def _describe(
+    g: InputGraph, result: IdentificationResult, rt: NCCRuntime, params: dict
+) -> dict:
+    from ..registry import describe_workload
+
+    row = describe_workload(g, a_known=params["a"])
+    row.update(
+        rounds=result.rounds,
+        learners=g.n - len(_demo_playing(g)),
+        unsuccessful=len(result.unsuccessful),
+        recovered=sum(len(v) for v in result.red_neighbors.values()),
+    )
+    return row
+
+
+def _parity(rt: NCCRuntime, g: InputGraph):
+    res = _demo_run(rt, g)
+    return (sorted(res.red_neighbors.items()), sorted(res.unsuccessful), res.rounds)
+
+
+@register_algorithm(
+    "identification",
+    aliases=("ident",),
+    summary="the Identification Algorithm on its demo cast (Section 4.1)",
+    bound="O(1) aggregations per pass",
+    build_workload=standard_workload,
+    check=_check,
+    describe=_describe,
+    parity=_parity,
+)
+def _run(rt: NCCRuntime, g: InputGraph) -> IdentificationResult:
+    return _demo_run(rt, g)

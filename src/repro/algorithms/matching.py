@@ -31,6 +31,7 @@ from ..ncc.graph_input import InputGraph, canonical_edge
 from ..primitives.aggregation import AggregationProblem
 from ..primitives.direct import send_direct
 from ..primitives.functions import MAX, MIN, min_by_key
+from ..registry import register_algorithm, standard_workload
 from ..runtime import NCCRuntime
 from .broadcast_trees import BroadcastTrees, build_broadcast_trees, neighborhood_multi_aggregate
 
@@ -175,3 +176,38 @@ class MatchingAlgorithm:
             phases=phases,
             rounds=rt.net.round_index - start_round,
         )
+
+
+# ----------------------------------------------------------------------
+# Registry entry (Table 1 row T1-MM)
+# ----------------------------------------------------------------------
+def _check(g: InputGraph, result: MatchingResult, params: dict) -> bool:
+    from ..baselines.sequential import is_maximal_matching
+
+    return is_maximal_matching(g, result.edges)
+
+
+def _describe(
+    g: InputGraph, result: MatchingResult, rt: NCCRuntime, params: dict
+) -> dict:
+    from ..registry import describe_workload
+
+    row = describe_workload(g, a_known=params["a"])
+    row.update(
+        rounds=result.rounds, phases=result.phases, matching_size=len(result.edges)
+    )
+    return row
+
+
+@register_algorithm(
+    "matching",
+    aliases=("MM", "maximal-matching"),
+    summary="maximal matching (MIS reduction over broadcast trees)",
+    bound="O((a + log n) log n)",
+    table1_key="MM",
+    build_workload=standard_workload,
+    check=_check,
+    describe=_describe,
+)
+def _run(rt: NCCRuntime, g: InputGraph) -> MatchingResult:
+    return MatchingAlgorithm(rt, g).run()

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from ..errors import ProtocolError
 from ..ncc.graph_input import InputGraph
 from ..primitives.functions import MAX, min_by_key
+from ..registry import register_algorithm, standard_workload
 from ..runtime import NCCRuntime
 from .broadcast_trees import BroadcastTrees, build_broadcast_trees, neighborhood_multi_aggregate
 
@@ -103,3 +104,34 @@ class MISAlgorithm:
             phases=phases,
             rounds=rt.net.round_index - start_round,
         )
+
+
+# ----------------------------------------------------------------------
+# Registry entry (Table 1 row T1-MIS)
+# ----------------------------------------------------------------------
+def _check(g: InputGraph, result: MISResult, params: dict) -> bool:
+    from ..baselines.sequential import is_maximal_independent_set
+
+    return is_maximal_independent_set(g, result.members)
+
+
+def _describe(g: InputGraph, result: MISResult, rt: NCCRuntime, params: dict) -> dict:
+    from ..registry import describe_workload
+
+    row = describe_workload(g, a_known=params["a"])
+    row.update(rounds=result.rounds, phases=result.phases, mis_size=len(result.members))
+    return row
+
+
+@register_algorithm(
+    "mis",
+    aliases=("MIS", "maximal-independent-set"),
+    summary="maximal independent set (Luby over broadcast trees)",
+    bound="O((a + log n) log n)",
+    table1_key="MIS",
+    build_workload=standard_workload,
+    check=_check,
+    describe=_describe,
+)
+def _run(rt: NCCRuntime, g: InputGraph) -> MISResult:
+    return MISAlgorithm(rt, g).run()

@@ -31,6 +31,7 @@ from ..errors import ProtocolError
 from ..ncc.graph_input import InputGraph, canonical_edge
 from ..primitives.direct import send_direct
 from ..primitives.functions import MAX
+from ..registry import register_algorithm
 from ..runtime import NCCRuntime
 from .findmin import find_lightest_edges, make_sketcher
 
@@ -255,3 +256,41 @@ class MSTAlgorithm:
             tag=rt.shared.fresh_tag("mst-comptrees"),
             kind="mst:tree-rebuild",
         )
+
+
+# ----------------------------------------------------------------------
+# Registry entry (Table 1 row T1-MST)
+# ----------------------------------------------------------------------
+def _workload(n: int, a: int, seed: int) -> InputGraph:
+    from ..graphs import weights
+    from ..registry import standard_workload
+
+    return weights.with_random_weights(standard_workload(n, a, seed), seed=seed + 1)
+
+
+def _check(g: InputGraph, result: MSTResult, params: dict) -> bool:
+    from ..baselines.sequential import kruskal_msf
+
+    return result.edges == kruskal_msf(g)
+
+
+def _describe(g: InputGraph, result: MSTResult, rt: NCCRuntime, params: dict) -> dict:
+    from ..registry import describe_workload
+
+    row = describe_workload(g, a_known=params["a"])
+    row.update(rounds=result.rounds, phases=result.phases, W=g.max_weight())
+    return row
+
+
+@register_algorithm(
+    "mst",
+    aliases=("MST", "minimum-spanning-tree"),
+    summary="weighted MST/MSF via Boruvka + FindMin sketches",
+    bound="O(log^4 n)",
+    table1_key="MST",
+    build_workload=_workload,
+    check=_check,
+    describe=_describe,
+)
+def _run(rt: NCCRuntime, g: InputGraph) -> MSTResult:
+    return MSTAlgorithm(rt, g).run()

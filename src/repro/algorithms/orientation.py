@@ -41,6 +41,7 @@ from ..ncc.message import BatchBuilder
 from ..primitives.aggregation import AggregationProblem
 from ..primitives.direct import spread_exchange
 from ..primitives.functions import MAX, SUM, tuple_of
+from ..registry import register_algorithm, standard_workload
 from ..runtime import NCCRuntime
 from .identification import identification_family, run_identification
 
@@ -418,3 +419,44 @@ class OrientationAlgorithm:
                     if node in active_red:
                         active_red[node].add(other)
         return active_red
+
+
+# ----------------------------------------------------------------------
+# Registry entry
+# ----------------------------------------------------------------------
+def _check(g: InputGraph, result: Orientation, params: dict) -> bool:
+    # Structural validity: every input edge is directed exactly once and the
+    # in/out adjacency views agree.
+    arcs = result.arcs()
+    if len(arcs) != g.m or len(set(arcs)) != g.m:
+        return False
+    from ..ncc.graph_input import canonical_edge
+
+    if {canonical_edge(u, v) for u, v in arcs} != set(g.edges()):
+        return False
+    return all(u in result.in_neighbors[v] for u, v in arcs)
+
+
+def _describe(g: InputGraph, result: Orientation, rt: NCCRuntime, params: dict) -> dict:
+    from ..registry import describe_workload
+
+    row = describe_workload(g, a_known=params["a"])
+    row.update(
+        rounds=result.rounds,
+        phases=result.phases,
+        max_outdegree=result.max_outdegree,
+    )
+    return row
+
+
+@register_algorithm(
+    "orientation",
+    aliases=("orient", "o(a)-orientation"),
+    summary="O(a)-orientation via Nash-Williams peeling",
+    bound="O((a + log n) log n)",
+    build_workload=standard_workload,
+    check=_check,
+    describe=_describe,
+)
+def _run(rt: NCCRuntime, g: InputGraph) -> Orientation:
+    return OrientationAlgorithm(rt, g).run()

@@ -1,4 +1,16 @@
-"""Table 1 regeneration harness.
+"""Table 1 regeneration harness — a thin view over the algorithm registry.
+
+.. deprecated::
+    This module is kept as a compatibility shim.  The algorithms now
+    register themselves in :mod:`repro.registry` (one
+    :class:`~repro.registry.AlgorithmSpec` each, declaring workload
+    builder, runner, sequential oracle, and row descriptors), and new code
+    should resolve them there — or drive whole scenario grids through
+    :class:`repro.api.Session` / :class:`repro.api.RunSpec`.  Everything
+    exported here (``TABLE1_RUNNERS``, ``TABLE1_BOUNDS``, ``run_*_row``,
+    ``bench_config``, ``standard_workload``, ``sweep``) delegates to the
+    registry and stays byte-identical to the pre-registry behaviour, which
+    the test-suite pins.
 
 One runner per Table 1 row.  Each runner builds the standard workload for
 its algorithm, executes the distributed computation, validates the output
@@ -16,180 +28,53 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from ..config import Enforcement, NCCConfig
-from ..graphs import arboricity, generators, properties, weights
-from ..ncc.graph_input import InputGraph
-from ..runtime import NCCRuntime
+from ..registry import (  # noqa: F401  (re-exported compatibility surface)
+    bench_config,
+    describe_workload,
+    get_algorithm,
+    standard_workload,
+    table1_specs,
+)
+
+# The registry views below are materialized lazily (PEP 562) and cached in
+# the module globals: building them imports every algorithms/* module, and
+# `repro.analysis` (hence e.g. `analysis.reporting`, imported by the CLI on
+# every invocation) must stay cheap to import.
+_LAZY_KEYS = {
+    "TABLE1_RUNNERS", "TABLE1_BOUNDS",
+    "run_mst_row", "run_bfs_row", "run_mis_row",
+    "run_matching_row", "run_coloring_row",
+}
 
 
-def bench_config(seed: int = 0, **overrides: Any) -> NCCConfig:
-    """The benchmark simulation profile."""
-    base = dict(
-        seed=seed,
-        enforcement=Enforcement.COUNT,
-        extras={"lightweight_sync": True},
-    )
-    base.update(overrides)
-    return NCCConfig(**base)
-
-
-def standard_workload(n: int, a: int, seed: int) -> InputGraph:
-    """The bounded-arboricity workload of the T1 sweeps: a union of ``a``
-    random spanning forests (arboricity ≤ a, connected)."""
-    return generators.forest_union(n, a, seed=seed)
-
-
-def _describe(
-    g: InputGraph, *, with_diameter: bool = False, a_known: int | None = None
-) -> dict[str, Any]:
-    lo, hi = arboricity.arboricity_bounds(g)
-    # A construction-time bound (e.g. forest_union(k) has a ≤ k) beats the
-    # greedy estimate, which can overshoot by a constant factor.
-    a_label = min(hi, a_known) if a_known is not None else hi
-    row: dict[str, Any] = {
-        "n": g.n,
-        "m": g.m,
-        "a": max(lo, a_label),
-        "a_lower": lo,
-        "a_greedy": hi,
-        "max_degree": g.max_degree,
+def _materialize() -> None:
+    #: Table 1 row key -> legacy row runner.  A view over the registry: the
+    #: keys, their order, and the row dicts are identical to the historical
+    #: hand-maintained dict (pinned by ``tests/test_tables.py``).
+    runners: dict[str, Callable[..., dict[str, Any]]] = {
+        spec.table1_key: spec.run_row for spec in table1_specs()
     }
-    if with_diameter:
-        row["D"] = properties.diameter(g)
-    return row
-
-
-# ----------------------------------------------------------------------
-# Table 1 row runners
-# ----------------------------------------------------------------------
-def run_mst_row(n: int, *, a: int = 2, seed: int = 0, config: NCCConfig | None = None) -> dict[str, Any]:
-    """Row T1-MST: weighted MST on a connected bounded-arboricity graph."""
-    from ..algorithms.mst import MSTAlgorithm
-    from ..baselines.sequential import kruskal_msf
-
-    g = weights.with_random_weights(standard_workload(n, a, seed), seed=seed + 1)
-    rt = NCCRuntime(n, config or bench_config(seed))
-    result = MSTAlgorithm(rt, g).run()
-    row = _describe(g, a_known=a)
-    row.update(
-        rounds=result.rounds,
-        phases=result.phases,
-        W=g.max_weight(),
-        correct=result.edges == kruskal_msf(g),
-        messages=rt.net.stats.messages,
-        violations=rt.net.stats.violation_count,
+    #: Table 1 row key -> the paper's round bound.
+    bounds: dict[str, str] = {
+        spec.table1_key: spec.bound for spec in table1_specs()
+    }
+    globals().update(
+        TABLE1_RUNNERS=runners,
+        TABLE1_BOUNDS=bounds,
+        # Legacy per-row entry points (still used by benchmarks and tests).
+        run_mst_row=runners["MST"],
+        run_bfs_row=runners["BFS"],
+        run_mis_row=runners["MIS"],
+        run_matching_row=runners["MM"],
+        run_coloring_row=runners["COL"],
     )
-    return row
 
 
-def run_bfs_row(
-    n: int,
-    *,
-    a: int = 2,
-    seed: int = 0,
-    family: str = "forest",
-    config: NCCConfig | None = None,
-) -> dict[str, Any]:
-    """Row T1-BFS: BFS tree on a forest-union or grid workload."""
-    from ..algorithms.bfs import BFSAlgorithm
-    from ..baselines.sequential import bfs_tree
-
-    if family == "grid":
-        side = max(2, int(round(n ** 0.5)))
-        g = generators.grid(side, side)
-    else:
-        g = standard_workload(n, a, seed)
-    rt = NCCRuntime(g.n, config or bench_config(seed))
-    result = BFSAlgorithm(rt, g).run(0)
-    expected, _ = bfs_tree(g, 0)
-    row = _describe(g, with_diameter=True, a_known=(3 if family == "grid" else a))
-    row.update(
-        rounds=result.rounds,
-        phases=result.phases,
-        correct=result.dist == expected,
-        messages=rt.net.stats.messages,
-        violations=rt.net.stats.violation_count,
-    )
-    return row
-
-
-def run_mis_row(n: int, *, a: int = 2, seed: int = 0, config: NCCConfig | None = None) -> dict[str, Any]:
-    """Row T1-MIS."""
-    from ..algorithms.mis import MISAlgorithm
-    from ..baselines.sequential import is_maximal_independent_set
-
-    g = standard_workload(n, a, seed)
-    rt = NCCRuntime(n, config or bench_config(seed))
-    result = MISAlgorithm(rt, g).run()
-    row = _describe(g, a_known=a)
-    row.update(
-        rounds=result.rounds,
-        phases=result.phases,
-        mis_size=len(result.members),
-        correct=is_maximal_independent_set(g, result.members),
-        messages=rt.net.stats.messages,
-        violations=rt.net.stats.violation_count,
-    )
-    return row
-
-
-def run_matching_row(n: int, *, a: int = 2, seed: int = 0, config: NCCConfig | None = None) -> dict[str, Any]:
-    """Row T1-MM."""
-    from ..algorithms.matching import MatchingAlgorithm
-    from ..baselines.sequential import is_maximal_matching
-
-    g = standard_workload(n, a, seed)
-    rt = NCCRuntime(n, config or bench_config(seed))
-    result = MatchingAlgorithm(rt, g).run()
-    row = _describe(g, a_known=a)
-    row.update(
-        rounds=result.rounds,
-        phases=result.phases,
-        matching_size=len(result.edges),
-        correct=is_maximal_matching(g, result.edges),
-        messages=rt.net.stats.messages,
-        violations=rt.net.stats.violation_count,
-    )
-    return row
-
-
-def run_coloring_row(n: int, *, a: int = 2, seed: int = 0, config: NCCConfig | None = None) -> dict[str, Any]:
-    """Row T1-COL."""
-    from ..algorithms.coloring import ColoringAlgorithm
-    from ..baselines.sequential import is_proper_coloring
-
-    g = standard_workload(n, a, seed)
-    rt = NCCRuntime(n, config or bench_config(seed))
-    result = ColoringAlgorithm(rt, g).run()
-    row = _describe(g, a_known=a)
-    row.update(
-        rounds=result.rounds,
-        repetitions=result.repetitions,
-        colors_used=result.colors_used(),
-        palette=result.palette_size,
-        correct=is_proper_coloring(g, result.colors)
-        and result.colors_used() <= result.palette_size,
-        messages=rt.net.stats.messages,
-        violations=rt.net.stats.violation_count,
-    )
-    return row
-
-
-TABLE1_RUNNERS: dict[str, Callable[..., dict[str, Any]]] = {
-    "MST": run_mst_row,
-    "BFS": run_bfs_row,
-    "MIS": run_mis_row,
-    "MM": run_matching_row,
-    "COL": run_coloring_row,
-}
-
-TABLE1_BOUNDS: dict[str, str] = {
-    "MST": "O(log^4 n)",
-    "BFS": "O((a + D + log n) log n)",
-    "MIS": "O((a + log n) log n)",
-    "MM": "O((a + log n) log n)",
-    "COL": "O((a + log n) log^{3/2} n)",
-}
+def __getattr__(name: str) -> Any:
+    if name in _LAZY_KEYS:
+        _materialize()
+        return globals()[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def sweep(
@@ -200,7 +85,11 @@ def sweep(
     seeds: list[int] | None = None,
     **kwargs: Any,
 ) -> list[dict[str, Any]]:
-    """Run a Table 1 runner over a size sweep (one row per (n, seed))."""
+    """Run a Table 1 runner over a size sweep (one row per (n, seed)).
+
+    Serial and runner-shaped for compatibility; parallel grids should use
+    :meth:`repro.api.Session.run_many`.
+    """
     seeds = seeds if seeds is not None else [0]
     rows = []
     for n in ns:

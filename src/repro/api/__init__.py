@@ -1,0 +1,54 @@
+"""repro.api — the unified experiment API.
+
+Three layers, one import::
+
+    from repro.api import RunSpec, Session
+
+    session = Session()
+    report = session.run(RunSpec("mst", n=64, seed=3))
+    print(report.rounds, report.correct)
+
+    # A sweep: every (algorithm, n, seed) combination, all cores, JSONL out.
+    specs = sweep_grid(["mst", "mis"], [64, 128], seeds=range(5))
+    reports = session.run_many(specs, jobs=8, out="results.jsonl")
+
+* **Registry** (:mod:`repro.registry`) — every algorithm self-registers an
+  :class:`~repro.registry.AlgorithmSpec` (workload builder, runner,
+  sequential oracle, row descriptors); re-exported here for convenience.
+* **Schema** (:mod:`repro.api.schema`) — frozen :class:`RunSpec` in,
+  JSON-serializable :class:`RunReport` out, canonical JSONL persistence.
+* **Session** (:mod:`repro.api.session`) — serial or multiprocessing
+  execution with per-``n`` butterfly/workload caching; JSONL output is
+  byte-identical for any ``jobs`` value.
+
+The CLI (``python -m repro run/table1/sweep``) is a thin wrapper over this
+module.
+"""
+
+from ..registry import (
+    AlgorithmSpec,
+    UnknownAlgorithmError,
+    algorithm_names,
+    get_algorithm,
+    iter_algorithms,
+    register_algorithm,
+    table1_specs,
+)
+from .schema import RunReport, RunSpec, dump_reports, load_reports
+from .session import Session, sweep_grid
+
+__all__ = [
+    "AlgorithmSpec",
+    "RunReport",
+    "RunSpec",
+    "Session",
+    "UnknownAlgorithmError",
+    "algorithm_names",
+    "dump_reports",
+    "get_algorithm",
+    "iter_algorithms",
+    "load_reports",
+    "register_algorithm",
+    "sweep_grid",
+    "table1_specs",
+]

@@ -1,0 +1,233 @@
+"""The experiment schema: frozen :class:`RunSpec` in, :class:`RunReport` out.
+
+A :class:`RunSpec` is a complete, serializable description of one scenario
+— algorithm, size, workload parameters, seed, engine, enforcement — so a
+sweep is literally a list of specs and nothing else.  A :class:`RunReport`
+is the JSON-serializable outcome: the legacy Table 1 row (outputs +
+workload descriptors), the measured rounds/messages/bits, the full
+:class:`~repro.ncc.stats.NetworkStats` snapshot including the violation
+ledger, the wall time, and the engine that actually ran.
+
+Reports serialize to canonical JSONL (sorted keys, compact separators,
+**no wall time**) via :meth:`RunReport.to_json_line`, so a sweep's output
+file is byte-deterministic: the same spec list produces the same bytes
+regardless of parallelism, host speed, or row ordering inside a worker.
+Wall times stay on the in-memory report (`wall_time_s`) and in
+``to_dict(timing=True)``; machine-dependent timings belong in
+``BENCH_engine.json``, not in results files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..config import Enforcement
+from ..errors import ConfigurationError
+
+ExtrasT = tuple[tuple[str, Any], ...]
+
+
+def _canon_value(value: Any) -> Any:
+    """Canonicalize an extras value so specs survive a JSON roundtrip
+    unchanged and stay hashable: sequences become tuples (JSON reads
+    tuples back as lists) and mappings become sorted pair-tuples."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _canon_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canon_value(v) for v in value)
+    return value
+
+
+def _freeze_extras(extras: Any) -> ExtrasT:
+    if isinstance(extras, Mapping):
+        items = extras.items()
+    else:
+        items = tuple(extras or ())
+    frozen = tuple(sorted((str(k), _canon_value(v)) for k, v in items))
+    if len({k for k, _ in frozen}) != len(frozen):
+        raise ConfigurationError(f"duplicate keys in extras: {frozen!r}")
+    return frozen
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified experiment scenario.
+
+    Parameters
+    ----------
+    algorithm:
+        Registry name or alias (``"mst"``, ``"MM"``, …); resolved through
+        :func:`repro.registry.get_algorithm`.
+    n:
+        Requested problem size (the workload builder may round, e.g. the
+        BFS grid family uses the nearest square).
+    a:
+        Arboricity parameter of the standard workload.
+    seed:
+        Master seed: drives the workload generator and the simulation's
+        shared randomness.  Same spec ⇒ identical run.
+    engine:
+        Round engine name, or ``None`` for the session/process default.
+    enforcement:
+        ``"strict" | "count" | "drop"``, or ``None`` for the session
+        default (the benchmark profile's COUNT).
+    extras:
+        Extra workload/runner options (e.g. ``{"family": "grid"}``),
+        stored as a sorted tuple of pairs so specs stay hashable.
+    """
+
+    algorithm: str
+    n: int
+    a: int = 2
+    seed: int = 0
+    engine: str | None = None
+    enforcement: str | None = None
+    extras: ExtrasT = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.algorithm:
+            raise ConfigurationError("RunSpec.algorithm must be non-empty")
+        if self.n < 1:
+            raise ConfigurationError(f"RunSpec.n must be >= 1, got {self.n}")
+        if self.a < 1:
+            raise ConfigurationError(f"RunSpec.a must be >= 1, got {self.a}")
+        object.__setattr__(self, "extras", _freeze_extras(self.extras))
+        if self.enforcement is not None:
+            # Normalize eagerly so bad specs fail at construction time.
+            object.__setattr__(
+                self, "enforcement", Enforcement(self.enforcement).value
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def options(self) -> dict[str, Any]:
+        """The extras as a plain keyword dict."""
+        return dict(self.extras)
+
+    def with_(self, **changes: Any) -> "RunSpec":
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "a": self.a,
+            "seed": self.seed,
+            "engine": self.engine,
+            "enforcement": self.enforcement,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        return cls(
+            algorithm=data["algorithm"],
+            n=data["n"],
+            a=data.get("a", 2),
+            seed=data.get("seed", 0),
+            engine=data.get("engine"),
+            enforcement=data.get("enforcement"),
+            extras=data.get("extras") or (),
+        )
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """The JSON-serializable outcome of one :class:`RunSpec` execution."""
+
+    #: the spec that produced this report, canonicalized (algorithm name
+    #: resolved, engine/enforcement made explicit) so it reruns verbatim.
+    spec: RunSpec
+    #: the legacy Table 1 row: workload descriptors + outputs + ``correct``.
+    row: dict[str, Any]
+    #: round engine that actually executed the run.
+    engine: str
+    correct: bool
+    rounds: int
+    messages: int
+    bits: int
+    #: full :meth:`NetworkStats.to_dict` snapshot (phases + violation log).
+    stats: dict[str, Any]
+    #: wall-clock seconds (in-memory / verbose export only — see module doc).
+    wall_time_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def violations(self) -> list[dict[str, Any]]:
+        """The violation ledger, in engine observation order."""
+        return list(self.stats.get("violation_log", ()))
+
+    def to_dict(self, *, timing: bool = True) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "spec": self.spec.to_dict(),
+            "row": self.row,
+            "engine": self.engine,
+            "correct": self.correct,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "bits": self.bits,
+            "stats": self.stats,
+        }
+        if timing:
+            data["wall_time_s"] = self.wall_time_s
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunReport":
+        return cls(
+            spec=RunSpec.from_dict(data["spec"]),
+            row=dict(data["row"]),
+            engine=data["engine"],
+            correct=data["correct"],
+            rounds=data["rounds"],
+            messages=data["messages"],
+            bits=data["bits"],
+            stats=dict(data["stats"]),
+            wall_time_s=data.get("wall_time_s", 0.0),
+        )
+
+    def to_json_line(self) -> str:
+        """Canonical deterministic JSONL record (no timing, sorted keys)."""
+        return json.dumps(
+            self.to_dict(timing=False),
+            sort_keys=True,
+            separators=(",", ":"),
+            default=_json_default,
+        )
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "RunReport":
+        return cls.from_dict(json.loads(line))
+
+
+def _json_default(obj: Any) -> Any:
+    """Serialize the few non-JSON row values (sets of edges; tuples are
+    handled natively by the encoder)."""
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def dump_reports(reports: Iterable[RunReport], path: str) -> None:
+    """Write reports as JSONL to ``path`` (``"-"`` = stdout)."""
+    import sys
+
+    lines = [r.to_json_line() for r in reports]
+    if path == "-":
+        for line in lines:
+            sys.stdout.write(line + "\n")
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+
+
+def load_reports(path: str) -> Iterator[RunReport]:
+    """Read reports back from a JSONL file."""
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield RunReport.from_json_line(line)

@@ -1,0 +1,235 @@
+"""The :class:`Session`: run :class:`~repro.api.schema.RunSpec` scenarios,
+serially or fanned out over worker processes.
+
+A session owns the cross-run caches — the per-``n``
+:class:`~repro.butterfly.topology.ButterflyGrid` (immutable topology, one
+instance per size) and the workload graphs (keyed by algorithm, size,
+arboricity, seed, and workload options) — so a 3-algorithms × 4-sizes ×
+5-seeds sweep builds each instance once instead of once per run.
+
+``run_many(specs, jobs=N)`` fans the specs out over a process pool (fork
+start method where available: workers inherit the warm interpreter).  Every
+run is a pure function of its canonicalized spec — the engine and
+enforcement are resolved *before* dispatch, so a forked/spawned worker
+cannot drift from the parent's process-wide defaults — which makes the
+resulting JSONL byte-identical for any ``jobs`` value; a regression test
+pins this.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable, Sequence
+
+from ..config import Enforcement, NCCConfig, default_engine
+from ..registry import bench_config, get_algorithm
+from .schema import RunReport, RunSpec
+
+
+class Session:
+    """A programmatic experiment driver over the algorithm registry.
+
+    Parameters
+    ----------
+    base_config:
+        Template :class:`NCCConfig` applied to every run (seeded per spec).
+        Defaults to the benchmark profile
+        (:func:`repro.registry.bench_config`: COUNT enforcement,
+        lightweight sync) — the same profile the legacy row runners used.
+    cache:
+        Keep per-``n`` butterfly grids and workload graphs alive across
+        :meth:`run` calls (on by default; disable to bound memory on huge
+        sweeps).
+    """
+
+    def __init__(self, *, base_config: NCCConfig | None = None, cache: bool = True):
+        self.base_config = base_config
+        self._cache_enabled = cache
+        self._bf_cache: dict[int, Any] = {}
+        self._workload_cache: dict[tuple, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Canonicalization and per-spec config
+    # ------------------------------------------------------------------
+    def canonical(self, spec: RunSpec) -> RunSpec:
+        """Resolve aliases and defaults so the spec reruns verbatim anywhere:
+        canonical algorithm name, explicit engine, explicit enforcement."""
+        alg = get_algorithm(spec.algorithm)
+        cfg = self.base_config if self.base_config is not None else bench_config(0)
+        return spec.with_(
+            algorithm=alg.name,
+            engine=spec.engine or cfg.engine or default_engine(),
+            enforcement=spec.enforcement or cfg.enforcement.value,
+        )
+
+    def config_for(self, spec: RunSpec) -> NCCConfig:
+        cfg = (
+            self.base_config.with_(seed=spec.seed)
+            if self.base_config is not None
+            else bench_config(spec.seed)
+        )
+        if spec.engine:
+            cfg = cfg.with_(engine=spec.engine)
+        if spec.enforcement:
+            cfg = cfg.with_(enforcement=Enforcement(spec.enforcement))
+        return cfg
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+    def _butterfly(self, n: int):
+        from ..butterfly.topology import ButterflyGrid
+
+        bf = self._bf_cache.get(n)
+        if bf is None:
+            bf = ButterflyGrid(n)
+            if self._cache_enabled:
+                self._bf_cache[n] = bf
+        return bf
+
+    def _workload(self, alg, spec: RunSpec):
+        options = {
+            k: v for k, v in spec.extras if k in alg.workload_options
+        }
+        key = (alg.name, spec.n, spec.a, spec.seed, tuple(sorted(options.items())))
+        g = self._workload_cache.get(key)
+        if g is None:
+            g = alg.workload(spec.n, spec.a, spec.seed, **options)
+            if self._cache_enabled:
+                self._workload_cache[key] = g
+        return g
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, spec: RunSpec) -> RunReport:
+        """Execute one spec and return its report."""
+        spec = self.canonical(spec)
+        alg = get_algorithm(spec.algorithm)
+        g = self._workload(alg, spec)
+        t0 = time.perf_counter()
+        ex = alg.execute(
+            spec.n,
+            a=spec.a,
+            seed=spec.seed,
+            config=self.config_for(spec),
+            graph=g,
+            bf=self._butterfly(g.n),
+            **spec.options,
+        )
+        wall = time.perf_counter() - t0
+        rt = ex.runtime
+        return RunReport(
+            spec=spec,
+            row=ex.row,
+            engine=rt.config.resolve_engine(),
+            correct=bool(ex.row.get("correct", False)),
+            rounds=rt.net.round_index,
+            messages=rt.net.stats.messages,
+            bits=rt.net.stats.bits,
+            stats=rt.net.stats.to_dict(),
+            wall_time_s=wall,
+        )
+
+    def run_many(
+        self,
+        specs: Iterable[RunSpec],
+        *,
+        jobs: int = 1,
+        out: str | None = None,
+        progress: Callable[[RunReport], None] | None = None,
+    ) -> list[RunReport]:
+        """Execute specs (in order) and optionally persist JSONL to ``out``.
+
+        ``jobs > 1`` fans out over a process pool; report order always
+        matches spec order and the JSONL bytes are identical to a serial
+        run.  ``out="-"`` writes the JSONL to stdout.
+        """
+        spec_list = [self.canonical(s) for s in specs]
+        if jobs <= 1 or len(spec_list) <= 1:
+            reports = []
+            for s in spec_list:
+                r = self.run(s)
+                if progress is not None:
+                    progress(r)
+                reports.append(r)
+        else:
+            reports = self._run_pool(spec_list, jobs, progress)
+        if out is not None:
+            from .schema import dump_reports
+
+            dump_reports(reports, out)
+        return reports
+
+    def _run_pool(
+        self,
+        specs: Sequence[RunSpec],
+        jobs: int,
+        progress: Callable[[RunReport], None] | None,
+    ) -> list[RunReport]:
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else None
+        ctx = mp.get_context(method)
+        payloads = [s.to_dict() for s in specs]
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(specs)),
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(self.base_config, self._cache_enabled),
+        ) as pool:
+            reports = []
+            for data in pool.map(_worker_run, payloads, chunksize=1):
+                r = RunReport.from_dict(data)
+                if progress is not None:
+                    progress(r)
+                reports.append(r)
+        return reports
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing (module-level: must be picklable by reference)
+# ----------------------------------------------------------------------
+_WORKER_SESSION: Session | None = None
+
+
+def _init_worker(base_config: NCCConfig | None, cache: bool = True) -> None:
+    global _WORKER_SESSION
+    _WORKER_SESSION = Session(base_config=base_config, cache=cache)
+
+
+def _worker_run(spec_data: dict) -> dict:
+    global _WORKER_SESSION
+    if _WORKER_SESSION is None:  # pragma: no cover - initializer always runs
+        _WORKER_SESSION = Session()
+    report = _WORKER_SESSION.run(RunSpec.from_dict(spec_data))
+    return report.to_dict(timing=True)
+
+
+def sweep_grid(
+    algorithms: Sequence[str],
+    ns: Sequence[int],
+    *,
+    a: int = 2,
+    seeds: Sequence[int] = (0,),
+    engines: Sequence[str | None] = (None,),
+    enforcement: str | None = None,
+    extras: dict[str, Any] | None = None,
+) -> list[RunSpec]:
+    """The cartesian spec grid, in deterministic algorithm-major order."""
+    return [
+        RunSpec(
+            algorithm=alg,
+            n=n,
+            a=a,
+            seed=seed,
+            engine=engine,
+            enforcement=enforcement,
+            extras=extras or (),
+        )
+        for alg in algorithms
+        for n in ns
+        for seed in seeds
+        for engine in engines
+    ]

@@ -1,4 +1,4 @@
-"""Command-line interface: run algorithms and regenerate Table 1 rows.
+"""Command-line interface: run algorithms, regenerate Table 1, drive sweeps.
 
 Usage::
 
@@ -8,9 +8,16 @@ Usage::
     python -m repro run mst --n 48 --engine batched
     python -m repro table1 --rows MIS,MM --ns 32,64 --a 2
     python -m repro separation --ns 32,64,128
+    python -m repro sweep --algos mst,mis --ns 64,128 --seeds 0:5 \
+        --jobs 8 --out results.jsonl
 
-Everything prints the same row structure the benchmarks and EXPERIMENTS.md
-use, so the CLI is the quickest way to poke at a single configuration.
+``run`` and ``table1`` are thin wrappers over :class:`repro.api.Session`
+and print the same row structure the benchmarks and EXPERIMENTS.md use;
+``sweep`` fans a whole scenario grid out over worker processes and writes
+canonical :class:`~repro.api.RunReport` JSONL (``--out -`` streams the
+JSONL to stdout and the human summary to stderr).  Algorithms are resolved
+through :mod:`repro.registry`, so anything registered there — including
+non-Table-1 entries like ``components`` — is runnable by name or alias.
 """
 
 from __future__ import annotations
@@ -19,22 +26,98 @@ import argparse
 import sys
 from typing import Sequence
 
-from .analysis import tables
 from .analysis.reporting import format_table
-from .config import ENGINE_CHOICES, NCCConfig
+from .api import RunSpec, Session, sweep_grid
+from .config import NCCConfig, known_engines
+from .errors import ConfigurationError
+from .registry import (
+    UnknownAlgorithmError,
+    algorithm_names,
+    bench_config,
+    get_algorithm,
+    table1_specs,
+)
 
 
 def _engine_config(args: argparse.Namespace) -> NCCConfig | None:
     """Benchmark-profile config honoring ``--engine`` (None = runner default)."""
     if getattr(args, "engine", None) is None:
         return None
-    return tables.bench_config(args.seed, engine=args.engine)
+    return bench_config(args.seed, engine=args.engine)
 
 
-def _parse_ints(text: str) -> list[int]:
-    return [int(x) for x in text.split(",") if x.strip()]
+# ----------------------------------------------------------------------
+# argparse value parsers (argument errors exit with code 2, no tracebacks)
+# ----------------------------------------------------------------------
+def _ints_arg(text: str) -> list[int]:
+    """Comma-separated ints, e.g. ``32,64,128``."""
+    try:
+        return [int(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated list of integers, got {text!r}"
+        ) from None
 
 
+def _seeds_arg(text: str) -> list[int]:
+    """Seed list: ``0:5`` (half-open range) or ``0,1,4``."""
+    try:
+        if ":" in text:
+            lo_text, _, hi_text = text.partition(":")
+            lo, hi = int(lo_text or 0), int(hi_text)
+            if hi <= lo:
+                raise argparse.ArgumentTypeError(
+                    f"empty seed range {text!r} (want lo:hi with hi > lo)"
+                )
+            return list(range(lo, hi))
+        return [int(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected seeds as 'lo:hi' or a comma-separated list, got {text!r}"
+        ) from None
+
+
+def _rows_arg(text: str) -> list[str]:
+    """Comma-separated Table 1 row keys, e.g. ``MIS,MM``."""
+    rows = [r.strip().upper() for r in text.split(",")]
+    if text.strip() and any(not r for r in rows):
+        raise argparse.ArgumentTypeError(
+            f"empty row name in {text!r}; expected e.g. MIS,MM"
+        )
+    return [r for r in rows if r]
+
+
+def _names_arg(what: str):
+    """Parser factory for a comma-separated name list (the error message
+    names the right domain: algorithms for --algos, engines for --engines)."""
+
+    def parse(text: str) -> list[str]:
+        names = [x.strip() for x in text.split(",") if x.strip()]
+        if not names:
+            raise argparse.ArgumentTypeError(
+                f"expected a comma-separated list of {what}, got {text!r}"
+            )
+        return names
+
+    return parse
+
+
+def _runnable_algorithm(name: str):
+    """Resolve a CLI algorithm name to a *runnable* spec or raise
+    :class:`UnknownAlgorithmError` with the pick-one-of message (registry
+    entries like the ``findmin`` subroutine resolve but cannot run)."""
+    alg = get_algorithm(name)  # raises UnknownAlgorithmError with the list
+    if not alg.runnable:
+        raise UnknownAlgorithmError(
+            f"algorithm {name!r} is a {alg.kind}, not independently runnable; "
+            f"pick one of {', '.join(sorted(algorithm_names(runnable_only=True)))}"
+        )
+    return alg
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
 def cmd_info(args: argparse.Namespace) -> int:
     cfg = NCCConfig()
     n = args.n
@@ -51,52 +134,60 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    key = args.algorithm.upper()
-    aliases = {"MATCHING": "MM", "COLORING": "COL"}
-    key = aliases.get(key, key)
-    runner = tables.TABLE1_RUNNERS.get(key)
-    if runner is None:
-        print(f"unknown algorithm {args.algorithm!r}; pick one of "
-              f"{', '.join(sorted(tables.TABLE1_RUNNERS))}", file=sys.stderr)
+    try:
+        alg = _runnable_algorithm(args.algorithm)
+    except UnknownAlgorithmError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
-    kwargs = {}
-    if key == "BFS" and args.family:
-        kwargs["family"] = args.family
-    config = _engine_config(args)
-    if config is not None:
-        kwargs["config"] = config
-    row = runner(args.n, a=args.a, seed=args.seed, **kwargs)
-    print(format_table(
-        list(row.keys()),
-        [list(row.values())],
-        title=f"{key} on n={args.n} (bound {tables.TABLE1_BOUNDS[key]})",
-    ))
+    extras = {}
+    if args.family and "family" in alg.workload_options:
+        extras["family"] = args.family
+    try:
+        spec = RunSpec(
+            alg.name, args.n, a=args.a, seed=args.seed, engine=args.engine,
+            extras=extras,
+        )
+    except ConfigurationError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
+    row = Session().run(spec).row
+    key = alg.table1_key or alg.name
+    bound = f" (bound {alg.bound})" if alg.bound else ""
+    print(
+        format_table(
+            list(row.keys()),
+            [list(row.values())],
+            title=f"{key} on n={args.n}{bound}",
+        )
+    )
     return 0 if row["correct"] else 1
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
-    rows_req = [r.strip().upper() for r in args.rows.split(",")] if args.rows else sorted(
-        tables.TABLE1_RUNNERS
-    )
-    ns = _parse_ints(args.ns)
-    sweep_kwargs = {}
-    config = _engine_config(args)
-    if config is not None:
-        sweep_kwargs["config"] = config
+    bounds = {s.table1_key: s.bound for s in table1_specs()}
+    rows_req = args.rows if args.rows else sorted(bounds)
+    session = Session()
     exit_code = 0
     for name in rows_req:
-        runner = tables.TABLE1_RUNNERS.get(name)
-        if runner is None:
+        if name not in bounds:
             print(f"skipping unknown row {name!r}", file=sys.stderr)
             exit_code = 2
             continue
-        results = tables.sweep(runner, ns, a=args.a, seeds=[args.seed], **sweep_kwargs)
+        try:
+            specs = [
+                RunSpec(name, n, a=args.a, seed=args.seed, engine=args.engine)
+                for n in args.ns
+            ]
+        except ConfigurationError as exc:
+            print(f"table1: {exc}", file=sys.stderr)
+            return 2
+        results = [session.run(spec).row for spec in specs]
         headers = sorted({k for r in results for k in r})
         print(
             format_table(
                 headers,
                 [[r.get(h, "") for h in headers] for r in results],
-                title=f"T1-{name}  (bound {tables.TABLE1_BOUNDS[name]})",
+                title=f"T1-{name}  (bound {bounds[name]})",
             )
         )
         print()
@@ -105,14 +196,70 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        algos = [_runnable_algorithm(name).name for name in args.algos]
+    except UnknownAlgorithmError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    for engine in args.engines or ():
+        if engine not in known_engines():
+            print(
+                f"sweep: unknown engine {engine!r}; choose from "
+                f"{', '.join(sorted(known_engines()))}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        specs = sweep_grid(
+            algos,
+            args.ns,
+            a=args.a,
+            seeds=args.seeds,
+            engines=args.engines or [args.engine],
+            enforcement=args.enforcement,
+        )
+    except ConfigurationError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("sweep: empty grid (no sizes or no seeds)", file=sys.stderr)
+        return 2
+    summary_out = sys.stderr if args.out == "-" else sys.stdout
+    reports = Session().run_many(specs, jobs=args.jobs, out=args.out)
+    print(
+        format_table(
+            ["algorithm", "n", "a", "seed", "engine", "rounds", "messages", "correct"],
+            [
+                [
+                    r.spec.algorithm,
+                    r.spec.n,
+                    r.spec.a,
+                    r.spec.seed,
+                    r.engine,
+                    r.rounds,
+                    r.messages,
+                    r.correct,
+                ]
+                for r in reports
+            ],
+            title=f"sweep: {len(reports)} runs ({args.jobs} jobs)",
+        ),
+        file=summary_out,
+    )
+    if args.out and args.out != "-":
+        print(f"wrote {len(reports)} reports to {args.out}", file=summary_out)
+    return 0 if all(r.correct for r in reports) else 1
+
+
 def cmd_separation(args: argparse.Namespace) -> int:
     from .baselines.congested_clique import gossip_congested_clique, gossip_ncc
     from .runtime import NCCRuntime
 
     rows = []
-    for n in _parse_ints(args.ns):
+    for n in args.ns:
         cc = gossip_congested_clique(n)
-        rt = NCCRuntime(n, _engine_config(args) or tables.bench_config(args.seed))
+        rt = NCCRuntime(n, _engine_config(args) or bench_config(args.seed))
         ncc_rounds = gossip_ncc(rt)
         rows.append([n, cc.rounds, int(cc.bits), ncc_rounds, int(rt.net.stats.bits)])
     print(
@@ -125,7 +272,14 @@ def cmd_separation(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    # Derived at parse time so engines added via register_engine are
+    # selectable (the static ENGINE_CHOICES tuple only knows the built-ins).
+    engines = sorted(known_engines())
+
     p = argparse.ArgumentParser(
         prog="repro",
         description="Node-Capacitated Clique reproduction (SPAA 2019)",
@@ -137,28 +291,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.set_defaults(fn=cmd_info)
 
     p_run = sub.add_parser("run", help="run one algorithm and print its row")
-    p_run.add_argument("algorithm", help="mst | bfs | mis | matching | coloring")
+    p_run.add_argument("algorithm", help="mst | bfs | mis | matching | coloring | ...")
     p_run.add_argument("--n", type=int, default=48)
     p_run.add_argument("--a", type=int, default=2)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--family", default=None, help="BFS workload: forest | grid")
-    p_run.add_argument("--engine", choices=list(ENGINE_CHOICES), default=None,
+    p_run.add_argument("--engine", choices=engines, default=None,
                        help="round engine (default: config default)")
     p_run.set_defaults(fn=cmd_run)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1 rows")
-    p_t1.add_argument("--rows", default=None, help="comma list, e.g. MIS,MM (default all)")
-    p_t1.add_argument("--ns", default="32,64", help="comma list of sizes")
+    p_t1.add_argument("--rows", type=_rows_arg, default=None,
+                      help="comma list, e.g. MIS,MM (default all)")
+    p_t1.add_argument("--ns", type=_ints_arg, default="32,64",
+                      help="comma list of sizes")
     p_t1.add_argument("--a", type=int, default=2)
     p_t1.add_argument("--seed", type=int, default=0)
-    p_t1.add_argument("--engine", choices=list(ENGINE_CHOICES), default=None,
+    p_t1.add_argument("--engine", choices=engines, default=None,
                       help="round engine (default: config default)")
     p_t1.set_defaults(fn=cmd_table1)
 
+    p_sw = sub.add_parser(
+        "sweep", help="run a scenario grid in parallel, emit RunReport JSONL"
+    )
+    p_sw.add_argument("--algos", type=_names_arg("algorithms"), required=True,
+                      help="comma list of algorithms, e.g. mst,mis")
+    p_sw.add_argument("--ns", type=_ints_arg, default="32,64",
+                      help="comma list of sizes")
+    p_sw.add_argument("--a", type=int, default=2)
+    p_sw.add_argument("--seeds", type=_seeds_arg, default="0",
+                      help="seed range lo:hi (half-open) or comma list")
+    p_sw.add_argument("--engine", choices=engines, default=None,
+                      help="round engine for every run (default: config default)")
+    p_sw.add_argument("--engines", type=_names_arg("engines"), default=None,
+                      help="comma list of engines — the grid runs each spec "
+                           "under each (overrides --engine)")
+    p_sw.add_argument("--enforcement", choices=["strict", "count", "drop"],
+                      default=None, help="capacity enforcement (default: count)")
+    p_sw.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (default 1 = serial)")
+    p_sw.add_argument("--out", default=None,
+                      help="JSONL output path ('-' = stdout)")
+    p_sw.set_defaults(fn=cmd_sweep)
+
     p_sep = sub.add_parser("separation", help="gossip model-separation table")
-    p_sep.add_argument("--ns", default="32,64,128")
+    p_sep.add_argument("--ns", type=_ints_arg, default="32,64,128")
     p_sep.add_argument("--seed", type=int, default=0)
-    p_sep.add_argument("--engine", choices=list(ENGINE_CHOICES), default=None,
+    p_sep.add_argument("--engine", choices=engines, default=None,
                        help="round engine (default: config default)")
     p_sep.set_defaults(fn=cmd_separation)
 
@@ -166,6 +345,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    # argparse runs type= converters on string defaults too, so the
+    # "32,64"-style defaults above arrive here already parsed.
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

@@ -42,13 +42,24 @@ GroupT = Hashable
 class NCCRuntime:
     """A Node-Capacitated Clique of ``n`` nodes with all primitives wired."""
 
-    def __init__(self, n: int, config: NCCConfig | None = None, *, seed: int | None = None):
+    def __init__(
+        self,
+        n: int,
+        config: NCCConfig | None = None,
+        *,
+        seed: int | None = None,
+        bf: ButterflyGrid | None = None,
+    ):
         cfg = config if config is not None else DEFAULT_CONFIG
         if seed is not None:
             cfg = cfg.with_(seed=seed)
+        if bf is not None and bf.n != n:
+            raise ValueError(f"butterfly grid is for n={bf.n}, runtime wants n={n}")
         self.config = cfg
         self.net = NCCNetwork(n, cfg)
-        self.bf = ButterflyGrid(n)
+        # The emulated butterfly is immutable per n, so sweep drivers
+        # (repro.api.Session) share one instance across runs of the same size.
+        self.bf = bf if bf is not None else ButterflyGrid(n)
         self.shared = SharedRandomness(cfg, n, charge=self._charge_agreement)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,103 @@
+"""The experiment schema: RunSpec in, RunReport out, canonical JSONL."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import RunReport, RunSpec, dump_reports, load_reports
+from repro.api.session import Session
+from repro.errors import ConfigurationError
+
+
+class TestRunSpec:
+    def test_frozen(self):
+        spec = RunSpec("mst", 16)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.n = 32
+
+    def test_extras_normalized_and_hashable(self):
+        a = RunSpec("bfs", 25, extras={"family": "grid"})
+        b = RunSpec("bfs", 25, extras=(("family", "grid"),))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.options == {"family": "grid"}
+
+    def test_enforcement_normalized(self):
+        assert RunSpec("mst", 16, enforcement="strict").enforcement == "strict"
+        with pytest.raises(ValueError):
+            RunSpec("mst", 16, enforcement="nope")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec("", 16)
+        with pytest.raises(ConfigurationError):
+            RunSpec("mst", 0)
+        with pytest.raises(ConfigurationError):
+            RunSpec("mst", 16, a=0)
+
+    def test_dict_roundtrip(self):
+        spec = RunSpec("mis", 32, a=3, seed=7, engine="batched",
+                       enforcement="count", extras={"family": "grid"})
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        assert RunSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_sequence_extras_survive_json_roundtrip_hashable(self):
+        # JSON reads tuples back as lists; extras values are canonicalized
+        # to tuples so loaded specs stay equal to (and hash like) originals.
+        spec = RunSpec("mst", 16, extras={"opt": (1, 2), "nested": [[3], 4]})
+        line = json.dumps(spec.to_dict())
+        loaded = RunSpec.from_dict(json.loads(line))
+        assert loaded == spec
+        assert hash(loaded) == hash(spec)
+        assert loaded.options["opt"] == (1, 2)
+
+    def test_mapping_extras_canonicalized_and_hashable(self):
+        spec = RunSpec("mst", 16, extras={"weights": {"lo": 1, "hi": 9}})
+        assert hash(spec) == hash(RunSpec("mst", 16,
+                                          extras={"weights": {"hi": 9, "lo": 1}}))
+        line = json.dumps(spec.to_dict())
+        loaded = RunSpec.from_dict(json.loads(line))
+        assert loaded == spec and hash(loaded) == hash(spec)
+
+    def test_with_(self):
+        spec = RunSpec("mst", 16).with_(seed=9)
+        assert spec.seed == 9 and spec.algorithm == "mst"
+
+
+class TestRunReport:
+    def _report(self):
+        return Session().run(RunSpec("mis", 16, seed=1))
+
+    def test_fields(self):
+        r = self._report()
+        assert r.correct and r.rounds > 0 and r.messages > 0 and r.bits > 0
+        assert r.engine in ("reference", "batched")
+        assert r.row["rounds"] > 0
+        assert r.stats["rounds"] == r.rounds
+        assert r.violations == []
+        assert r.wall_time_s > 0
+
+    def test_json_line_is_deterministic_and_timing_free(self):
+        r = self._report()
+        line = r.to_json_line()
+        assert "wall_time_s" not in line
+        assert line == RunReport.from_json_line(line).to_json_line()
+        # verbose dict keeps the timing
+        assert "wall_time_s" in r.to_dict()
+        assert "wall_time_s" not in r.to_dict(timing=False)
+
+    def test_dump_load_roundtrip(self, tmp_path):
+        reports = [Session().run(RunSpec("mis", 16, seed=s)) for s in (0, 1)]
+        path = str(tmp_path / "reports.jsonl")
+        dump_reports(reports, path)
+        loaded = list(load_reports(path))
+        assert [r.to_json_line() for r in loaded] == [
+            r.to_json_line() for r in reports
+        ]
+
+    def test_dump_to_stdout(self, capsys):
+        dump_reports([self._report()], "-")
+        out = capsys.readouterr().out
+        assert out.endswith("\n")
+        assert json.loads(out)["correct"] is True

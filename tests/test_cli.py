@@ -1,8 +1,12 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.analysis import tables
+from repro.analysis.reporting import format_table
+from repro.cli import build_parser, main
 
 
 class TestInfo:
@@ -33,6 +37,31 @@ class TestRun:
         assert main(["run", "nope"]) == 2
         assert "unknown algorithm" in capsys.readouterr().err
 
+    def test_non_runnable_subroutine_is_clean_error(self, capsys):
+        # `findmin` resolves in the registry but is a subroutine entry; the
+        # CLI must refuse cleanly (exit 2), not surface a traceback.
+        assert main(["run", "findmin"]) == 2
+        err = capsys.readouterr().err
+        assert "not independently runnable" in err and "pick one of" in err
+
+    def test_registry_algorithm_beyond_table1(self, capsys):
+        # The registry makes non-Table-1 algorithms runnable by name.
+        assert main(["run", "components", "--n", "16", "--seed", "1"]) == 0
+        assert "components" in capsys.readouterr().out
+
+    def test_output_is_byte_identical_to_legacy_runner(self, capsys):
+        # `run` is a thin wrapper over Session; its stdout must be exactly
+        # the table the legacy TABLE1_RUNNERS row produces.
+        assert main(["run", "mst", "--n", "16", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        row = tables.run_mst_row(16, a=2, seed=1)
+        expected = format_table(
+            list(row.keys()),
+            [list(row.values())],
+            title=f"MST on n=16 (bound {tables.TABLE1_BOUNDS['MST']})",
+        )
+        assert out == expected + "\n"
+
 
 class TestTable1:
     def test_selected_rows(self, capsys):
@@ -43,6 +72,120 @@ class TestTable1:
 
     def test_unknown_row_is_error_code(self, capsys):
         assert main(["table1", "--rows", "XYZ", "--ns", "16"]) == 2
+
+
+class TestArgumentErrors:
+    """Malformed values are argparse errors (exit 2), not tracebacks."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["table1", "--ns", "64,abc"],
+            ["table1", "--rows", "MIS,,MM"],
+            ["separation", "--ns", "1x"],
+            ["sweep", "--algos", "mst", "--ns", "abc"],
+            ["sweep", "--algos", "mst", "--seeds", "x:y"],
+            ["sweep", "--algos", "mst", "--seeds", "5:1"],
+            ["sweep", "--algos", "mst", "--seeds", "3:3"],
+            ["sweep", "--algos", " , "],
+        ],
+    )
+    def test_malformed_values_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEngineChoices:
+    def test_choices_follow_the_engine_registry(self):
+        # --engine choices are derived from config.known_engines() at parse
+        # time, so engines added via register_engine become selectable.
+        from repro.ncc import engine as engine_mod
+
+        class DummyEngine(engine_mod.ReferenceEngine):
+            name = "dummy-test"
+
+        engine_mod.register_engine("dummy-test", DummyEngine)
+        try:
+            args = build_parser().parse_args(
+                ["run", "mst", "--engine", "dummy-test"]
+            )
+            assert args.engine == "dummy-test"
+        finally:
+            engine_mod._REGISTRY.pop("dummy-test", None)
+        # once unregistered, the choice disappears again
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "mst", "--engine", "dummy-test"])
+
+
+class TestSweep:
+    def test_writes_jsonl_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "results.jsonl"
+        assert main([
+            "sweep", "--algos", "mis,matching", "--ns", "16", "--seeds", "0:2",
+            "--jobs", "2", "--out", str(out),
+        ]) == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 4  # 2 algos x 1 n x 2 seeds
+        records = [json.loads(line) for line in lines]
+        assert all(r["correct"] for r in records)
+        assert [r["spec"]["algorithm"] for r in records] == [
+            "mis", "mis", "matching", "matching",
+        ]
+        assert "sweep: 4 runs" in capsys.readouterr().out
+
+    def test_stdout_jsonl_summary_to_stderr(self, capsys):
+        assert main([
+            "sweep", "--algos", "mis", "--ns", "16", "--seeds", "0:1",
+            "--out", "-",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out.strip())["spec"]["algorithm"] == "mis"
+        assert "sweep: 1 runs" in captured.err
+
+    def test_unknown_algorithm_exits_2(self, capsys):
+        assert main(["sweep", "--algos", "nope", "--ns", "16"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_non_runnable_algorithm_exits_2(self, capsys):
+        assert main(["sweep", "--algos", "findmin", "--ns", "16"]) == 2
+        assert "not independently runnable" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv,prefix",
+        [
+            (["run", "mst", "--n", "0"], "run:"),
+            (["table1", "--rows", "MIS", "--ns", "-5"], "table1:"),
+            (["sweep", "--algos", "mst", "--ns", "-5"], "sweep:"),
+            (["sweep", "--algos", "mst", "--ns", "16", "--a", "0"], "sweep:"),
+        ],
+    )
+    def test_out_of_range_values_exit_2(self, argv, prefix, capsys):
+        # RunSpec range validation surfaces as a clean error, not a traceback.
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith(prefix) and "must be >=" in err
+
+    def test_empty_grid_exits_2(self, capsys):
+        # `--ns ","` parses to no sizes; a zero-run sweep must not look
+        # like success to a scripted pipeline.
+        assert main(["sweep", "--algos", "mis", "--ns", ","]) == 2
+        assert "empty grid" in capsys.readouterr().err
+
+    def test_unknown_engine_exits_2(self, capsys):
+        assert main([
+            "sweep", "--algos", "mis", "--ns", "16", "--engines", "warp",
+        ]) == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_mixed_engines_grid(self, capsys):
+        assert main([
+            "sweep", "--algos", "mis", "--ns", "16",
+            "--engines", "reference,batched",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "reference" in out and "batched" in out
 
 
 class TestSeparation:

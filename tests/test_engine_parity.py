@@ -25,16 +25,8 @@ import pytest
 import repro.ncc.batched as batched_mod
 import repro.ncc.message as message_mod
 from repro import Enforcement, NCCConfig, NCCRuntime, ReproError
-from repro.algorithms.bfs import BFSAlgorithm
-from repro.algorithms.broadcast_trees import build_broadcast_trees
-from repro.algorithms.coloring import ColoringAlgorithm
-from repro.algorithms.components import ConnectedComponentsAlgorithm
-from repro.algorithms.identification import identification_family, run_identification
-from repro.algorithms.matching import MatchingAlgorithm
-from repro.algorithms.mis import MISAlgorithm
-from repro.algorithms.mst import MSTAlgorithm
-from repro.algorithms.orientation import OrientationAlgorithm
-from repro.graphs import generators, weights
+from repro.graphs import generators
+from repro.registry import iter_algorithms
 from repro.ncc.message import (
     BatchBuilder,
     InboxBatch,
@@ -54,47 +46,31 @@ def _graph():
     return generators.forest_union(N, 2, seed=3)
 
 
-def _weighted():
-    return weights.with_random_weights(_graph(), seed=4)
-
-
-def _run_identification(rt):
-    g = _graph()
-    playing = {u for u in range(g.n) if u % 3 == 0}
-    fam = identification_family(rt, 7, 256, tag="parity-fam")
-    learners = [u for u in range(g.n) if u not in playing]
-    candidates = {u: list(g.neighbors(u)) for u in learners}
-    potential = {
-        v: [w for w in g.neighbors(v) if w not in playing] for v in playing
-    }
-    res = run_identification(rt, g, learners, candidates, potential, fam)
-    return (sorted(res.red_neighbors.items()), sorted(res.unsuccessful), res.rounds)
-
-
-def _run_broadcast_trees(rt):
-    bt = build_broadcast_trees(rt, _graph())
-    return (
-        bt.setup_rounds,
-        bt.orientation_rounds,
-        bt.congestion(),
-        bt.orientation.out_neighbors,
-        bt.trees.root,
-        bt.trees.leaf_members,
-    )
-
-
-#: name -> callable(rt) -> comparable result (dataclasses compare by value).
+# Algorithm discovery goes through the registry: every spec that supports
+# the differential harness replays on its canonical workload at
+# (n, a, seed) = (N, 2, 3) — exactly the instances the hand-maintained dict
+# used to build (``parity=`` overrides on a spec reproduce the composite
+# observables, e.g. identification's sorted red-edge tuples).  A new
+# algorithm module only has to register itself to be covered here.
 ALGORITHMS = {
-    "mst": lambda rt: MSTAlgorithm(rt, _weighted()).run(),
-    "components": lambda rt: ConnectedComponentsAlgorithm(rt, _graph()).run(),
-    "orientation": lambda rt: OrientationAlgorithm(rt, _graph()).run(),
-    "identification": _run_identification,
-    "broadcast_trees": _run_broadcast_trees,
-    "bfs": lambda rt: BFSAlgorithm(rt, _graph()).run(0),
-    "mis": lambda rt: MISAlgorithm(rt, _graph()).run(),
-    "matching": lambda rt: MatchingAlgorithm(rt, _graph()).run(),
-    "coloring": lambda rt: ColoringAlgorithm(rt, _graph()).run(),
+    spec.name: (lambda s: (lambda rt: s.parity_run(rt, n=N, a=2, seed=3)))(spec)
+    for spec in iter_algorithms()
+    if spec.supports_parity
 }
+
+#: the registry must keep covering at least the historical harness set.
+_EXPECTED = {
+    "mst",
+    "components",
+    "orientation",
+    "identification",
+    "broadcast_trees",
+    "bfs",
+    "mis",
+    "matching",
+    "coloring",
+}
+assert _EXPECTED <= set(ALGORITHMS), sorted(_EXPECTED - set(ALGORITHMS))
 
 
 def _execute(engine: str, mode: Enforcement, run):

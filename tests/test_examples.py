@@ -1,0 +1,44 @@
+"""Smoke tests for the example scripts: each must import and run at tiny n.
+
+The examples are living documentation of the paper's scenarios; without
+this test they can rot silently (they are plain scripts, not modules).
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: script stem -> tiny-but-valid main() argument.
+EXAMPLES = {
+    "quickstart": 16,
+    "contact_bootstrap": 32,
+    "datacenter_kmachine": 16,
+    "hybrid_network_planning": 4,  # grid side, n = 16
+    "overlay_social_network": 24,
+}
+
+
+def _load(stem: str):
+    path = EXAMPLES_DIR / f"{stem}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_example_is_covered():
+    stems = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert stems == set(EXAMPLES), (
+        "examples/ changed; update the EXAMPLES map in this test"
+    )
+
+
+@pytest.mark.parametrize("stem", sorted(EXAMPLES))
+def test_example_runs(stem, capsys):
+    module = _load(stem)
+    module.main(EXAMPLES[stem])
+    out = capsys.readouterr().out
+    assert out.strip(), f"{stem}.main() printed nothing"
