@@ -1,0 +1,85 @@
+"""Scenario-subsystem timings: per-family workload build + run cost.
+
+Two quantities per scenario family, persisted under ``scenarios`` in
+``BENCH_engine.json`` so the CI artifact tracks the cost of the sweep
+axis across PRs:
+
+* **build_s** — constructing the workload instance at n = 256 (the graph
+  generator plus any weight regime; this is what the Session workload
+  cache amortizes over a sweep);
+* **run_s / rounds** — one full MIS execution (MST for weighted families)
+  through :class:`repro.api.Session` at n = 64.
+
+There is no speedup gate here — scenario families are *inputs*, not
+engine code — but the module asserts the matrix contract: every timed
+run is correct and byte-deterministically rerunnable.
+"""
+
+import time
+
+from repro.api import RunSpec, Session
+from repro.scenarios import get_scenario
+
+from .conftest import emit_bench_json, run_once
+
+BUILD_N = 256
+RUN_N = 64
+
+#: the timed families: one per structural regime (a-controlled, planar,
+#: star, heavy-tail, expander-like, disconnected, dense, weighted).
+FAMILIES = (
+    "forest-union",
+    "grid",
+    "star",
+    "pa-heavy-tail",
+    "ring-of-chords",
+    "cliques-disconnected",
+    "complete",
+    "forest-union-random-weights",
+    "grid-unique-weights",
+)
+
+
+def _algorithm_for(spec) -> str:
+    return "mst" if spec.weighted else "mis"
+
+
+def test_scenario_build_and_run_timings(benchmark, report):
+    session = Session()
+    payload: dict[str, dict] = {}
+    lines = []
+    for name in FAMILIES:
+        scn = get_scenario(name)
+        t0 = time.perf_counter()
+        g = scn.build(BUILD_N, 2, 0)
+        build_s = time.perf_counter() - t0
+        run_spec = RunSpec(_algorithm_for(scn), RUN_N, seed=1, scenario=name)
+        t0 = time.perf_counter()
+        first = session.run(run_spec)
+        run_s = time.perf_counter() - t0
+        assert first.correct, f"{_algorithm_for(scn)} on {name} incorrect"
+        again = session.run(run_spec)
+        assert again.to_json_line() == first.to_json_line()
+        payload[name] = {
+            "build_n": BUILD_N,
+            "build_m": g.m,
+            "build_s": round(build_s, 4),
+            "run_algorithm": _algorithm_for(scn),
+            "run_n": RUN_N,
+            "run_rounds": first.rounds,
+            "run_s": round(run_s, 3),
+        }
+        lines.append(
+            f"  {name:<30} build(n={BUILD_N})={build_s * 1e3:7.1f}ms  "
+            f"{_algorithm_for(scn)}(n={RUN_N})={run_s:6.2f}s  "
+            f"rounds={first.rounds}"
+        )
+    emit_bench_json("scenarios", payload)
+    report(
+        "Scenario families: workload build + run cost\n" + "\n".join(lines)
+    )
+    # pytest-benchmark wall-time anchor: one representative cached re-run.
+    run_once(
+        benchmark,
+        lambda: session.run(RunSpec("mis", RUN_N, seed=1, scenario="grid")),
+    )

@@ -16,7 +16,12 @@
 #   6. the experiment-API sweep gates (Session.run_many byte-deterministic
 #      for any jobs value; >= 1.2x parallel speedup when >= 2 cores), plus
 #      a `python -m repro sweep` smoke whose JSONL lands in
-#      SWEEP_results.jsonl (override with SWEEP_JSONL) for the CI artifact.
+#      SWEEP_results.jsonl (override with SWEEP_JSONL) for the CI artifact;
+#   7. the scenario subsystem: per-family workload-build/run timings
+#      (benchmarks/bench_scenarios.py -> BENCH_engine.json `scenarios`)
+#      and a `python -m repro matrix` smoke (>= 6 families x >= 3
+#      algorithms) whose JSONL lands in MATRIX_results.jsonl (override
+#      with MATRIX_JSONL) next to the sweep artifact.
 #
 # Timings land in BENCH_engine.json (override with BENCH_ENGINE_JSON) so CI
 # can archive the perf trajectory across PRs.
@@ -57,5 +62,14 @@ echo "== sweep smoke (parallel Session + JSONL) =="
 python -m repro sweep --algos mst --ns 32 --seeds 0:2 --jobs 2 --out - \
     > "${SWEEP_JSONL:-SWEEP_results.jsonl}"
 echo "sweep smoke wrote $(wc -l < "${SWEEP_JSONL:-SWEEP_results.jsonl}") reports"
+
+echo "== scenario benchmark (per-family build + run timings) =="
+python -m pytest -q benchmarks/bench_scenarios.py
+
+echo "== scenario-matrix smoke (6 families x 3 algorithms) =="
+python -m repro matrix --algos mis,matching,components \
+    --scenarios forest-union,grid,star,cycle,pa-heavy-tail,ring-of-chords \
+    --n 24 --jobs 2 --out "${MATRIX_JSONL:-MATRIX_results.jsonl}"
+echo "matrix smoke wrote $(wc -l < "${MATRIX_JSONL:-MATRIX_results.jsonl}") reports"
 
 echo "verify: all gates passed"

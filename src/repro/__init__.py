@@ -62,12 +62,18 @@ _API_EXPORTS = {
     "AlgorithmSpec": "registry",
     "RunReport": "api",
     "RunSpec": "api",
+    "ScenarioSpec": "scenarios",
     "Session": "api",
     "UnknownAlgorithmError": "registry",
+    "UnknownScenarioError": "scenarios",
     "algorithm_names": "registry",
     "get_algorithm": "registry",
+    "get_scenario": "scenarios",
     "iter_algorithms": "registry",
+    "iter_scenarios": "scenarios",
     "register_algorithm": "registry",
+    "register_scenario": "scenarios",
+    "scenario_names": "scenarios",
 }
 
 __all__ = [

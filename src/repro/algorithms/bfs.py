@@ -100,13 +100,20 @@ class BFSAlgorithm:
 # Registry entry (Table 1 row T1-BFS)
 # ----------------------------------------------------------------------
 def _workload(n: int, a: int, seed: int, family: str = "forest") -> InputGraph:
-    from ..graphs import generators
-    from ..registry import standard_workload
+    # The legacy ``family`` option is a thin alias over the scenario
+    # registry: "forest" -> `forest-union`, "grid" -> `grid`
+    # (`python -m repro run --scenario` is the first-class spelling).
+    from ..errors import ConfigurationError
+    from ..scenarios import get_scenario
 
-    if family == "grid":
-        side = max(2, int(round(n**0.5)))
-        return generators.grid(side, side)
-    return standard_workload(n, a, seed)
+    if family not in ("forest", "grid"):
+        raise ConfigurationError(
+            f"unknown BFS family {family!r} (forest | grid); the option is "
+            "deprecated — pick a workload with scenario instead"
+        )
+    return get_scenario("grid" if family == "grid" else "forest-union").build(
+        n, a, seed
+    )
 
 
 def _check(g: InputGraph, result: BFSResult, params: dict) -> bool:
@@ -134,6 +141,8 @@ def _describe(g: InputGraph, result: BFSResult, rt: NCCRuntime, params: dict) ->
     bound="O((a + D + log n) log n)",
     table1_key="BFS",
     build_workload=_workload,
+    default_scenario="forest-union",
+    requires=("connected",),
     check=_check,
     describe=_describe,
     workload_options=("family",),

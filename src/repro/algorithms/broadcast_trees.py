@@ -20,7 +20,7 @@ from typing import Any, Callable, Mapping
 from ..butterfly.routing import TreeSet
 from ..ncc.graph_input import InputGraph
 from ..primitives.functions import Aggregate
-from ..registry import register_algorithm, standard_workload
+from ..registry import register_algorithm
 from ..runtime import NCCRuntime
 from .orientation import Orientation, OrientationAlgorithm
 
@@ -159,7 +159,7 @@ def _parity(rt: NCCRuntime, g: InputGraph):
     aliases=("broadcast-trees", "bt"),
     summary="per-node neighbourhood multicast trees (Lemma 5.1 setup)",
     bound="O(a + log n) setup",
-    build_workload=standard_workload,
+    default_scenario="forest-union",
     check=_check,
     describe=_describe,
     parity=_parity,

@@ -31,7 +31,7 @@ from ..errors import ProtocolError
 from ..ncc.graph_input import InputGraph
 from ..primitives.aggregation import AggregationProblem
 from ..primitives.functions import MAX, SUM
-from ..registry import register_algorithm, standard_workload
+from ..registry import register_algorithm
 from ..runtime import NCCRuntime
 from .orientation import Orientation, OrientationAlgorithm
 
@@ -264,7 +264,7 @@ def _describe(
     summary="O(a)-coloring over the orientation's level structure",
     bound="O((a + log n) log^{3/2} n)",
     table1_key="COL",
-    build_workload=standard_workload,
+    default_scenario="forest-union",
     check=_check,
     describe=_describe,
 )

@@ -21,7 +21,7 @@ from ..errors import ProtocolError
 from ..ncc.graph_input import InputGraph, canonical_edge
 from ..primitives.direct import send_direct
 from ..primitives.functions import MAX, MIN
-from ..registry import register_algorithm, standard_workload
+from ..registry import register_algorithm
 from ..runtime import NCCRuntime
 from .findmin import EdgeSketcher, find_lightest_edges
 from .mst import HEADS, TAILS
@@ -289,7 +289,7 @@ def _describe(
     aliases=("CC", "connected-components"),
     summary="connected components / spanning forest (unweighted Boruvka)",
     bound="O(log^3 n)",
-    build_workload=standard_workload,
+    default_scenario="forest-union",
     check=_check,
     describe=_describe,
 )

@@ -34,7 +34,7 @@ from ..hashing.peeling import TrialTable, trials_of
 from ..ncc.graph_input import InputGraph
 from ..primitives.aggregation import AggregationProblem
 from ..primitives.functions import xor_count
-from ..registry import register_algorithm, standard_workload
+from ..registry import register_algorithm
 from ..runtime import NCCRuntime
 
 
@@ -203,7 +203,7 @@ def _parity(rt: NCCRuntime, g: InputGraph):
     aliases=("ident",),
     summary="the Identification Algorithm on its demo cast (Section 4.1)",
     bound="O(1) aggregations per pass",
-    build_workload=standard_workload,
+    default_scenario="forest-union",
     check=_check,
     describe=_describe,
     parity=_parity,

@@ -31,7 +31,7 @@ from ..ncc.graph_input import InputGraph, canonical_edge
 from ..primitives.aggregation import AggregationProblem
 from ..primitives.direct import send_direct
 from ..primitives.functions import MAX, MIN, min_by_key
-from ..registry import register_algorithm, standard_workload
+from ..registry import register_algorithm
 from ..runtime import NCCRuntime
 from .broadcast_trees import BroadcastTrees, build_broadcast_trees, neighborhood_multi_aggregate
 
@@ -205,7 +205,7 @@ def _describe(
     summary="maximal matching (MIS reduction over broadcast trees)",
     bound="O((a + log n) log n)",
     table1_key="MM",
-    build_workload=standard_workload,
+    default_scenario="forest-union",
     check=_check,
     describe=_describe,
 )

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from ..errors import ProtocolError
 from ..ncc.graph_input import InputGraph
 from ..primitives.functions import MAX, min_by_key
-from ..registry import register_algorithm, standard_workload
+from ..registry import register_algorithm
 from ..runtime import NCCRuntime
 from .broadcast_trees import BroadcastTrees, build_broadcast_trees, neighborhood_multi_aggregate
 
@@ -129,7 +129,7 @@ def _describe(g: InputGraph, result: MISResult, rt: NCCRuntime, params: dict) ->
     summary="maximal independent set (Luby over broadcast trees)",
     bound="O((a + log n) log n)",
     table1_key="MIS",
-    build_workload=standard_workload,
+    default_scenario="forest-union",
     check=_check,
     describe=_describe,
 )

@@ -261,13 +261,6 @@ class MSTAlgorithm:
 # ----------------------------------------------------------------------
 # Registry entry (Table 1 row T1-MST)
 # ----------------------------------------------------------------------
-def _workload(n: int, a: int, seed: int) -> InputGraph:
-    from ..graphs import weights
-    from ..registry import standard_workload
-
-    return weights.with_random_weights(standard_workload(n, a, seed), seed=seed + 1)
-
-
 def _check(g: InputGraph, result: MSTResult, params: dict) -> bool:
     from ..baselines.sequential import kruskal_msf
 
@@ -288,7 +281,8 @@ def _describe(g: InputGraph, result: MSTResult, rt: NCCRuntime, params: dict) ->
     summary="weighted MST/MSF via Boruvka + FindMin sketches",
     bound="O(log^4 n)",
     table1_key="MST",
-    build_workload=_workload,
+    default_scenario="forest-union-random-weights",
+    requires=("weights",),
     check=_check,
     describe=_describe,
 )

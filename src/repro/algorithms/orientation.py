@@ -41,7 +41,7 @@ from ..ncc.message import BatchBuilder
 from ..primitives.aggregation import AggregationProblem
 from ..primitives.direct import spread_exchange
 from ..primitives.functions import MAX, SUM, tuple_of
-from ..registry import register_algorithm, standard_workload
+from ..registry import register_algorithm
 from ..runtime import NCCRuntime
 from .identification import identification_family, run_identification
 
@@ -454,7 +454,7 @@ def _describe(g: InputGraph, result: Orientation, rt: NCCRuntime, params: dict) 
     aliases=("orient", "o(a)-orientation"),
     summary="O(a)-orientation via Nash-Williams peeling",
     bound="O((a + log n) log n)",
-    build_workload=standard_workload,
+    default_scenario="forest-union",
     check=_check,
     describe=_describe,
 )

@@ -15,6 +15,12 @@ Three layers, one import::
 * **Registry** (:mod:`repro.registry`) — every algorithm self-registers an
   :class:`~repro.registry.AlgorithmSpec` (workload builder, runner,
   sequential oracle, row descriptors); re-exported here for convenience.
+* **Scenarios** (:mod:`repro.scenarios`) — named topology×weights workload
+  families with declared, property-tested guarantees; select one per run
+  via ``RunSpec(..., scenario="pa-heavy-tail")``, sweep them with
+  ``sweep_grid(..., scenarios=[...])``, or span the whole
+  algorithm×scenario grid with :func:`matrix_grid` (incompatible cells —
+  an algorithm requirement the scenario cannot provide — are skipped).
 * **Schema** (:mod:`repro.api.schema`) — frozen :class:`RunSpec` in,
   JSON-serializable :class:`RunReport` out, canonical JSONL persistence.
 * **Session** (:mod:`repro.api.session`) — serial or multiprocessing
@@ -34,21 +40,38 @@ from ..registry import (
     register_algorithm,
     table1_specs,
 )
+from ..scenarios import (
+    ScenarioCompatibilityError,
+    ScenarioSpec,
+    UnknownScenarioError,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
 from .schema import RunReport, RunSpec, dump_reports, load_reports
-from .session import Session, sweep_grid
+from .session import Session, matrix_grid, sweep_grid
 
 __all__ = [
     "AlgorithmSpec",
     "RunReport",
     "RunSpec",
+    "ScenarioCompatibilityError",
+    "ScenarioSpec",
     "Session",
     "UnknownAlgorithmError",
+    "UnknownScenarioError",
     "algorithm_names",
     "dump_reports",
     "get_algorithm",
+    "get_scenario",
     "iter_algorithms",
+    "iter_scenarios",
     "load_reports",
+    "matrix_grid",
     "register_algorithm",
+    "register_scenario",
+    "scenario_names",
     "sweep_grid",
     "table1_specs",
 ]

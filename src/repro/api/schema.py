@@ -76,6 +76,12 @@ class RunSpec:
     extras:
         Extra workload/runner options (e.g. ``{"family": "grid"}``),
         stored as a sorted tuple of pairs so specs stay hashable.
+    scenario:
+        Workload scenario name from :mod:`repro.scenarios` (topology
+        family × optional weight regime), or ``None`` for the
+        algorithm's default workload.  ``None`` keeps the canonical
+        JSONL byte-identical to the pre-scenario schema: the key is
+        only serialized when a scenario is set.
     """
 
     algorithm: str
@@ -85,10 +91,13 @@ class RunSpec:
     engine: str | None = None
     enforcement: str | None = None
     extras: ExtrasT = field(default=())
+    scenario: str | None = None
 
     def __post_init__(self) -> None:
         if not self.algorithm:
             raise ConfigurationError("RunSpec.algorithm must be non-empty")
+        if self.scenario is not None and not str(self.scenario).strip():
+            raise ConfigurationError("RunSpec.scenario must be non-empty when set")
         if self.n < 1:
             raise ConfigurationError(f"RunSpec.n must be >= 1, got {self.n}")
         if self.a < 1:
@@ -110,7 +119,7 @@ class RunSpec:
         return replace(self, **changes)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data: dict[str, Any] = {
             "algorithm": self.algorithm,
             "n": self.n,
             "a": self.a,
@@ -119,6 +128,11 @@ class RunSpec:
             "enforcement": self.enforcement,
             "extras": dict(self.extras),
         }
+        # Serialized only when set, so scenario-free results files stay
+        # byte-identical to the pre-scenario schema.
+        if self.scenario is not None:
+            data["scenario"] = self.scenario
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
@@ -130,6 +144,7 @@ class RunSpec:
             engine=data.get("engine"),
             enforcement=data.get("enforcement"),
             extras=data.get("extras") or (),
+            scenario=data.get("scenario"),
         )
 
 

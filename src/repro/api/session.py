@@ -22,6 +22,7 @@ import time
 from typing import Any, Callable, Iterable, Sequence
 
 from ..config import Enforcement, NCCConfig, default_engine
+from ..errors import ConfigurationError
 from ..registry import bench_config, get_algorithm
 from .schema import RunReport, RunSpec
 
@@ -53,11 +54,27 @@ class Session:
     # ------------------------------------------------------------------
     def canonical(self, spec: RunSpec) -> RunSpec:
         """Resolve aliases and defaults so the spec reruns verbatim anywhere:
-        canonical algorithm name, explicit engine, explicit enforcement."""
+        canonical algorithm name, canonical scenario name (validated against
+        the algorithm's requirements), explicit engine and enforcement."""
         alg = get_algorithm(spec.algorithm)
+        scenario = spec.scenario
+        if scenario is not None:
+            from ..scenarios import check_compatible, get_scenario
+
+            scn = get_scenario(scenario)
+            check_compatible(alg, scn)
+            if "family" in dict(spec.extras):
+                raise ConfigurationError(
+                    f"RunSpec for {alg.name!r} sets both scenario="
+                    f"{scn.name!r} and the legacy extras['family'] option; "
+                    "the family option is a deprecated alias of scenario — "
+                    "drop it"
+                )
+            scenario = scn.name
         cfg = self.base_config if self.base_config is not None else bench_config(0)
         return spec.with_(
             algorithm=alg.name,
+            scenario=scenario,
             engine=spec.engine or cfg.engine or default_engine(),
             enforcement=spec.enforcement or cfg.enforcement.value,
         )
@@ -88,6 +105,18 @@ class Session:
         return bf
 
     def _workload(self, alg, spec: RunSpec):
+        if spec.scenario is not None:
+            from ..scenarios import get_scenario
+
+            # Scenario workloads are algorithm-independent, but the key
+            # keeps the algorithm so per-algorithm eviction stays possible.
+            key = (alg.name, spec.scenario, spec.n, spec.a, spec.seed)
+            g = self._workload_cache.get(key)
+            if g is None:
+                g = get_scenario(spec.scenario).build(spec.n, spec.a, spec.seed)
+                if self._cache_enabled:
+                    self._workload_cache[key] = g
+            return g
         options = {
             k: v for k, v in spec.extras if k in alg.workload_options
         }
@@ -107,10 +136,26 @@ class Session:
         spec = self.canonical(spec)
         alg = get_algorithm(spec.algorithm)
         g = self._workload(alg, spec)
+        a_label = spec.a
+        if spec.scenario is not None:
+            from ..scenarios import get_scenario
+
+            scn = get_scenario(spec.scenario)
+            # Rows label `a` with the scenario's declared bound (e.g. 3
+            # for the grid family) rather than the sweep knob, which only
+            # parameterizes a-controlled families.  Without a declared
+            # bound the knob is meaningless too — the trivial `n` bound
+            # makes the describers fall back to the greedy estimate
+            # instead of understating `a` as the knob value.
+            a_label = (
+                scn.effective_a(spec.n, spec.a)
+                if scn.arboricity is not None
+                else spec.n
+            )
         t0 = time.perf_counter()
         ex = alg.execute(
             spec.n,
-            a=spec.a,
+            a=a_label,
             seed=spec.seed,
             config=self.config_for(spec),
             graph=g,
@@ -216,8 +261,11 @@ def sweep_grid(
     engines: Sequence[str | None] = (None,),
     enforcement: str | None = None,
     extras: dict[str, Any] | None = None,
+    scenarios: Sequence[str | None] = (None,),
 ) -> list[RunSpec]:
-    """The cartesian spec grid, in deterministic algorithm-major order."""
+    """The cartesian spec grid, in deterministic algorithm-major order
+    (scenario varies directly inside the algorithm axis, i.e. it is the
+    second-slowest-moving axis; engine is the fastest)."""
     return [
         RunSpec(
             algorithm=alg,
@@ -227,9 +275,54 @@ def sweep_grid(
             engine=engine,
             enforcement=enforcement,
             extras=extras or (),
+            scenario=scenario,
         )
         for alg in algorithms
+        for scenario in scenarios
         for n in ns
         for seed in seeds
         for engine in engines
     ]
+
+
+def matrix_grid(
+    algorithms: Sequence[str],
+    scenarios: Sequence[str],
+    *,
+    n: int,
+    a: int = 2,
+    seed: int = 0,
+    engine: str | None = None,
+    enforcement: str | None = None,
+) -> tuple[list[RunSpec], list[tuple[str, str]]]:
+    """The algorithm×scenario grid at one ``(n, a, seed)`` point.
+
+    Incompatible pairs (an algorithm requirement the scenario cannot
+    provide) are *skipped*, not errors — a matrix sweep is exactly the
+    place where some cells are undefined.  Returns
+    ``(specs, skipped_pairs)``; ``skipped_pairs`` is the deterministic
+    list of ``(algorithm, scenario)`` cells left out.
+    """
+    from ..scenarios import get_scenario, is_compatible
+
+    specs: list[RunSpec] = []
+    skipped: list[tuple[str, str]] = []
+    for alg_name in algorithms:
+        alg = get_algorithm(alg_name)
+        for scenario_name in scenarios:
+            scn = get_scenario(scenario_name)
+            if not is_compatible(alg, scn):
+                skipped.append((alg.name, scn.name))
+                continue
+            specs.append(
+                RunSpec(
+                    algorithm=alg.name,
+                    n=n,
+                    a=a,
+                    seed=seed,
+                    engine=engine,
+                    enforcement=enforcement,
+                    scenario=scn.name,
+                )
+            )
+    return specs, skipped

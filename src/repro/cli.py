@@ -3,13 +3,18 @@
 Usage::
 
     python -m repro info --n 64
+    python -m repro scenarios
     python -m repro run mst --n 48 --a 2 --seed 1
-    python -m repro run mis --n 64 --family grid
+    python -m repro run mis --n 64 --scenario pa-heavy-tail
     python -m repro run mst --n 48 --engine batched
     python -m repro table1 --rows MIS,MM --ns 32,64 --a 2
     python -m repro separation --ns 32,64,128
     python -m repro sweep --algos mst,mis --ns 64,128 --seeds 0:5 \
         --jobs 8 --out results.jsonl
+    python -m repro sweep --algos mis --ns 64 --scenarios grid,star,ring-of-chords
+    python -m repro matrix --algos mis,matching,components \
+        --scenarios forest-union,grid,star,cycle,pa-heavy-tail,ring-of-chords \
+        --n 32 --jobs 4 --out MATRIX_results.jsonl
 
 ``run`` and ``table1`` are thin wrappers over :class:`repro.api.Session`
 and print the same row structure the benchmarks and EXPERIMENTS.md use;
@@ -27,7 +32,7 @@ import sys
 from typing import Sequence
 
 from .analysis.reporting import format_table
-from .api import RunSpec, Session, sweep_grid
+from .api import RunSpec, Session, matrix_grid, sweep_grid
 from .config import NCCConfig, known_engines
 from .errors import ConfigurationError
 from .registry import (
@@ -36,6 +41,11 @@ from .registry import (
     bench_config,
     get_algorithm,
     table1_specs,
+)
+from .scenarios import (
+    UnknownScenarioError,
+    canonical_scenario_name,
+    scenario_names,
 )
 
 
@@ -140,24 +150,41 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     extras = {}
-    if args.family and "family" in alg.workload_options:
+    if args.family is not None:
+        # Deprecated alias of --scenario; only BFS ever grew a family
+        # option, so anything else is a hard error instead of the silent
+        # drop it used to be.
+        if args.scenario is not None:
+            print("run: --family is a deprecated alias of --scenario; "
+                  "pass only --scenario", file=sys.stderr)
+            return 2
+        if "family" not in alg.workload_options:
+            print(f"run: error: algorithm {alg.name!r} has no --family option "
+                  "(deprecated, BFS-only); pick a workload with --scenario "
+                  f"(one of: {', '.join(sorted(scenario_names()))})",
+                  file=sys.stderr)
+            return 2
+        print("run: warning: --family is deprecated; use --scenario instead",
+              file=sys.stderr)
         extras["family"] = args.family
     try:
         spec = RunSpec(
             alg.name, args.n, a=args.a, seed=args.seed, engine=args.engine,
-            extras=extras,
+            extras=extras, scenario=args.scenario,
         )
+        report = Session().run(spec)
     except ConfigurationError as exc:
         print(f"run: {exc}", file=sys.stderr)
         return 2
-    row = Session().run(spec).row
+    row = report.row
     key = alg.table1_key or alg.name
     bound = f" (bound {alg.bound})" if alg.bound else ""
+    where = f"{report.spec.scenario} " if report.spec.scenario else ""
     print(
         format_table(
             list(row.keys()),
             [list(row.values())],
-            title=f"{key} on n={args.n}{bound}",
+            title=f"{key} on {where}n={args.n}{bound}",
         )
     )
     return 0 if row["correct"] else 1
@@ -196,6 +223,21 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _resolve_scenarios(names: Sequence[str] | None, command: str) -> list[str] | None:
+    """Resolve ``--scenarios`` names/aliases (``all`` = every registered
+    scenario); prints the clean pick-one-of error and returns None on
+    failure."""
+    if names is None:
+        return None
+    if list(names) == ["all"]:
+        return list(scenario_names())
+    try:
+        return [canonical_scenario_name(name) for name in names]
+    except UnknownScenarioError as exc:
+        print(f"{command}: {exc}", file=sys.stderr)
+        return None
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     try:
         algos = [_runnable_algorithm(name).name for name in args.algos]
@@ -210,6 +252,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    scenarios = _resolve_scenarios(args.scenarios, "sweep")
+    if args.scenarios is not None and scenarios is None:
+        return 2
     try:
         specs = sweep_grid(
             algos,
@@ -218,6 +263,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             seeds=args.seeds,
             engines=args.engines or [args.engine],
             enforcement=args.enforcement,
+            scenarios=scenarios or [None],
         )
     except ConfigurationError as exc:
         print(f"sweep: {exc}", file=sys.stderr)
@@ -226,13 +272,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print("sweep: empty grid (no sizes or no seeds)", file=sys.stderr)
         return 2
     summary_out = sys.stderr if args.out == "-" else sys.stdout
-    reports = Session().run_many(specs, jobs=args.jobs, out=args.out)
+    try:
+        reports = Session().run_many(specs, jobs=args.jobs, out=args.out)
+    except ConfigurationError as exc:
+        # e.g. an algorithm×scenario pairing the registry rejects — a
+        # clean error, not a traceback (`matrix` skips such cells instead).
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    headers = ["algorithm", "n", "a", "seed", "engine", "rounds", "messages",
+               "correct"]
+    if scenarios:
+        headers.insert(1, "scenario")
     print(
         format_table(
-            ["algorithm", "n", "a", "seed", "engine", "rounds", "messages", "correct"],
+            headers,
             [
                 [
                     r.spec.algorithm,
+                    *([r.spec.scenario] if scenarios else []),
                     r.spec.n,
                     r.spec.a,
                     r.spec.seed,
@@ -250,6 +307,95 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.out and args.out != "-":
         print(f"wrote {len(reports)} reports to {args.out}", file=summary_out)
     return 0 if all(r.correct for r in reports) else 1
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    try:
+        if args.algos:
+            algos = [_runnable_algorithm(name).name for name in args.algos]
+        else:
+            algos = list(algorithm_names(runnable_only=True))
+    except UnknownAlgorithmError as exc:
+        print(f"matrix: {exc}", file=sys.stderr)
+        return 2
+    scenarios = _resolve_scenarios(args.scenarios or ["all"], "matrix")
+    if scenarios is None:
+        return 2
+    try:
+        specs, skipped = matrix_grid(
+            algos,
+            scenarios,
+            n=args.n,
+            a=args.a,
+            seed=args.seed,
+            engine=args.engine,
+            enforcement=args.enforcement,
+        )
+    except ConfigurationError as exc:
+        print(f"matrix: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("matrix: empty grid (every cell incompatible?)", file=sys.stderr)
+        return 2
+    summary_out = sys.stderr if args.out == "-" else sys.stdout
+    reports = Session().run_many(specs, jobs=args.jobs, out=args.out)
+    by_cell = {(r.spec.algorithm, r.spec.scenario): r for r in reports}
+    rows = []
+    for alg in algos:
+        cells: list[str] = [alg]
+        for scn in scenarios:
+            if (alg, scn) in by_cell:
+                r = by_cell[(alg, scn)]
+                cells.append(str(r.rounds) if r.correct else f"!{r.rounds}")
+            else:
+                cells.append("-")
+        rows.append(cells)
+    print(
+        format_table(
+            ["algorithm \\ scenario", *scenarios],
+            rows,
+            title=(
+                f"matrix: {len(reports)} runs at n={args.n} "
+                f"(rounds; '!' = incorrect, '-' = incompatible)"
+            ),
+        ),
+        file=summary_out,
+    )
+    if skipped:
+        print(
+            "matrix: skipped incompatible cells: "
+            + ", ".join(f"{a}x{s}" for a, s in skipped),
+            file=summary_out,
+        )
+    if args.out and args.out != "-":
+        print(f"wrote {len(reports)} reports to {args.out}", file=summary_out)
+    return 0 if all(r.correct for r in reports) else 1
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    from .scenarios import iter_scenarios
+
+    rows = []
+    for s in iter_scenarios():
+        g = s.guarantees(args.n)
+        rows.append([
+            s.name,
+            g["arboricity"],
+            "yes" if g["connected"] else "no",
+            "yes" if g["weighted"] else "no",
+            g["diameter"],
+            g["degrees"],
+            s.summary,
+        ])
+    print(
+        format_table(
+            ["scenario", f"a<= (n={args.n})", "connected", "weighted",
+             "diameter", "degrees", "summary"],
+            rows,
+            title=f"{len(rows)} registered scenarios",
+        )
+    )
+    return 0
 
 
 def cmd_separation(args: argparse.Namespace) -> int:
@@ -295,7 +441,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--n", type=int, default=48)
     p_run.add_argument("--a", type=int, default=2)
     p_run.add_argument("--seed", type=int, default=0)
-    p_run.add_argument("--family", default=None, help="BFS workload: forest | grid")
+    p_run.add_argument("--scenario", default=None,
+                       help="workload scenario (see `repro scenarios`), "
+                            "e.g. grid, pa-heavy-tail, grid-unique-weights")
+    p_run.add_argument("--family", default=None,
+                       help="deprecated alias of --scenario "
+                            "(BFS-only: forest | grid)")
     p_run.add_argument("--engine", choices=engines, default=None,
                        help="round engine (default: config default)")
     p_run.set_defaults(fn=cmd_run)
@@ -326,6 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--engines", type=_names_arg("engines"), default=None,
                       help="comma list of engines — the grid runs each spec "
                            "under each (overrides --engine)")
+    p_sw.add_argument("--scenarios", type=_names_arg("scenarios"), default=None,
+                      help="comma list of workload scenarios ('all' = every "
+                           "registered family); omit for each algorithm's "
+                           "default workload")
     p_sw.add_argument("--enforcement", choices=["strict", "count", "drop"],
                       default=None, help="capacity enforcement (default: count)")
     p_sw.add_argument("--jobs", type=int, default=1,
@@ -333,6 +488,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--out", default=None,
                       help="JSONL output path ('-' = stdout)")
     p_sw.set_defaults(fn=cmd_sweep)
+
+    p_mx = sub.add_parser(
+        "matrix",
+        help="run an algorithm x scenario grid at one n, emit RunReport JSONL",
+    )
+    p_mx.add_argument("--algos", type=_names_arg("algorithms"), default=None,
+                      help="comma list of algorithms (default: all runnable)")
+    p_mx.add_argument("--scenarios", type=_names_arg("scenarios"), default=None,
+                      help="comma list of scenarios (default: all registered)")
+    p_mx.add_argument("--n", type=int, default=32)
+    p_mx.add_argument("--a", type=int, default=2)
+    p_mx.add_argument("--seed", type=int, default=0)
+    p_mx.add_argument("--engine", choices=engines, default=None,
+                      help="round engine for every run (default: config default)")
+    p_mx.add_argument("--enforcement", choices=["strict", "count", "drop"],
+                      default=None, help="capacity enforcement (default: count)")
+    p_mx.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (default 1 = serial)")
+    p_mx.add_argument("--out", default=None,
+                      help="JSONL output path ('-' = stdout)")
+    p_mx.set_defaults(fn=cmd_matrix)
+
+    p_sc = sub.add_parser(
+        "scenarios", help="list registered scenarios and their guarantees"
+    )
+    p_sc.add_argument("--n", type=int, default=64,
+                      help="reference n for the displayed arboricity bounds")
+    p_sc.set_defaults(fn=cmd_scenarios)
 
     p_sep = sub.add_parser("separation", help="gossip model-separation table")
     p_sep.add_argument("--ns", type=_ints_arg, default="32,64,128")

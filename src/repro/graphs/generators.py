@@ -1,7 +1,10 @@
 """Input-graph generators with controlled arboricity / diameter / degree.
 
 All generators return :class:`~repro.ncc.graph_input.InputGraph` and are
-deterministic in their seed.  Families used by the experiments:
+deterministic in their seed.  Seeds are plain ints with an explicit
+default of 0 — passing ``seed=None`` is a :class:`TypeError` (it used to
+silently alias to seed 0, so "unseeded" callers got identical graphs
+while looking random).  Families used by the experiments:
 
 * ``forest_union`` — union of ``k`` random spanning forests: arboricity ≤ k
   (the Nash-Williams witness is the construction itself), the workhorse for
@@ -24,8 +27,18 @@ from typing import Iterable
 from ..ncc.graph_input import EdgeT, InputGraph
 
 
-def _rng(seed: int | None) -> random.Random:
-    return random.Random(seed if seed is not None else 0)
+def _rng(seed: int) -> random.Random:
+    """A seeded RNG from an *explicit* int seed.
+
+    ``None`` is rejected rather than aliased: every generator is meant to
+    be reproducible from its arguments, and a silent ``None -> 0`` made
+    unseeded call sites look random while always producing the same graph.
+    """
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise TypeError(
+            f"generator seed must be an explicit int (default 0), got {seed!r}"
+        )
+    return random.Random(seed)
 
 
 def path(n: int) -> InputGraph:
@@ -54,7 +67,7 @@ def complete(n: int) -> InputGraph:
     return InputGraph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
 
 
-def random_tree(n: int, seed: int | None = None) -> InputGraph:
+def random_tree(n: int, seed: int = 0) -> InputGraph:
     """Uniform random recursive tree (each node attaches to a random
     predecessor): arboricity 1."""
     rng = _rng(seed)
@@ -85,7 +98,7 @@ def hypercube(dim: int) -> InputGraph:
     return InputGraph(n, edges)
 
 
-def gnp(n: int, p: float, seed: int | None = None) -> InputGraph:
+def gnp(n: int, p: float, seed: int = 0) -> InputGraph:
     """Erdős–Rényi G(n, p)."""
     rng = _rng(seed)
     edges = [
@@ -95,7 +108,7 @@ def gnp(n: int, p: float, seed: int | None = None) -> InputGraph:
 
 
 def random_connected(
-    n: int, extra_edge_prob: float = 0.02, seed: int | None = None
+    n: int, extra_edge_prob: float = 0.02, seed: int = 0
 ) -> InputGraph:
     """A random spanning tree plus G(n, p) extras: always connected."""
     rng = _rng(seed)
@@ -110,7 +123,7 @@ def random_connected(
     return InputGraph(n, sorted(edges))
 
 
-def forest_union(n: int, k: int, seed: int | None = None) -> InputGraph:
+def forest_union(n: int, k: int, seed: int = 0) -> InputGraph:
     """Union of ``k`` independent random spanning forests: arboricity ≤ k.
 
     Each forest is a uniform random recursive tree over a random node
@@ -143,7 +156,7 @@ def caterpillar(spine: int, legs_per_node: int) -> InputGraph:
     return InputGraph(n, edges)
 
 
-def preferential_attachment(n: int, m0: int, seed: int | None = None) -> InputGraph:
+def preferential_attachment(n: int, m0: int, seed: int = 0) -> InputGraph:
     """Barabási–Albert-style: each new node attaches to ``m0`` existing
     nodes sampled proportionally to degree.  Arboricity ≤ m0 + 1 (each node
     contributes m0 edges to later orientation)."""
@@ -166,7 +179,7 @@ def preferential_attachment(n: int, m0: int, seed: int | None = None) -> InputGr
 
 
 def random_bipartite(
-    left: int, right: int, p: float, seed: int | None = None
+    left: int, right: int, p: float, seed: int = 0
 ) -> InputGraph:
     """Random bipartite graph: left nodes 0..left−1, right nodes
     left..left+right−1.  Bipartite graphs are 2-colorable but can have any
@@ -181,7 +194,7 @@ def random_bipartite(
     return InputGraph(left + right, edges)
 
 
-def ring_of_chords(n: int, chords_per_node: int, seed: int | None = None) -> InputGraph:
+def ring_of_chords(n: int, chords_per_node: int, seed: int = 0) -> InputGraph:
     """A cycle plus random chords: an expander-like family with diameter
     O(log n) w.h.p. and arboricity ≤ chords_per_node + 2."""
     if n < 3:
@@ -199,7 +212,7 @@ def ring_of_chords(n: int, chords_per_node: int, seed: int | None = None) -> Inp
     return InputGraph(n, sorted(edges))
 
 
-def series_parallel(n: int, seed: int | None = None) -> InputGraph:
+def series_parallel(n: int, seed: int = 0) -> InputGraph:
     """A random series-parallel graph (treewidth ≤ 2, arboricity ≤ 2):
     grown by repeatedly subdividing or duplicating a random existing edge.
 

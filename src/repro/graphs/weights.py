@@ -14,24 +14,27 @@ matter for experiments:
 
 from __future__ import annotations
 
-import random
-
 from ..ncc.graph_input import InputGraph
+from .generators import _rng
 
 
 def with_random_weights(
-    g: InputGraph, *, max_weight: int | None = None, seed: int | None = None
+    g: InputGraph, *, max_weight: int | None = None, seed: int = 0
 ) -> InputGraph:
-    """Uniform random integer weights in {1..max_weight} (default n²)."""
-    rng = random.Random(seed if seed is not None else 0)
+    """Uniform random integer weights in {1..max_weight} (default n²).
+
+    Like the generators, the seed is an explicit int (default 0);
+    ``seed=None`` is a :class:`TypeError`, not an alias of 0.
+    """
+    rng = _rng(seed)
     w_max = max_weight if max_weight is not None else max(2, g.n * g.n)
     weights = {e: rng.randint(1, w_max) for e in g.edges()}
     return InputGraph(g.n, g.edges(), weights)
 
 
-def with_unique_weights(g: InputGraph, *, seed: int | None = None) -> InputGraph:
+def with_unique_weights(g: InputGraph, *, seed: int = 0) -> InputGraph:
     """A random permutation of {1..m}: all weights distinct."""
-    rng = random.Random(seed if seed is not None else 0)
+    rng = _rng(seed)
     perm = list(range(1, g.m + 1))
     rng.shuffle(perm)
     weights = {e: w for e, w in zip(g.edges(), perm)}

@@ -75,7 +75,12 @@ def bench_config(seed: int = 0, **overrides: Any) -> NCCConfig:
 
 def standard_workload(n: int, a: int, seed: int) -> InputGraph:
     """The bounded-arboricity workload of the T1 sweeps: a union of ``a``
-    random spanning forests (arboricity ≤ a, connected)."""
+    random spanning forests (arboricity ≤ a, connected).
+
+    Equivalent to the ``forest-union`` scenario
+    (:mod:`repro.scenarios.families`); kept as the legacy spelling for the
+    :mod:`repro.analysis.tables` compatibility surface.
+    """
     from .graphs import generators
 
     return generators.forest_union(n, a, seed=seed)
@@ -155,14 +160,27 @@ class AlgorithmSpec:
     #: ``"algorithm"`` or ``"subroutine"`` (registered for discovery/docs
     #: but not independently runnable).
     kind: str = "algorithm"
+    #: scenario-registry name of the default workload; used when
+    #: ``build_workload`` is not declared (``standard_workload``-style
+    #: algorithms point at ``"forest-union"``).
+    default_scenario: str | None = None
+    #: workload guarantees this algorithm needs from a scenario, drawn
+    #: from :data:`repro.scenarios.KNOWN_REQUIREMENTS` (e.g.
+    #: ``("weights",)`` for MST).  Scenario resolution validates them.
+    requires: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
+    @property
+    def has_workload(self) -> bool:
+        """True when the spec can build its standard input instance."""
+        return self.build_workload is not None or self.default_scenario is not None
+
     @property
     def runnable(self) -> bool:
         """True when the spec can produce Table-1-style rows."""
         return (
             self.run is not None
-            and self.build_workload is not None
+            and self.has_workload
             and self.check is not None
             and self.describe is not None
         )
@@ -170,16 +188,21 @@ class AlgorithmSpec:
     @property
     def supports_parity(self) -> bool:
         """True when the differential engine-parity harness can replay it."""
-        return self.build_workload is not None and (
+        return self.has_workload and (
             self.parity is not None or self.run is not None
         )
 
     # ------------------------------------------------------------------
     def workload(self, n: int, a: int = 2, seed: int = 0, **options: Any) -> InputGraph:
-        """Build the standard input instance for this algorithm."""
-        if self.build_workload is None:
-            raise ConfigurationError(f"algorithm {self.name!r} has no workload builder")
-        return self.build_workload(n, a, seed, **options)
+        """Build the standard input instance for this algorithm (an
+        explicit ``build_workload``, else the declared default scenario)."""
+        if self.build_workload is not None:
+            return self.build_workload(n, a, seed, **options)
+        if self.default_scenario is not None:
+            from .scenarios import get_scenario
+
+            return get_scenario(self.default_scenario).build(n, a, seed)
+        raise ConfigurationError(f"algorithm {self.name!r} has no workload builder")
 
     def execute(
         self,
@@ -279,6 +302,8 @@ def register_algorithm(
     parity: Callable[..., Any] | None = None,
     workload_options: tuple[str, ...] = (),
     kind: str = "algorithm",
+    default_scenario: str | None = None,
+    requires: tuple[str, ...] = (),
 ) -> Callable[[Runner | None], Runner | None]:
     """Class/function decorator registering an algorithm's run callable.
 
@@ -302,6 +327,8 @@ def register_algorithm(
             parity=parity,
             workload_options=tuple(workload_options),
             kind=kind,
+            default_scenario=default_scenario,
+            requires=tuple(requires),
         )
         _add_spec(spec)
         return run

@@ -1,0 +1,49 @@
+"""repro.scenarios — named topology×weights families as a sweep axis.
+
+Symmetric to the algorithm registry (:mod:`repro.registry`): every
+scenario self-registers a :class:`ScenarioSpec` (deterministic builder +
+declared guarantees) via :func:`register_scenario`, and every consumer —
+:class:`repro.api.Session` (the ``RunSpec.scenario`` field),
+``python -m repro sweep --scenarios`` / ``python -m repro matrix``, the
+guarantee property suite, and ``benchmarks/bench_scenarios.py`` —
+resolves scenarios through :func:`get_scenario` / :func:`iter_scenarios`.
+
+Quickstart::
+
+    from repro.api import RunSpec, Session
+
+    report = Session().run(RunSpec("mis", n=64, scenario="pa-heavy-tail"))
+    print(report.spec.scenario, report.rounds, report.correct)
+"""
+
+from .registry import (
+    DIAMETER_CLASSES,
+    KNOWN_REQUIREMENTS,
+    ScenarioCompatibilityError,
+    ScenarioSpec,
+    UnknownScenarioError,
+    canonical_scenario_name,
+    check_compatible,
+    compatible_scenarios,
+    get_scenario,
+    is_compatible,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "DIAMETER_CLASSES",
+    "KNOWN_REQUIREMENTS",
+    "ScenarioCompatibilityError",
+    "ScenarioSpec",
+    "UnknownScenarioError",
+    "canonical_scenario_name",
+    "check_compatible",
+    "compatible_scenarios",
+    "get_scenario",
+    "is_compatible",
+    "iter_scenarios",
+    "register_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,271 @@
+"""The built-in scenario families.
+
+Every generator family in :mod:`repro.graphs.generators` is registered
+here as a named scenario, plus weighted compositions with the regimes in
+:mod:`repro.graphs.weights` (the issue-driving examples:
+``grid-unique-weights``, ``pa-heavy-tail``, ``cliques-disconnected``).
+
+Builders take ``(n, a, seed)``; families whose natural size is quantized
+(grid, hypercube, caterpillar) round the requested ``n`` — the same
+convention :class:`~repro.api.schema.RunSpec` documents for workload
+builders.  Weighted variants derive their weight seed as ``seed + 1``,
+matching the MST default workload byte-for-byte.
+
+Declared arboricity bounds are construction-time bounds on the true
+arboricity ``a(G)`` (union of ``k`` forests ⇒ ``a ≤ k``; planar ⇒
+``a ≤ 3``; BA with ``m0 = 3`` ⇒ ``a ≤ 4``; ``K_k`` ⇒ ``a = ⌈k/2⌉``; …).
+The guarantee suite certifies them against the Nash-Williams machinery in
+:mod:`repro.graphs.arboricity` — see :mod:`repro.scenarios.registry` for
+the exact obligations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..graphs import generators, weights
+from ..ncc.graph_input import InputGraph
+from .registry import get_scenario, register_scenario
+
+# ----------------------------------------------------------------------
+# Topology families
+# ----------------------------------------------------------------------
+
+
+@register_scenario(
+    "forest-union",
+    aliases=("forest",),
+    summary="union of a random spanning forests (the Table 1 workhorse)",
+    arboricity=lambda n, a: a,
+    diameter="log",
+    uses_a=True,
+)
+def _forest_union(n: int, a: int, seed: int) -> InputGraph:
+    return generators.forest_union(n, a, seed=seed)
+
+
+@register_scenario(
+    "random-tree",
+    aliases=("tree",),
+    summary="uniform random recursive tree: a = 1, diameter O(log n) w.h.p.",
+    arboricity=lambda n, a: 1,
+    diameter="log",
+)
+def _random_tree(n: int, a: int, seed: int) -> InputGraph:
+    return generators.random_tree(n, seed=seed)
+
+
+@register_scenario(
+    "path",
+    summary="the path: a = 1, diameter n − 1 (worst-case D)",
+    arboricity=lambda n, a: 1,
+    diameter="linear",
+)
+def _path(n: int, a: int, seed: int) -> InputGraph:
+    return generators.path(n)
+
+
+@register_scenario(
+    "cycle",
+    summary="the n-cycle: a = 2, diameter ⌊n/2⌋",
+    arboricity=lambda n, a: 2,
+    diameter="linear",
+    degrees="regular",
+)
+def _cycle(n: int, a: int, seed: int) -> InputGraph:
+    return generators.cycle(max(3, n))
+
+
+@register_scenario(
+    "star",
+    summary="star: a = 1 at maximum ∆ (the a-vs-∆ separator of Section 5)",
+    arboricity=lambda n, a: 1,
+    diameter="constant",
+    degrees="star",
+)
+def _star(n: int, a: int, seed: int) -> InputGraph:
+    return generators.star(max(2, n))
+
+
+@register_scenario(
+    "caterpillar",
+    summary="spine path with 3 pendant leaves per spine node (tree, mixed D/∆)",
+    arboricity=lambda n, a: 1,
+    diameter="linear",
+)
+def _caterpillar(n: int, a: int, seed: int) -> InputGraph:
+    return generators.caterpillar(max(2, n // 4), 3)
+
+
+@register_scenario(
+    "grid",
+    summary="square grid: planar (a ≤ 3), diameter Θ(√n) — BFS's D-dependence",
+    arboricity=lambda n, a: 3,
+    diameter="sqrt",
+)
+def _grid(n: int, a: int, seed: int) -> InputGraph:
+    side = max(2, int(round(n**0.5)))
+    return generators.grid(side, side)
+
+
+@register_scenario(
+    "hypercube",
+    summary="hypercube on 2^⌊log2 n⌋ nodes: log-degree, log-diameter",
+    arboricity=lambda n, a: max(1, (max(2, n).bit_length() - 1)),
+    diameter="log",
+    degrees="regular",
+)
+def _hypercube(n: int, a: int, seed: int) -> InputGraph:
+    return generators.hypercube(max(1, max(2, n).bit_length() - 1))
+
+
+@register_scenario(
+    "complete",
+    aliases=("clique",),
+    summary="K_n: a = Θ(n) — the high-arboricity stress case",
+    arboricity=lambda n, a: max(1, (n + 1) // 2),
+    diameter="constant",
+    degrees="regular",
+)
+def _complete(n: int, a: int, seed: int) -> InputGraph:
+    return generators.complete(n)
+
+
+@register_scenario(
+    "pa-heavy-tail",
+    aliases=("preferential-attachment", "pa"),
+    summary="Barabási–Albert (m0 = 3): heavy-tailed degrees at a ≤ 4",
+    arboricity=lambda n, a: 4,
+    diameter="log",
+    degrees="heavy-tail",
+)
+def _pa_heavy_tail(n: int, a: int, seed: int) -> InputGraph:
+    return generators.preferential_attachment(n, 3, seed=seed)
+
+
+@register_scenario(
+    "ring-of-chords",
+    aliases=("chordal-ring",),
+    summary="cycle + 2 random chords per node: expander-like, diameter O(log n)",
+    arboricity=lambda n, a: 4,
+    diameter="log",
+)
+def _ring_of_chords(n: int, a: int, seed: int) -> InputGraph:
+    return generators.ring_of_chords(max(3, n), 2, seed=seed)
+
+
+@register_scenario(
+    "series-parallel",
+    aliases=("sp",),
+    summary="random series-parallel graph: treewidth ≤ 2, a ≤ 2",
+    arboricity=lambda n, a: 2,
+    diameter="linear",
+)
+def _series_parallel(n: int, a: int, seed: int) -> InputGraph:
+    return generators.series_parallel(max(2, n), seed=seed)
+
+
+@register_scenario(
+    "cliques-disconnected",
+    aliases=("disjoint-cliques",),
+    summary="disjoint 8-cliques: disconnected input (spanning-*forest* path)",
+    arboricity=lambda n, a: 4,
+    connected=False,
+    diameter="constant",
+    degrees="regular",
+)
+def _cliques_disconnected(n: int, a: int, seed: int) -> InputGraph:
+    return generators.disjoint_cliques(n, 8)
+
+
+@register_scenario(
+    "gnp-sparse",
+    summary="Erdős–Rényi G(n, 3/n): supercritical but not guaranteed connected",
+    arboricity=None,
+    connected=False,
+    diameter="linear",
+)
+def _gnp_sparse(n: int, a: int, seed: int) -> InputGraph:
+    return generators.gnp(n, min(1.0, 3.0 / max(1, n)), seed=seed)
+
+
+@register_scenario(
+    "bipartite-sparse",
+    aliases=("bipartite",),
+    summary="random bipartite, expected degree ≈ 4: 2-colorable contrast family",
+    arboricity=None,
+    connected=False,
+    diameter="linear",
+)
+def _bipartite_sparse(n: int, a: int, seed: int) -> InputGraph:
+    left = max(1, n // 2)
+    right = max(1, n - left)
+    return generators.random_bipartite(left, right, min(1.0, 8.0 / max(1, n)), seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Weighted compositions (topology × weight regime)
+# ----------------------------------------------------------------------
+WeightRegime = Callable[[InputGraph, int], InputGraph]
+
+#: regime name -> (apply(g, seed), summary fragment).  The weight seed is
+#: ``seed + 1``, matching the legacy MST workload byte-for-byte.
+WEIGHT_REGIMES: dict[str, tuple[WeightRegime, str]] = {
+    "random-weights": (
+        lambda g, seed: weights.with_random_weights(g, seed=seed + 1),
+        "uniform weights in {1..n²} (ties exercise id tie-breaking)",
+    ),
+    "unique-weights": (
+        lambda g, seed: weights.with_unique_weights(g, seed=seed + 1),
+        "a permutation of {1..m}: all weights distinct, unique MST",
+    ),
+    "constant-weights": (
+        lambda g, seed: weights.with_constant_weights(g),
+        "all ties: the sketch search runs purely on identifiers",
+    ),
+}
+
+
+def register_weighted_variant(base_name: str, regime_name: str) -> str:
+    """Register ``<base>-<regime>``: the base topology with the weight
+    regime applied on top (weight seed = ``seed + 1``).  The variant
+    inherits every guarantee of the base except ``weighted``.  Returns the
+    new scenario's canonical name.
+    """
+    base = get_scenario(base_name)
+    regime, regime_doc = WEIGHT_REGIMES[regime_name]
+    name = f"{base.name}-{regime_name}"
+
+    def _build(n: int, a: int, seed: int) -> InputGraph:
+        return regime(base.build(n, a, seed), seed)
+
+    register_scenario(
+        name,
+        summary=f"{base.summary}; {regime_doc}",
+        arboricity=base.arboricity,
+        connected=base.connected,
+        weighted=True,
+        diameter=base.diameter,
+        degrees=base.degrees,
+        uses_a=base.uses_a,
+        base=base.name,
+    )(_build)
+    return name
+
+
+#: (base, regime) pairs registered at import time.  ``forest-union`` ×
+#: ``random-weights`` reproduces the legacy MST workload exactly; the rest
+#: give every weights-requiring algorithm a ≥ 6-family axis of its own.
+_WEIGHTED_VARIANTS = (
+    ("forest-union", "random-weights"),
+    ("grid", "unique-weights"),
+    ("random-tree", "unique-weights"),
+    ("pa-heavy-tail", "random-weights"),
+    ("ring-of-chords", "random-weights"),
+    ("series-parallel", "unique-weights"),
+    ("cliques-disconnected", "unique-weights"),
+    ("complete", "constant-weights"),
+)
+
+for _base, _regime in _WEIGHTED_VARIANTS:
+    register_weighted_variant(_base, _regime)

@@ -1,0 +1,301 @@
+"""Scenario registry: named topology×weights families as a sweep axis.
+
+A *scenario* is a deterministic workload builder — a topology family from
+:mod:`repro.graphs.generators`, optionally composed with a weight regime
+from :mod:`repro.graphs.weights` — together with its **declared
+guarantees**: an arboricity bound (witnessed by the greedy Nash-Williams
+forest partition in :mod:`repro.graphs.arboricity`), connectivity,
+diameter class, and degree profile.  Scenarios are registered exactly like
+algorithms::
+
+    from repro.scenarios import register_scenario
+
+    @register_scenario(
+        "grid",
+        summary="square grid: planar, diameter Θ(√n)",
+        arboricity=lambda n, a: 3,
+        diameter="sqrt",
+    )
+    def _build(n: int, a: int, seed: int) -> InputGraph:
+        side = max(2, round(n**0.5))
+        return generators.grid(side, side)
+
+and every consumer resolves them here: :class:`repro.api.Session` (the
+``RunSpec.scenario`` field), ``python -m repro sweep --scenarios`` /
+``python -m repro matrix``, the guarantee property suite
+(``tests/test_scenarios.py``), and ``benchmarks/bench_scenarios.py`` —
+registering a new scenario automatically lands it on all of them.
+
+Algorithms declare **requirements** (``requires=("weights",)`` on their
+:class:`~repro.registry.AlgorithmSpec`); :func:`check_compatible`
+validates a pairing and raises :class:`ScenarioCompatibilityError` — a
+clean registry error, never a mid-run traceback — when a scenario cannot
+provide what the algorithm needs.
+
+Guarantee semantics (what the property suite asserts):
+
+* ``arboricity(n, a)`` — a declared upper bound ``B`` on the built
+  graph's true arboricity ``a(G)`` (``None`` = no declared bound).  The
+  suite certifies it through the Nash-Williams sandwich in
+  :mod:`repro.graphs.arboricity`: the density lower bound (Nash-Williams
+  with the peeling-suffix subgraphs as witnesses) must not exceed ``B``,
+  and the degeneracy must respect ``degeneracy ≤ 2B − 1`` — both are
+  theorems for any graph with ``a(G) ≤ B``, so a lying declaration is
+  refuted by the witness whenever a subgraph is denser than ``B`` forests
+  allow.
+* ``connected=True`` — every built graph is connected.  ``False`` means
+  connectivity is *not guaranteed* (nothing is asserted).
+* ``weighted`` — whether built graphs carry edge weights (asserted both
+  ways; algorithms with ``requires=("weights",)`` only accept ``True``).
+* ``diameter`` — a class from :data:`DIAMETER_CLASSES`, checked against
+  the exact diameter of the largest component.
+* ``degrees`` — a descriptive label (``"balanced"``, ``"regular"``,
+  ``"heavy-tail"``, ``"star"``) for docs and the matrix display.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from importlib import import_module
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from ..errors import ConfigurationError
+from ..ncc.graph_input import InputGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..registry import AlgorithmSpec
+
+#: ``(n, a, seed) -> InputGraph`` — deterministic in all three arguments.
+ScenarioBuilder = Callable[[int, int, int], InputGraph]
+#: ``(n, a) -> int`` — declared arboricity-witness bound for requested n, a.
+ArboricityBound = Callable[[int, int], int]
+
+#: Requirement names algorithms may declare (``AlgorithmSpec.requires``).
+KNOWN_REQUIREMENTS = ("weights", "connected")
+
+#: Diameter classes: predicate over (requested-or-built n, exact diameter
+#: of the largest component).  Constants are generous — the classes sort
+#: scenarios into regimes, they are not tight bounds.
+DIAMETER_CLASSES: dict[str, Callable[[int, int], bool]] = {
+    "constant": lambda n, d: d <= 2,
+    "log": lambda n, d: d <= 6 * math.log2(max(2, n)) + 4,
+    "sqrt": lambda n, d: d <= 4 * math.isqrt(max(1, n)) + 4,
+    "linear": lambda n, d: d <= max(1, n),
+}
+
+#: Degree-profile labels (descriptive; shown by ``python -m repro matrix``).
+DEGREE_PROFILES = ("balanced", "regular", "heavy-tail", "star")
+
+
+class UnknownScenarioError(ConfigurationError):
+    """Raised when a name resolves to no registered scenario."""
+
+
+class ScenarioCompatibilityError(ConfigurationError):
+    """Raised when an algorithm's requirements rule out a scenario."""
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything the repo knows about one registered scenario."""
+
+    name: str
+    build: ScenarioBuilder
+    aliases: tuple[str, ...] = ()
+    summary: str = ""
+    #: declared arboricity-witness bound ``(n, a) -> int`` (None = unknown).
+    arboricity: ArboricityBound | None = None
+    connected: bool = True
+    weighted: bool = False
+    diameter: str = "linear"
+    degrees: str = "balanced"
+    #: whether the ``a`` sweep knob changes the built graph.
+    uses_a: bool = False
+    #: topology scenario a weighted variant wraps (for docs/matrix).
+    base: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.diameter not in DIAMETER_CLASSES:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: unknown diameter class "
+                f"{self.diameter!r}; choose from {', '.join(DIAMETER_CLASSES)}"
+            )
+        if self.degrees not in DEGREE_PROFILES:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: unknown degree profile "
+                f"{self.degrees!r}; choose from {', '.join(DEGREE_PROFILES)}"
+            )
+
+    # ------------------------------------------------------------------
+    def provides(self, requirement: str) -> bool:
+        """Whether this scenario satisfies one algorithm requirement."""
+        if requirement == "weights":
+            return self.weighted
+        if requirement == "connected":
+            return self.connected
+        raise ConfigurationError(
+            f"unknown algorithm requirement {requirement!r}; known "
+            f"requirements: {', '.join(KNOWN_REQUIREMENTS)}"
+        )
+
+    def effective_a(self, n: int, a: int) -> int:
+        """The arboricity label for rows: the declared bound when the
+        family pins one, else the requested ``a`` knob."""
+        return self.arboricity(n, a) if self.arboricity is not None else a
+
+    def guarantees(self, n: int = 64, a: int = 2) -> dict[str, Any]:
+        """The declared guarantees as a plain dict (docs / matrix); the
+        arboricity bound is shown evaluated at the reference ``(n, a)``
+        (``"a"`` for a-controlled families)."""
+        return {
+            "arboricity": "unbounded/unknown"
+            if self.arboricity is None
+            else "a" if self.uses_a else self.arboricity(n, a),
+            "connected": self.connected,
+            "weighted": self.weighted,
+            "diameter": self.diameter,
+            "degrees": self.degrees,
+        }
+
+
+# ----------------------------------------------------------------------
+# Registration and lookup (mirrors repro.registry for algorithms)
+# ----------------------------------------------------------------------
+#: Modules that self-register scenarios on import; registration order is
+#: the display order of the matrix columns and ``scenario_names()``.
+_REGISTRY_MODULES = ("repro.scenarios.families",)
+
+_SPECS: dict[str, ScenarioSpec] = {}
+_ALIASES: dict[str, str] = {}
+_loaded = False
+
+
+def register_scenario(
+    name: str,
+    *,
+    aliases: tuple[str, ...] = (),
+    summary: str = "",
+    arboricity: ArboricityBound | None = None,
+    connected: bool = True,
+    weighted: bool = False,
+    diameter: str = "linear",
+    degrees: str = "balanced",
+    uses_a: bool = False,
+    base: str | None = None,
+) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Decorator registering a scenario's builder callable.
+
+    The decorated builder (``(n, a, seed) -> InputGraph``) is returned
+    unchanged; the registry keeps a :class:`ScenarioSpec` built from it
+    plus the declared guarantees.  Registering the same canonical name
+    twice replaces the entry (latest wins), so modules are reload-safe.
+    """
+
+    def _register(build: ScenarioBuilder) -> ScenarioBuilder:
+        spec = ScenarioSpec(
+            name=name.lower(),
+            build=build,
+            aliases=tuple(aliases),
+            summary=summary,
+            arboricity=arboricity,
+            connected=connected,
+            weighted=weighted,
+            diameter=diameter,
+            degrees=degrees,
+            uses_a=uses_a,
+            base=base,
+        )
+        _add_spec(spec)
+        return build
+
+    return _register
+
+
+def _add_spec(spec: ScenarioSpec) -> None:
+    _SPECS[spec.name] = spec
+    _ALIASES[spec.name] = spec.name
+    for alias in spec.aliases:
+        _ALIASES[alias.lower()] = spec.name
+
+
+def _ensure_loaded() -> None:
+    """Import every self-registering scenario module exactly once."""
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True  # set first so a lookup during the imports cannot recurse
+    try:
+        for module in _REGISTRY_MODULES:
+            import_module(module)
+    except Exception:
+        # Keep the registry retryable with the real ImportError visible.
+        _loaded = False
+        raise
+
+
+def canonical_scenario_name(name: str) -> str:
+    """Resolve a name or alias (case-insensitive) to the canonical key."""
+    _ensure_loaded()
+    key = _ALIASES.get(name.strip().lower())
+    if key is None:
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; known scenarios: "
+            f"{', '.join(sorted(_SPECS))}"
+        )
+    return key
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by canonical name or alias."""
+    return _SPECS[canonical_scenario_name(name)]
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Canonical scenario names in registration order."""
+    _ensure_loaded()
+    return tuple(_SPECS)
+
+
+def iter_scenarios() -> Iterator[ScenarioSpec]:
+    """All registered scenario specs in registration order."""
+    _ensure_loaded()
+    yield from _SPECS.values()
+
+
+# ----------------------------------------------------------------------
+# Algorithm × scenario compatibility
+# ----------------------------------------------------------------------
+def missing_requirements(
+    alg: "AlgorithmSpec", scenario: ScenarioSpec
+) -> tuple[str, ...]:
+    """The algorithm requirements this scenario cannot provide."""
+    return tuple(r for r in alg.requires if not scenario.provides(r))
+
+
+def is_compatible(alg: "AlgorithmSpec", scenario: ScenarioSpec) -> bool:
+    return not missing_requirements(alg, scenario)
+
+
+def check_compatible(alg: "AlgorithmSpec", scenario: ScenarioSpec) -> None:
+    """Raise :class:`ScenarioCompatibilityError` unless the scenario
+    provides everything the algorithm requires."""
+    missing = missing_requirements(alg, scenario)
+    if missing:
+        ok = compatible_scenarios(alg)
+        hint = (
+            f"; scenarios compatible with {alg.name!r}: {', '.join(sorted(ok))}"
+            if ok
+            else ""
+        )
+        raise ScenarioCompatibilityError(
+            f"scenario {scenario.name!r} does not satisfy "
+            f"{alg.name!r}'s requirement(s) {', '.join(missing)} "
+            f"(scenario guarantees: weighted={scenario.weighted}, "
+            f"connected={scenario.connected}){hint}"
+        )
+
+
+def compatible_scenarios(alg: "AlgorithmSpec") -> tuple[str, ...]:
+    """Canonical names of every scenario the algorithm can run on."""
+    return tuple(s.name for s in iter_scenarios() if is_compatible(alg, s))

@@ -188,6 +188,130 @@ class TestSweep:
         assert "reference" in out and "batched" in out
 
 
+class TestScenarioOptions:
+    def test_run_with_scenario(self, capsys):
+        assert main(["run", "mis", "--n", "24", "--scenario", "pa-heavy-tail"]) == 0
+        out = capsys.readouterr().out
+        assert "pa-heavy-tail" in out and "rounds" in out
+
+    def test_run_scenario_alias_resolves(self, capsys):
+        assert main(["run", "mis", "--n", "16", "--scenario", "PA"]) == 0
+        assert "pa-heavy-tail" in capsys.readouterr().out
+
+    def test_run_unknown_scenario_exits_2(self, capsys):
+        assert main(["run", "mis", "--n", "16", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_incompatible_scenario_exits_2(self, capsys):
+        # mst requires weights; the unweighted grid is a clean registry
+        # error (exit 2), not a traceback.
+        assert main(["run", "mst", "--n", "16", "--scenario", "grid"]) == 2
+        err = capsys.readouterr().err
+        assert "does not satisfy" in err and "grid-unique-weights" in err
+
+    def test_family_on_algorithm_without_option_exits_2(self, capsys):
+        # `--family` used to be silently dropped for every algorithm but
+        # BFS; now it is a hard error pointing at --scenario.
+        assert main(["run", "mst", "--n", "16", "--family", "grid"]) == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "--scenario" in err
+
+    def test_family_still_works_for_bfs_with_deprecation_note(self, capsys):
+        assert main(["run", "bfs", "--n", "25", "--family", "grid"]) == 0
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_bfs_unknown_family_value_exits_2(self, capsys):
+        # A typo like `--family grd` must not silently run forest-union.
+        assert main(["run", "bfs", "--n", "20", "--family", "grd"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown BFS family" in err and "forest | grid" in err
+
+    def test_family_plus_scenario_exits_2(self, capsys):
+        assert main([
+            "run", "bfs", "--n", "25", "--family", "grid",
+            "--scenario", "grid",
+        ]) == 2
+        assert "deprecated alias" in capsys.readouterr().err
+
+    def test_sweep_scenarios_axis(self, tmp_path, capsys):
+        out = tmp_path / "scen.jsonl"
+        assert main([
+            "sweep", "--algos", "mis", "--ns", "16", "--seeds", "0:2",
+            "--scenarios", "grid,star", "--out", str(out),
+        ]) == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [r["spec"]["scenario"] for r in records] == [
+            "grid", "grid", "star", "star",
+        ]
+        assert "scenario" in capsys.readouterr().out
+
+    def test_sweep_unknown_scenario_exits_2(self, capsys):
+        assert main([
+            "sweep", "--algos", "mis", "--ns", "16", "--scenarios", "warp",
+        ]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_sweep_incompatible_pair_exits_2(self, capsys):
+        assert main([
+            "sweep", "--algos", "mst", "--ns", "16", "--scenarios", "grid",
+        ]) == 2
+        assert "does not satisfy" in capsys.readouterr().err
+
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "forest-union" in out and "grid-unique-weights" in out
+        assert "registered scenarios" in out
+
+
+class TestMatrix:
+    def test_grid_table_and_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "matrix.jsonl"
+        assert main([
+            "matrix", "--algos", "mis,mst", "--scenarios",
+            "grid,grid-unique-weights", "--n", "16", "--jobs", "2",
+            "--out", str(out),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "matrix: 3 runs" in captured.out
+        assert "mstxgrid" in captured.out  # the skipped incompatible cell
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(records) == 3
+        assert all(r["correct"] for r in records)
+        assert {(r["spec"]["algorithm"], r["spec"]["scenario"]) for r in records} == {
+            ("mis", "grid"), ("mis", "grid-unique-weights"),
+            ("mst", "grid-unique-weights"),
+        }
+
+    def test_defaults_cover_all_runnable_algorithms(self, capsys):
+        # No --algos/--scenarios = every runnable algorithm x every
+        # registered scenario; just check the parse/grid wiring, not a run.
+        from repro.api import matrix_grid, scenario_names
+        from repro.registry import algorithm_names
+
+        specs, skipped = matrix_grid(
+            algorithm_names(runnable_only=True), scenario_names(), n=8
+        )
+        cells = len(specs) + len(skipped)
+        assert cells == len(algorithm_names(runnable_only=True)) * len(
+            scenario_names()
+        )
+
+    def test_unknown_algorithm_exits_2(self, capsys):
+        assert main(["matrix", "--algos", "nope", "--n", "16"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["matrix", "--scenarios", "warp", "--n", "16"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_out_of_range_n_exits_2(self, capsys):
+        assert main(["matrix", "--algos", "mis", "--scenarios", "grid",
+                     "--n", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("matrix:") and "must be >=" in err
+
+
 class TestSeparation:
     def test_gossip_table(self, capsys):
         assert main(["separation", "--ns", "16,32"]) == 0

@@ -114,3 +114,40 @@ class TestDeterminism:
         a = generators.gnp(20, 0.3, seed=1)
         b = generators.gnp(20, 0.3, seed=2)
         assert a.edges() != b.edges()
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda s: generators.random_tree(20, seed=s),
+            lambda s: generators.gnp(20, 0.2, seed=s),
+            lambda s: generators.forest_union(20, 2, seed=s),
+            lambda s: generators.random_connected(20, 0.1, seed=s),
+            lambda s: generators.preferential_attachment(20, 2, seed=s),
+            lambda s: generators.random_bipartite(10, 10, 0.3, seed=s),
+            lambda s: generators.ring_of_chords(20, 2, seed=s),
+            lambda s: generators.series_parallel(20, seed=s),
+        ],
+        ids=["tree", "gnp", "forest", "connected", "pa", "bipartite",
+             "chords", "sp"],
+    )
+    def test_seed_none_is_a_type_error(self, maker):
+        # seed=None used to silently alias to seed 0, so "unseeded"
+        # callers got identical graphs while looking random; it is now an
+        # explicit TypeError across every randomized generator.
+        with pytest.raises(TypeError, match="explicit int"):
+            maker(None)
+
+    def test_seed_default_is_zero_pinned(self):
+        # The documented default: omitting the seed means seed=0 exactly.
+        assert generators.gnp(20, 0.3).edges() == generators.gnp(
+            20, 0.3, seed=0
+        ).edges()
+
+    def test_weights_seed_none_is_a_type_error(self):
+        from repro.graphs import weights
+
+        g = generators.path(6)
+        with pytest.raises(TypeError, match="explicit int"):
+            weights.with_random_weights(g, seed=None)
+        with pytest.raises(TypeError, match="explicit int"):
+            weights.with_unique_weights(g, seed=None)
