@@ -13,11 +13,17 @@
 #   5. the lazy-inbox whole-run gate (>= 2x full-aggregation-run vs the
 #      frozen PR 2 baseline at n = 1024, zero Message objects constructed
 #      on the clean run);
-#   6. the experiment-API sweep gates (Session.run_many byte-deterministic
+#   6. the typed payload-column gates (>= 1.3x whole-aggregation-run vs
+#      the object-column pipeline at n = 4096, zero Message objects and
+#      zero Python payload boxes on the clean typed run), the
+#      n = 4096/16384/65536 scale ladder, and a check that both sections
+#      actually landed in BENCH_engine.json (the cross-PR trajectory
+#      artifact);
+#   7. the experiment-API sweep gates (Session.run_many byte-deterministic
 #      for any jobs value; >= 1.2x parallel speedup when >= 2 cores), plus
 #      a `python -m repro sweep` smoke whose JSONL lands in
 #      SWEEP_results.jsonl (override with SWEEP_JSONL) for the CI artifact;
-#   7. the scenario subsystem: per-family workload-build/run timings
+#   8. the scenario subsystem: per-family workload-build/run timings
 #      (benchmarks/bench_scenarios.py -> BENCH_engine.json `scenarios`)
 #      and a `python -m repro matrix` smoke (>= 6 families x >= 3
 #      algorithms) whose JSONL lands in MATRIX_results.jsonl (override
@@ -54,6 +60,25 @@ python -m pytest -q benchmarks/bench_primitives.py -k "columnar or no_regression
 
 echo "== lazy-inbox whole-run benchmark =="
 python -m pytest -q benchmarks/bench_primitives.py -k "lazy"
+
+echo "== typed payload-column benchmark (gate + scale ladder) =="
+python -m pytest -q benchmarks/bench_primitives.py -k "typed_columns"
+
+echo "== bench-trajectory artifact check =="
+python - <<'PY'
+import json, os
+path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
+with open(path, encoding="utf-8") as fh:
+    data = json.load(fh)
+gate = data["typed_columns"]
+assert gate["whole_run_speedup"] >= gate["target"], gate
+assert gate["messages_constructed_typed_run"] == 0, gate
+assert gate["payload_boxes_typed_run"] == 0, gate
+ladder = data["typed_columns_ladder"]
+assert set(ladder) == {"4096", "16384", "65536"}, sorted(ladder)
+print(f"{path}: typed_columns + typed_columns_ladder sections present "
+      f"({len(data)} sections total)")
+PY
 
 echo "== sweep session benchmark =="
 python -m pytest -q benchmarks/bench_sweep.py

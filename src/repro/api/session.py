@@ -18,6 +18,7 @@ pins this.
 
 from __future__ import annotations
 
+import inspect
 import time
 from typing import Any, Callable, Iterable, Sequence
 
@@ -25,6 +26,30 @@ from ..config import Enforcement, NCCConfig, default_engine
 from ..errors import ConfigurationError
 from ..registry import bench_config, get_algorithm
 from .schema import RunReport, RunSpec
+
+
+def _known_option_keys(alg) -> tuple[set[str], bool]:
+    """Option names an algorithm accepts: its declared workload options
+    plus the run callable's keyword parameters (everything after the fixed
+    ``(rt, g)`` positionals).  Returns ``(keys, accepts_any)``;
+    ``accepts_any`` is set when the run callable takes ``**kwargs`` (or
+    cannot be inspected), in which case no key can be rejected."""
+    keys = set(alg.workload_options)
+    if alg.run is None:
+        return keys, False
+    try:
+        sig = inspect.signature(alg.run)
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return keys, True
+    for p in list(sig.parameters.values())[2:]:
+        if p.kind is inspect.Parameter.VAR_KEYWORD:
+            return keys, True
+        if p.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            keys.add(p.name)
+    return keys, False
 
 
 class Session:
@@ -71,6 +96,19 @@ class Session:
                     "drop it"
                 )
             scenario = scn.name
+        # A typo'd option used to fall through silently: _workload forwards
+        # only keys in workload_options, so e.g. extras={"familly": "grid"}
+        # ran the *default* workload without complaint.  Reject anything
+        # neither the workload builder nor the run callable accepts.
+        known, accepts_any = _known_option_keys(alg)
+        if not accepts_any:
+            unknown = [k for k in dict(spec.extras) if k not in known]
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown option(s) {', '.join(sorted(unknown))} for "
+                    f"algorithm {alg.name!r}; known options: "
+                    f"{', '.join(sorted(known)) if known else '(none)'}"
+                )
         cfg = self.base_config if self.base_config is not None else bench_config(0)
         return spec.with_(
             algorithm=alg.name,
@@ -252,6 +290,19 @@ def _worker_run(spec_data: dict) -> dict:
     return report.to_dict(timing=True)
 
 
+def _dedup_axis(values: Sequence[Any]) -> list[Any]:
+    """Order-preserving axis dedupe: a repeated axis value (``--ns 64,64``)
+    must not multiply the grid — every duplicate row would rerun and
+    re-emit an identical JSONL record."""
+    seen: set[Any] = set()
+    out: list[Any] = []
+    for v in values:
+        if v not in seen:
+            seen.add(v)
+            out.append(v)
+    return out
+
+
 def sweep_grid(
     algorithms: Sequence[str],
     ns: Sequence[int],
@@ -265,7 +316,8 @@ def sweep_grid(
 ) -> list[RunSpec]:
     """The cartesian spec grid, in deterministic algorithm-major order
     (scenario varies directly inside the algorithm axis, i.e. it is the
-    second-slowest-moving axis; engine is the fastest)."""
+    second-slowest-moving axis; engine is the fastest).  Each axis is
+    deduplicated preserving first-occurrence order."""
     return [
         RunSpec(
             algorithm=alg,
@@ -277,11 +329,11 @@ def sweep_grid(
             extras=extras or (),
             scenario=scenario,
         )
-        for alg in algorithms
-        for scenario in scenarios
-        for n in ns
-        for seed in seeds
-        for engine in engines
+        for alg in _dedup_axis(algorithms)
+        for scenario in _dedup_axis(scenarios)
+        for n in _dedup_axis(ns)
+        for seed in _dedup_axis(seeds)
+        for engine in _dedup_axis(engines)
     ]
 
 

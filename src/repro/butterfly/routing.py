@@ -35,12 +35,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
+try:  # pragma: no cover - exercised only on numpy-free installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 from ..errors import ProtocolError
-from ..ncc.message import BatchBuilder, InboxBatch
+from ..ncc.message import (
+    BatchBuilder,
+    InboxBatch,
+    gather_typed_spans,
+    typed_payloads_enabled,
+)
 from ..ncc.network import NCCNetwork
 from .topology import BFNode, ButterflyGrid
 
 GroupT = Hashable  # must additionally be orderable; ints / tuples of ints
+
+#: The wire dtype of routed data packets.  Field-for-field it sizes exactly
+#: like the object path's ``("D", level, group, value)`` tuples (the 1-char
+#: tag is a short string: 4 bits), so typed and object runs account
+#: identical wire bits.
+DATA_DTYPE = (
+    _np.dtype([("tag", "U1"), ("lvl", "i8"), ("g", "i8"), ("val", "i8")])
+    if _np is not None
+    else None
+)
 
 
 def _group_bits(group: Any) -> int:
@@ -127,6 +147,14 @@ class CombiningRouter:
         ``h(group)`` — the column of the level-d intermediate target.
     combine:
         The distributive aggregate: merges two packet values of one group.
+    ufunc:
+        Optional numpy ufunc computing the same reduction as ``combine``
+        over int64 columns.  With it, packets injected through
+        :meth:`inject_array` route on the fully typed kernel
+        (:meth:`_run_typed`): pending packets live in parallel
+        ``(key, group, value)`` int64 arrays, collisions collapse via
+        sort-and-``reduceat``, and wire traffic is a structured-dtype
+        column — a clean round touches no Python per packet.
     record_trees:
         Record traversed edges into a :class:`TreeSet` (Multicast Tree Setup).
     kind:
@@ -141,6 +169,7 @@ class CombiningRouter:
         rank_of: Callable[[GroupT], int],
         target_col_of: Callable[[GroupT], int],
         combine: Callable[[Any, Any], Any],
+        ufunc: Any = None,
         record_trees: bool = False,
         kind: str = "combining",
     ):
@@ -149,10 +178,12 @@ class CombiningRouter:
         self.rank_of = rank_of
         self.target_col_of = target_col_of
         self.combine = combine
+        self.ufunc = ufunc
         self.kind = kind
         self._token_kind = kind + ":token"
         self.trees = TreeSet() if record_trees else None
         self._queues: dict[BFNode, dict[GroupT, Any]] = {}
+        self._typed_cols: tuple[list, list, list] | None = None
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -172,11 +203,65 @@ class CombiningRouter:
             self.trees.set_root(group, BFNode(self.bf.d, self.target_col_of(group)))
             self.trees.nodes_touched.setdefault(group, set()).add(node)
 
+    def inject_array(self, columns: Any, groups: Any, values: Any) -> None:
+        """Place typed packets at level-0 nodes (pre-run, column form).
+
+        ``columns``/``groups``/``values`` are parallel int columns (int64
+        groups and values).  Packets stay in arrays end-to-end when the
+        typed kernel applies; otherwise they are boxed into the object
+        queues at :meth:`run` — the object-fallback contract.
+        """
+        if self._ran:
+            raise ProtocolError("router already ran")
+        if _np is None:
+            for c, g, v in zip(list(columns), list(groups), list(values), strict=True):
+                self.inject(int(c), g, v)
+            return
+        carr = _np.asarray(columns, dtype=_np.int64)
+        garr = _np.asarray(groups, dtype=_np.int64)
+        varr = _np.asarray(values, dtype=_np.int64)
+        if not (len(carr) == len(garr) == len(varr)):
+            raise ValueError("inject_array requires parallel columns of equal length")
+        if len(carr) == 0:
+            return
+        if int(carr.min()) < 0 or int(carr.max()) >= self.bf.columns:
+            raise ValueError(
+                f"column outside [0,{self.bf.columns}) in typed injection"
+            )
+        if self._typed_cols is None:
+            self._typed_cols = ([carr], [garr], [varr])
+        else:
+            self._typed_cols[0].append(carr)
+            self._typed_cols[1].append(garr)
+            self._typed_cols[2].append(varr)
+
+    def _box_typed_injections(self) -> None:
+        """Replay the typed stash through :meth:`inject` (object fallback:
+        numpy-free runs, tree recording, token-mode sync, no ufunc)."""
+        stash = self._typed_cols
+        self._typed_cols = None
+        if stash is None:
+            return
+        for carr, garr, varr in zip(*stash):
+            for c, g, v in zip(carr.tolist(), garr.tolist(), varr.tolist()):
+                self.inject(c, g, v)
+
     # ------------------------------------------------------------------
     def run(self) -> RoutingResult:
         """Route everything; returns per-group combined values at targets."""
         if self._ran:
             raise ProtocolError("router already ran")
+        if self._typed_cols is not None:
+            if (
+                _np is not None
+                and self.ufunc is not None
+                and self.trees is None
+                and self.bf.d > 0
+                and _lightweight(self.net)
+                and not self._queues
+            ):
+                return self._run_typed()
+            self._box_typed_injections()
         self._ran = True
         start_round = self.net.round_index
         results: dict[GroupT, Any] = {}
@@ -397,6 +482,182 @@ class CombiningRouter:
 
         return RoutingResult(net.round_index - start_round, results, self.trees)
 
+    def _run_typed(self) -> RoutingResult:
+        """Array-resident combining kernel (lightweight sync, no trees).
+
+        Observably equivalent to the object loop of :meth:`run`: the same
+        per-edge winners are selected each round (identical ``(rank,
+        group)`` ordering over identical contenders), the same messages
+        cross the same edges with identical wire bits (``DATA_DTYPE`` sizes
+        exactly like the ``("D", ...)`` tuples), and the exact commutative
+        int64 reductions make the collision-combine order irrelevant.
+        Python cost per round is O(groups + NCC hosts), not O(packets).
+        """
+        self._ran = True
+        np = _np
+        net, bf = self.net, self.bf
+        d = bf.d
+        start_round = net.round_index
+        columns = bf.columns
+        mask = columns - 1
+        bottom = d << d
+        ufunc = self.ufunc
+        kind = self.kind
+        one = np.int64(1)
+
+        ccols, gcols, vcols = self._typed_cols
+        self._typed_cols = None
+        # Level-0 keys are the columns themselves ((0 << d) | column).
+        key = ccols[0] if len(ccols) == 1 else np.concatenate(ccols)
+        g = gcols[0] if len(gcols) == 1 else np.concatenate(gcols)
+        v = vcols[0] if len(vcols) == 1 else np.concatenate(vcols)
+
+        # Group tables: rank/target are pure per group — one Python call
+        # per distinct group for the whole run, never per packet.
+        uniq = np.unique(g)
+        glist = uniq.tolist()
+        k_groups = len(glist)
+        tcol_by = np.fromiter(
+            (self.target_col_of(x) for x in glist), np.int64, k_groups
+        )
+        rank_by = np.fromiter((self.rank_of(x) for x in glist), np.int64, k_groups)
+
+        res_g: list = []
+        res_v: list = []
+
+        while len(key):
+            # --- collapse colliding packets per (node, group) ---
+            order = np.lexsort((g, key))
+            key = key.take(order)
+            g = g.take(order)
+            v = v.take(order)
+            if len(key) > 1:
+                seg = np.empty(len(key), dtype=bool)
+                seg[0] = True
+                np.not_equal(key[1:], key[:-1], out=seg[1:])
+                seg[1:] |= g[1:] != g[:-1]
+                starts = np.flatnonzero(seg)
+                if len(starts) != len(key):
+                    v = ufunc.reduceat(v, starts)
+                    key = key.take(starts)
+                    g = g.take(starts)
+
+            # --- one down-hop per packet, one winner per (node, edge) ---
+            level = key >> d
+            bit = np.left_shift(one, level)
+            col = key & mask
+            gi = np.searchsorted(uniq, g)
+            tcol = tcol_by.take(gi)
+            rank = rank_by.take(gi)
+            base = (key + columns) & ~bit
+            tbit = tcol & bit
+            nxt = base | tbit
+            cross = tbit != (col & bit)
+            eid = (key << 1) | cross.astype(np.int64)
+            sel = np.lexsort((g, rank, eid))
+            es = eid.take(sel)
+            first = np.empty(len(es), dtype=bool)
+            first[0] = True
+            np.not_equal(es[1:], es[:-1], out=first[1:])
+            win = np.zeros(len(key), dtype=bool)
+            win[sel[first]] = True
+
+            # --- emit cross winners as one typed submission ---
+            out = BatchBuilder(kind=kind, dtype=DATA_DTYPE)
+            cw = np.flatnonzero(win & cross)
+            if len(cw):
+                payload = np.empty(len(cw), dtype=DATA_DTYPE)
+                payload["tag"] = "D"
+                payload["lvl"] = level.take(cw) + 1
+                payload["g"] = g.take(cw)
+                payload["val"] = v.take(cw)
+                out.add_arrays(col.take(cw), nxt.take(cw) & mask, payload)
+            inboxes = net.exchange(out)
+
+            # --- straight winners move locally; losers wait in place ---
+            sw = np.flatnonzero(win & ~cross)
+            skey = nxt.take(sw)
+            sg = g.take(sw)
+            sv = v.take(sw)
+            done = skey >= bottom
+            res_g.append(sg[done])
+            res_v.append(sv[done])
+            lose = ~win
+            parts_k = [key[lose], skey[~done]]
+            parts_g = [g[lose], sg[~done]]
+            parts_v = [v[lose], sv[~done]]
+
+            # --- apply network arrivals ---
+            gathered = gather_typed_spans(inboxes)
+            if gathered is not None:
+                # The whole round as two columns: no per-host iteration.
+                ahost, arr = gathered
+                akey = (arr["lvl"].astype(np.int64) << d) | ahost
+                ag = arr["g"]
+                av = arr["val"]
+                ab = akey >= bottom
+                res_g.append(ag[ab])
+                res_v.append(av[ab])
+                parts_k.append(akey[~ab])
+                parts_g.append(ag[~ab])
+                parts_v.append(av[~ab])
+                inboxes = {}
+            for host, received in inboxes.items():
+                arr = (
+                    received.payload_array()
+                    if type(received) is InboxBatch
+                    else None
+                )
+                if arr is not None:
+                    lvl = arr["lvl"]
+                    ag = arr["g"]
+                    av = arr["val"]
+                else:
+                    # Reference engine (or a degraded round) delivered
+                    # boxed payloads; lower them back to columns.
+                    pls = (
+                        received.payloads()
+                        if isinstance(received, InboxBatch)
+                        else [m.payload for m in received]
+                    )
+                    c = len(pls)
+                    lvl = np.fromiter((p[1] for p in pls), np.int64, c)
+                    ag = np.fromiter((p[2] for p in pls), np.int64, c)
+                    av = np.fromiter((p[3] for p in pls), np.int64, c)
+                akey = (lvl.astype(np.int64) << d) | host
+                ab = akey >= bottom
+                res_g.append(ag[ab])
+                res_v.append(av[ab])
+                parts_k.append(akey[~ab])
+                parts_g.append(ag[~ab])
+                parts_v.append(av[~ab])
+            key = np.concatenate(parts_k)
+            g = np.concatenate(parts_g)
+            v = np.concatenate(parts_v)
+
+        # Token wave duration (lightweight sync): one hop per level.
+        net.idle_rounds(d + 1)
+
+        # --- fold the per-round result chunks, boxing only at the very
+        # end (one Python object per group, not per packet) ---
+        results: dict[GroupT, Any] = {}
+        if res_g:
+            rg = np.concatenate(res_g)
+            rv = np.concatenate(res_v)
+            if len(rg):
+                order = np.argsort(rg, kind="stable")
+                rg = rg.take(order)
+                rv = rv.take(order)
+                seg = np.empty(len(rg), dtype=bool)
+                seg[0] = True
+                np.not_equal(rg[1:], rg[:-1], out=seg[1:])
+                starts = np.flatnonzero(seg)
+                vals = ufunc.reduceat(rv, starts)
+                results = dict(
+                    zip(rg.take(starts).tolist(), vals.tolist(), strict=True)
+                )
+        return RoutingResult(net.round_index - start_round, results, None)
+
 
 class MulticastRouter:
     """Upward (level d → level 0) copying router over recorded trees."""
@@ -457,6 +718,13 @@ class MulticastRouter:
             )
 
         lightweight = _lightweight(net)
+        # Typed wire applies per round: under lightweight sync (no token
+        # messages to mix in) a round whose cross traffic is all plain-int
+        # (group, value) pairs ships as one DATA_DTYPE column instead of
+        # per-packet tuples; any other round keeps the object builder.
+        typed_wire = (
+            DATA_DTYPE is not None and lightweight and typed_payloads_enabled()
+        )
         # Contention key (rank, group) per group, cached across rounds: the
         # per-edge minimum consults it once per queued packet per round.
         cand_cache: dict[GroupT, tuple[int, GroupT]] = {}
@@ -517,15 +785,46 @@ class MulticastRouter:
                     break
                 raise ProtocolError("multicast router deadlocked (tokens)")
 
-            out = BatchBuilder(kind=self.kind)
             local_data: list[tuple[BFNode, GroupT, Any]] = []
             local_tokens: list[BFNode] = []
-            out_add = out.add
+            cross_sends: list[tuple[int, int, int, GroupT, Any]] = []
             for src, dst, g, val in sends:
                 if src.column == dst.column:
                     local_data.append((dst, g, val))
                 else:
-                    out_add(src.column, dst.column, ("D", dst.level, g, val))
+                    cross_sends.append(
+                        (src.column, dst.column, dst.level, g, val)
+                    )
+            out = None
+            if (
+                typed_wire
+                and cross_sends
+                and not token_sends
+                and all(
+                    type(c[3]) is int and type(c[4]) is int
+                    for c in cross_sends
+                )
+            ):
+                try:
+                    payload = _np.empty(len(cross_sends), dtype=DATA_DTYPE)
+                    payload["lvl"] = [c[2] for c in cross_sends]
+                    payload["g"] = [c[3] for c in cross_sends]
+                    payload["val"] = [c[4] for c in cross_sends]
+                except OverflowError:
+                    out = None  # value outside int64: object round
+                else:
+                    payload["tag"] = "D"
+                    out = BatchBuilder(kind=self.kind, dtype=DATA_DTYPE)
+                    out.add_arrays(
+                        [c[0] for c in cross_sends],
+                        [c[1] for c in cross_sends],
+                        payload,
+                    )
+            if out is None:
+                out = BatchBuilder(kind=self.kind)
+                out_add = out.add
+                for scol, dcol, lvl, g, val in cross_sends:
+                    out_add(scol, dcol, ("D", lvl, g, val))
             for node in token_sends:
                 straight, cross = bf.up_neighbors(node)
                 local_tokens.append(straight)
@@ -552,6 +851,21 @@ class MulticastRouter:
             for dst in local_tokens:
                 arrive_token(dst)
             for host, received in inboxes.items():
+                arr = (
+                    received.payload_array()
+                    if type(received) is InboxBatch
+                    else None
+                )
+                if arr is not None:
+                    # Typed span: all data packets (tokens never share a
+                    # typed round); field reads stay columnar.
+                    for lvl, g, val in zip(
+                        arr["lvl"].tolist(),
+                        arr["g"].tolist(),
+                        arr["val"].tolist(),
+                    ):
+                        process_arrival(BFNode(lvl, host), g, val)
+                    continue
                 payloads = (
                     received.payloads()
                     if type(received) is InboxBatch

@@ -59,14 +59,39 @@ def _engine_config(args: argparse.Namespace) -> NCCConfig | None:
 # ----------------------------------------------------------------------
 # argparse value parsers (argument errors exit with code 2, no tracebacks)
 # ----------------------------------------------------------------------
+def _dedup_values(values: list, what: str) -> list:
+    """Order-preserving dedupe of one axis list, noting drops on stderr.
+
+    A repeated axis value (``--ns 64,64``) used to multiply the sweep grid
+    with identical rows; the grid builder now dedupes too, but the note
+    belongs here where the user's literal input is still visible.
+    """
+    seen: set = set()
+    out: list = []
+    dropped = 0
+    for v in values:
+        if v in seen:
+            dropped += 1
+        else:
+            seen.add(v)
+            out.append(v)
+    if dropped:
+        print(
+            f"note: ignoring {dropped} duplicate {what} value(s)",
+            file=sys.stderr,
+        )
+    return out
+
+
 def _ints_arg(text: str) -> list[int]:
     """Comma-separated ints, e.g. ``32,64,128``."""
     try:
-        return [int(x) for x in text.split(",") if x.strip()]
+        values = [int(x) for x in text.split(",") if x.strip()]
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"expected a comma-separated list of integers, got {text!r}"
         ) from None
+    return _dedup_values(values, "size")
 
 
 def _seeds_arg(text: str) -> list[int]:
@@ -80,7 +105,9 @@ def _seeds_arg(text: str) -> list[int]:
                     f"empty seed range {text!r} (want lo:hi with hi > lo)"
                 )
             return list(range(lo, hi))
-        return [int(x) for x in text.split(",") if x.strip()]
+        return _dedup_values(
+            [int(x) for x in text.split(",") if x.strip()], "seed"
+        )
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"expected seeds as 'lo:hi' or a comma-separated list, got {text!r}"
@@ -107,7 +134,7 @@ def _names_arg(what: str):
             raise argparse.ArgumentTypeError(
                 f"expected a comma-separated list of {what}, got {text!r}"
             )
-        return names
+        return _dedup_values(names, what.rstrip("s"))
 
     return parse
 

@@ -54,6 +54,7 @@ except ImportError:  # pragma: no cover
 
 from .engine import RoundEngine, RoundResult, register_engine
 from .message import BuilderBatches, InboxBatch, Message, MessageBatch
+from .message import _count_boxes
 
 HAVE_NUMPY = _np is not None
 
@@ -95,7 +96,9 @@ class BatchedEngine(RoundEngine):
                 or type(g._srcs) is not int
                 or g._start != 0
                 or g._end != len(g._payloads)
-                or not g._payloads
+                # len(), not truthiness: a typed (ndarray) payload column
+                # of more than one element raises on bool().
+                or len(g._payloads) == 0
             ):
                 deferred = False
                 break
@@ -325,6 +328,38 @@ class BatchedEngine(RoundEngine):
         :meth:`run_round` (identical observables by construction)."""
         if not builder._deferred or not builder._groups:
             return self.run_round(builder.batches())
+        if builder._dtype is not None:
+            # Typed builder filled by one whole-round add_arrays call: the
+            # sorted sender/dst/value columns are already on the builder, so
+            # deliver straight off them — no per-sender spans, no structured
+            # concatenation (whose fixed per-array cost dwarfs these ~3-long
+            # chunks).
+            bulk = builder._typed_bulk
+            if bulk is not None:
+                senders, counts, dst, pay = bulk
+                net = self.net
+                n = net.n
+                max_sent = max(counts)
+                if (
+                    0 <= senders[0]
+                    and senders[-1] < n
+                    and max_sent <= net.capacity
+                    and builder._bits_max <= net.message_bits
+                    and int(dst.min()) >= 0
+                    and int(dst.max()) < n
+                ):
+                    stats = net.stats
+                    if max_sent > stats.max_sent_per_round:
+                        stats.max_sent_per_round = max_sent
+                    delivered = self._deliver_deferred_np(
+                        senders, [builder.kind], counts, len(dst), dst, pay
+                    )
+                    builder._spent = True
+                    return delivered, len(dst), builder._bits_sum
+            # Otherwise the chunked group layout finalizes into typed
+            # whole-span batches, and run_round's trusted BuilderBatches
+            # path delivers them without leaving ndarrays.
+            return self.run_round(builder.batches())
         net = self.net
         n = net.n
         senders: list[int] = []
@@ -368,6 +403,57 @@ class BatchedEngine(RoundEngine):
         net = self.net
         stats = net.stats
         n = net.n
+        typed = False
+        for p in pcols:
+            if type(p) is not list:
+                typed = True
+                break
+        if typed:
+            uniform = _np is not None
+            dt = None
+            if uniform:
+                for p in pcols:
+                    if type(p) is list:
+                        uniform = False
+                        break
+                    if dt is None:
+                        dt = p.dtype
+                    elif p.dtype != dt:
+                        uniform = False
+                        break
+            if uniform:
+                # Fully typed round: concatenate the raw columns and take
+                # the argsort path at any size — the data is already in
+                # arrays, so the small-round Python bucketing would only
+                # add boxing.
+                try:
+                    chunks = [
+                        d if type(d) is not list else _np.fromiter(d, _np.int64, len(d))
+                        for d in dcols
+                    ]
+                except (OverflowError, TypeError, ValueError):
+                    return None
+                dst = chunks[0] if len(chunks) == 1 else _np.concatenate(chunks)
+                if dst.dtype != _np.int64:
+                    dst = dst.astype(_np.int64)
+                if int(dst.min()) < 0 or int(dst.max()) >= n:
+                    return None
+                pay = pcols[0] if len(pcols) == 1 else _np.concatenate(pcols)
+                if max_sent > stats.max_sent_per_round:
+                    stats.max_sent_per_round = max_sent
+                return self._deliver_deferred_np(
+                    senders, kcols, counts, m_count, dst, pay
+                )
+            # Mixed typed/object columns (or a typed round under a
+            # numpy-free engine): box the typed sides — the object-fallback
+            # contract — and continue on the generic list paths.
+            for i, p in enumerate(pcols):
+                if type(p) is not list:
+                    _count_boxes(len(p))
+                    pcols[i] = p.tolist()
+            for i, d in enumerate(dcols):
+                if type(d) is not list:
+                    dcols[i] = d.tolist()
         if _np is not None and m_count >= SMALL_ROUND_CUTOFF:
             dst_l: list[int] = []
             pay_l: list = []
@@ -425,7 +511,14 @@ class BatchedEngine(RoundEngine):
         max_recv = int(group_counts.max())
         arrival = _np.argsort(order[starts], kind="stable")
 
-        pay_perm = _np.fromiter(pay_l, dtype=object, count=m_count).take(order).tolist()
+        if type(pay_l) is list:
+            pay_perm = (
+                _np.fromiter(pay_l, dtype=object, count=m_count).take(order).tolist()
+            )
+        else:
+            # Typed round: the permuted payload column stays an ndarray and
+            # the delivered spans are typed — nothing is boxed here.
+            pay_perm = pay_l.take(order)
         snd = _np.fromiter(senders, _np.int64, len(senders))
         cnt = _np.fromiter(counts, _np.int64, len(counts))
         src_perm = _np.repeat(snd, cnt).take(order)

@@ -25,15 +25,75 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Mapping
 
+try:  # pragma: no cover - exercised only on numpy-free installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 from ..butterfly.routing import CombiningRouter
 from ..butterfly.topology import ButterflyGrid
-from ..ncc.message import BatchBuilder, payloads_of
+from ..ncc.message import (
+    BatchBuilder,
+    InboxBatch,
+    payloads_of,
+    typed_payloads_enabled,
+)
 from ..ncc.network import NCCNetwork
 from ..rng import SharedRandomness
 from .aggregate_broadcast import barrier
 from .functions import Aggregate
 
 GroupT = Hashable
+
+#: Wire dtypes of the typed aggregation flow.  Each sizes exactly like its
+#: object-path tuple counterpart (1-char tag = short string = 4 bits; int
+#: fields size by binary length), so typed and object runs account
+#: identical bits.
+INJECT_DTYPE = (
+    _np.dtype([("tag", "U1"), ("col", "i8"), ("g", "i8"), ("val", "i8")])
+    if _np is not None
+    else None
+)
+RESULT_DTYPE = (
+    _np.dtype([("tag", "U1"), ("g", "i8"), ("val", "i8")])
+    if _np is not None
+    else None
+)
+
+
+def _typed_applicable(
+    net: NCCNetwork, bf: ButterflyGrid, problem: AggregationProblem
+) -> bool:
+    """Whether this instance can run the fully typed flow.
+
+    Requires numpy, the process-wide typed default, a ufunc-backed
+    aggregate, lightweight sync (token traffic would mix object messages
+    into the typed builders), a non-degenerate butterfly, and an instance
+    whose groups/values are plain ints safely inside int64 (for SUM the
+    whole run's worst-case partial sum must fit, so the check bounds the
+    total absolute mass).  Anything else keeps the object path — the
+    documented fallback contract.
+    """
+    if (
+        INJECT_DTYPE is None
+        or not typed_payloads_enabled()
+        or problem.fn.ufunc is None
+        or bf.d <= 0
+        or not net.config.extras.get("lightweight_sync", False)
+    ):
+        return False
+    lo, hi = -(1 << 62), 1 << 62
+    abs_sum = 0
+    for groups in problem.memberships.values():
+        for g, value in groups.items():
+            if type(g) is not int or type(value) is not int:
+                return False
+            if not (lo < g < hi) or not (lo < value < hi):
+                return False
+            abs_sum += value if value >= 0 else -value
+    if problem.fn.ufunc is _np.add and abs_sum >= hi:
+        return False
+    return True
 
 
 @dataclass
@@ -113,34 +173,85 @@ def run_aggregation(
                 k = _cache[g] = salt(nonce, _group_key(g))
             return k
 
+        use_typed = _typed_applicable(net, bf, problem)
         router = CombiningRouter(
             net,
             bf,
             rank_of=lambda g: rank(key_of(g)),
             target_col_of=lambda g: target_col(key_of(g)),
             combine=problem.fn.combine,
+            ufunc=problem.fn.ufunc,
             kind=kind,
         )
 
         # ----- Preprocessing: batched injection to random level-0 nodes,
-        # submitted columnar (one BatchBuilder per injection round).
+        # submitted columnar (one BatchBuilder per injection round).  The
+        # random placement draws are identical in both flows; the typed
+        # flow merely accumulates the draws into columns instead of
+        # building per-packet tuples.
         batch = net.config.batch_size(net.n)
-        pending: list[BatchBuilder] = []
-        for u, groups in problem.memberships.items():
-            u_rng = shared.node_rng(u, (tag, "inject"))
-            ordered = sorted(groups.items(), key=lambda kv: repr(kv[0]))
-            for j, (g, value) in enumerate(ordered):
-                col = u_rng.randrange(bf.columns)
-                r = j // batch
-                while len(pending) <= r:
-                    pending.append(BatchBuilder(kind=kind))
-                # The host of level-0 column ``col`` is NCC node ``col``.
-                pending[r].add(u, col, ("I", col, g, value))
-        for round_msgs in pending:
-            inbox = net.exchange(round_msgs)
-            for msgs in inbox.values():
-                for _tag, col, g, value in payloads_of(msgs):
-                    router.inject(col, g, value)
+        if use_typed:
+            pend_cols: list[tuple[list, list, list, list]] = []
+            for u, groups in problem.memberships.items():
+                u_rng = shared.node_rng(u, (tag, "inject"))
+                ordered = sorted(groups.items(), key=lambda kv: repr(kv[0]))
+                for j, (g, value) in enumerate(ordered):
+                    col = u_rng.randrange(bf.columns)
+                    r = j // batch
+                    while len(pend_cols) <= r:
+                        pend_cols.append(([], [], [], []))
+                    row = pend_cols[r]
+                    row[0].append(u)
+                    # The host of level-0 column ``col`` is NCC node
+                    # ``col``: the destination column doubles as the
+                    # payload's ``col`` field.
+                    row[1].append(col)
+                    row[2].append(g)
+                    row[3].append(value)
+            for srcs, cols, gs, vals in pend_cols:
+                out = BatchBuilder(kind=kind, dtype=INJECT_DTYPE)
+                payload = _np.empty(len(srcs), dtype=INJECT_DTYPE)
+                payload["tag"] = "I"
+                payload["col"] = cols
+                payload["g"] = gs
+                payload["val"] = vals
+                out.add_arrays(srcs, cols, payload)
+                inbox = net.exchange(out)
+                for msgs in inbox.values():
+                    arr = (
+                        msgs.payload_array()
+                        if type(msgs) is InboxBatch
+                        else None
+                    )
+                    if arr is not None:
+                        router.inject_array(arr["col"], arr["g"], arr["val"])
+                    else:
+                        # Reference engine (or a degraded round) delivered
+                        # boxed tuples; lower them back to columns so both
+                        # engines drive the identical typed kernel.
+                        pls = payloads_of(msgs)
+                        router.inject_array(
+                            [p[1] for p in pls],
+                            [p[2] for p in pls],
+                            [p[3] for p in pls],
+                        )
+        else:
+            pending: list[BatchBuilder] = []
+            for u, groups in problem.memberships.items():
+                u_rng = shared.node_rng(u, (tag, "inject"))
+                ordered = sorted(groups.items(), key=lambda kv: repr(kv[0]))
+                for j, (g, value) in enumerate(ordered):
+                    col = u_rng.randrange(bf.columns)
+                    r = j // batch
+                    while len(pending) <= r:
+                        pending.append(BatchBuilder(kind=kind))
+                    # The host of level-0 column ``col`` is NCC node ``col``.
+                    pending[r].add(u, col, ("I", col, g, value))
+            for round_msgs in pending:
+                inbox = net.exchange(round_msgs)
+                for msgs in inbox.values():
+                    for _tag, col, g, value in payloads_of(msgs):
+                        router.inject(col, g, value)
         barrier(net, bf)
 
         # ----- Combining.
@@ -150,19 +261,50 @@ def run_aggregation(
         # ----- Postprocessing: deliver to real targets in random rounds.
         ell2 = problem.ell2_bound if problem.ell2_bound is not None else problem.ell2()
         window = max(1, math.ceil(ell2 / max(1, net.log2n)))
-        schedule = [BatchBuilder(kind=kind) for _ in range(window)]
-        for g, value in res.results.items():
-            t = problem.targets[g]
-            src = target_col(key_of(g))  # host of (d, h(g))
-            r_rng = shared.node_rng(src, (tag, "deliver", _group_key(g)))
-            schedule[r_rng.randrange(window)].add(src, t, ("R", g, value))
+        if use_typed:
+            rows: list[tuple[list, list, list, list]] = [
+                ([], [], [], []) for _ in range(window)
+            ]
+            for g, value in res.results.items():
+                t = problem.targets[g]
+                src = target_col(key_of(g))  # host of (d, h(g))
+                r_rng = shared.node_rng(src, (tag, "deliver", _group_key(g)))
+                row = rows[r_rng.randrange(window)]
+                row[0].append(src)
+                row[1].append(t)
+                row[2].append(g)
+                row[3].append(value)
+            schedule = []
+            for srcs, dsts, gs, vals in rows:
+                out = BatchBuilder(kind=kind, dtype=RESULT_DTYPE)
+                if srcs:
+                    payload = _np.empty(len(srcs), dtype=RESULT_DTYPE)
+                    payload["tag"] = "R"
+                    payload["g"] = gs
+                    payload["val"] = vals
+                    out.add_arrays(srcs, dsts, payload)
+                schedule.append(out)
+        else:
+            schedule = [BatchBuilder(kind=kind) for _ in range(window)]
+            for g, value in res.results.items():
+                t = problem.targets[g]
+                src = target_col(key_of(g))  # host of (d, h(g))
+                r_rng = shared.node_rng(src, (tag, "deliver", _group_key(g)))
+                schedule[r_rng.randrange(window)].add(src, t, ("R", g, value))
         outcome = AggregationOutcome(values={}, rounds=0)
         for r in range(window):
             inbox = net.exchange(schedule[r])
             for t, msgs in inbox.items():
-                for _tag, g, value in payloads_of(msgs):
-                    outcome.values[g] = value
-                    outcome.by_target.setdefault(t, {})[g] = value
+                arr = msgs.payload_array() if type(msgs) is InboxBatch else None
+                if arr is not None:
+                    by_t = outcome.by_target.setdefault(t, {})
+                    for g, value in zip(arr["g"].tolist(), arr["val"].tolist()):
+                        outcome.values[g] = value
+                        by_t[g] = value
+                else:
+                    for _tag, g, value in payloads_of(msgs):
+                        outcome.values[g] = value
+                        outcome.by_target.setdefault(t, {})[g] = value
         barrier(net, bf)
 
     outcome.rounds = net.round_index - start

@@ -10,16 +10,27 @@ packets of one aggregation group collide.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
+
+try:  # pragma: no cover - exercised only on numpy-free installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 @dataclass(frozen=True)
 class Aggregate:
-    """A distributive aggregate: an associative commutative combiner."""
+    """A distributive aggregate: an associative commutative binary
+    ``combine``, optionally paired with the numpy ufunc computing the same
+    reduction over int64 columns (``ufunc``).  The ufunc is what lets the
+    typed aggregation path collapse a column of colliding packets without
+    touching Python per element; aggregates without one simply keep the
+    object path."""
 
     name: str
     combine: Callable[[Any, Any], Any]
+    ufunc: Any = field(default=None, compare=False)
 
     def reduce(self, values: Iterable[Any]) -> Any:
         """Reference reduction (used by oracles/tests); None on empty input."""
@@ -34,10 +45,16 @@ class Aggregate:
 
 _SENTINEL = object()
 
-SUM = Aggregate("SUM", lambda a, b: a + b)
-MIN = Aggregate("MIN", lambda a, b: a if a <= b else b)
-MAX = Aggregate("MAX", lambda a, b: a if a >= b else b)
-XOR = Aggregate("XOR", lambda a, b: a ^ b)
+SUM = Aggregate("SUM", lambda a, b: a + b, _np.add if _np is not None else None)
+MIN = Aggregate(
+    "MIN", lambda a, b: a if a <= b else b, _np.minimum if _np is not None else None
+)
+MAX = Aggregate(
+    "MAX", lambda a, b: a if a >= b else b, _np.maximum if _np is not None else None
+)
+XOR = Aggregate(
+    "XOR", lambda a, b: a ^ b, _np.bitwise_xor if _np is not None else None
+)
 
 #: (xor, count) pairs — the aggregate of the Identification Algorithm
 #: (Section 4.1): first coordinates XOR, second coordinates add.

@@ -18,9 +18,19 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Mapping
 
+try:  # pragma: no cover - exercised only on numpy-free installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 from ..butterfly.routing import MulticastRouter, TreeSet
 from ..butterfly.topology import ButterflyGrid
-from ..ncc.message import BatchBuilder, payloads_of
+from ..ncc.message import (
+    BatchBuilder,
+    InboxBatch,
+    payloads_of,
+    typed_payloads_enabled,
+)
 from ..ncc.network import NCCNetwork
 from ..rng import SharedRandomness
 from .aggregate_broadcast import barrier
@@ -28,6 +38,16 @@ from .aggregation import _group_key
 from .direct import send_chunked
 
 GroupT = Hashable
+
+#: Wire dtype of the root-handoff ("M") and leaf-delivery ("L") packets.
+#: Sizes exactly like the object-path ``(tag, g, payload)`` tuples (1-char
+#: tag = short string = 4 bits), so typed and object runs account identical
+#: wire bits.
+MCAST_DTYPE = (
+    _np.dtype([("tag", "U1"), ("g", "i8"), ("val", "i8")])
+    if _np is not None
+    else None
+)
 
 
 @dataclass
@@ -77,6 +97,23 @@ def run_multicast(
         # simplified variant has one group per source (a single round); the
         # extension it mentions — nodes sourcing multiple multicasts — just
         # batches these sends at the capacity limit.
+        #
+        # An instance whose groups and payloads are all plain int64-range
+        # ints rides the typed wire through every stage (handoff here,
+        # spreading inside the router, leaf delivery below); anything else
+        # keeps the object tuples — the fallback contract.
+        lim = 1 << 62
+        use_typed = (
+            MCAST_DTYPE is not None
+            and typed_payloads_enabled()
+            and all(
+                type(g) is int
+                and type(p) is int
+                and -lim < g < lim
+                and -lim < p < lim
+                for g, p in packets.items()
+            )
+        )
         per_source: dict[int, tuple[list[int], list[Any]]] = {}
         for g, payload in packets.items():
             root = trees.root.get(g)
@@ -89,10 +126,27 @@ def run_multicast(
             c[0].append(bf.host(root))
             c[1].append(("M", g, payload))
         root_packets: dict[GroupT, Any] = {}
-        for inbox in send_chunked(net, per_source, net.capacity, kind=kind):
+        for inbox in send_chunked(
+            net,
+            per_source,
+            net.capacity,
+            kind=kind,
+            dtype=MCAST_DTYPE if use_typed else None,
+        ):
             for received in inbox.values():
-                for _tag, g, payload in payloads_of(received):
-                    root_packets[g] = payload
+                arr = (
+                    received.payload_array()
+                    if type(received) is InboxBatch
+                    else None
+                )
+                if arr is not None:
+                    for g, payload in zip(
+                        arr["g"].tolist(), arr["val"].tolist()
+                    ):
+                        root_packets[g] = payload
+                else:
+                    for _tag, g, payload in payloads_of(received):
+                        root_packets[g] = payload
 
         # ---- Spreading phase down the recorded trees.
         router = MulticastRouter(
@@ -105,20 +159,63 @@ def run_multicast(
         if ell_bound is None:
             ell_bound = trees.member_load()
         window = max(1, math.ceil(max(1, ell_bound) / max(1, net.log2n)))
-        schedule = [BatchBuilder(kind=kind) for _ in range(window)]
-        for col, payloads in res.results.items():
-            host = col  # level-0 column col is hosted by NCC node col
-            for g, payload in payloads.items():
-                for member in trees.leaf_members.get(g, {}).get(col, ()):
-                    r_rng = shared.node_rng(host, (tag, "leaf", _group_key(g), member))
-                    schedule[r_rng.randrange(window)].add(
-                        host, member, ("L", g, payload)
-                    )
+        if use_typed:
+            # Same random round draws as the object flow; the draws simply
+            # accumulate into columns instead of per-packet builder adds.
+            rows: list[tuple[list, list, list, list]] = [
+                ([], [], [], []) for _ in range(window)
+            ]
+            for col, payloads in res.results.items():
+                host = col  # level-0 column col is hosted by NCC node col
+                for g, payload in payloads.items():
+                    for member in trees.leaf_members.get(g, {}).get(col, ()):
+                        r_rng = shared.node_rng(
+                            host, (tag, "leaf", _group_key(g), member)
+                        )
+                        row = rows[r_rng.randrange(window)]
+                        row[0].append(host)
+                        row[1].append(member)
+                        row[2].append(g)
+                        row[3].append(payload)
+            schedule = []
+            for srcs, dsts, gs, vals in rows:
+                out = BatchBuilder(kind=kind, dtype=MCAST_DTYPE)
+                if srcs:
+                    payload_arr = _np.empty(len(srcs), dtype=MCAST_DTYPE)
+                    payload_arr["tag"] = "L"
+                    payload_arr["g"] = gs
+                    payload_arr["val"] = vals
+                    out.add_arrays(srcs, dsts, payload_arr)
+                schedule.append(out)
+        else:
+            schedule = [BatchBuilder(kind=kind) for _ in range(window)]
+            for col, payloads in res.results.items():
+                host = col  # level-0 column col is hosted by NCC node col
+                for g, payload in payloads.items():
+                    for member in trees.leaf_members.get(g, {}).get(col, ()):
+                        r_rng = shared.node_rng(
+                            host, (tag, "leaf", _group_key(g), member)
+                        )
+                        schedule[r_rng.randrange(window)].add(
+                            host, member, ("L", g, payload)
+                        )
         for r in range(window):
             inbox = net.exchange(schedule[r])
             for u, received in inbox.items():
-                for _tag, g, payload in payloads_of(received):
-                    outcome.received.setdefault(u, {})[g] = payload
+                arr = (
+                    received.payload_array()
+                    if type(received) is InboxBatch
+                    else None
+                )
+                if arr is not None:
+                    got = outcome.received.setdefault(u, {})
+                    for g, payload in zip(
+                        arr["g"].tolist(), arr["val"].tolist()
+                    ):
+                        got[g] = payload
+                else:
+                    for _tag, g, payload in payloads_of(received):
+                        outcome.received.setdefault(u, {})[g] = payload
         barrier(net, bf)
 
     outcome.rounds = net.round_index - start

@@ -188,6 +188,47 @@ class TestSweep:
         assert "reference" in out and "batched" in out
 
 
+class TestDuplicateAxes:
+    """Regression: a repeated axis value (``--ns 16,16``) used to multiply
+    the grid — every duplicate row reran and re-emitted an identical JSONL
+    record.  Duplicates now collapse (first occurrence wins) with a note
+    on stderr."""
+
+    def test_duplicates_collapse_with_note(self, tmp_path, capsys):
+        out = tmp_path / "results.jsonl"
+        assert main([
+            "sweep", "--algos", "mis,mis", "--ns", "16,16",
+            "--seeds", "0,1,0", "--out", str(out),
+        ]) == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 2  # 1 algo x 1 n x 2 seeds
+        seeds = [json.loads(line)["spec"]["seed"] for line in lines]
+        assert seeds == [0, 1]
+        err = capsys.readouterr().err
+        assert "note: ignoring 1 duplicate algorithm value(s)" in err
+        assert "note: ignoring 1 duplicate size value(s)" in err
+        assert "note: ignoring 1 duplicate seed value(s)" in err
+
+    def test_duplicate_engines_collapse(self, capsys):
+        assert main([
+            "sweep", "--algos", "mis", "--ns", "16",
+            "--engines", "batched,reference,batched",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "note: ignoring 1 duplicate engine value(s)" in captured.err
+        assert "sweep: 2 runs" in captured.out
+
+    def test_clean_axes_print_no_note(self, capsys):
+        assert main(["sweep", "--algos", "mis", "--ns", "16,24"]) == 0
+        assert "duplicate" not in capsys.readouterr().err
+
+    def test_order_preserved(self):
+        args = build_parser().parse_args(
+            ["sweep", "--algos", "mst", "--ns", "64,16,64,24"]
+        )
+        assert args.ns == [64, 16, 24]
+
+
 class TestScenarioOptions:
     def test_run_with_scenario(self, capsys):
         assert main(["run", "mis", "--n", "24", "--scenario", "pa-heavy-tail"]) == 0

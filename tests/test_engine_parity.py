@@ -33,6 +33,7 @@ from repro.ncc.message import (
     Message,
     MessageBatch,
     message_construction_count,
+    set_typed_payloads,
 )
 from repro.ncc.network import NCCNetwork
 
@@ -233,6 +234,70 @@ class TestPrimitiveParity:
         assert ref["result"] == bat["result"]
         assert ref["rounds"] == bat["rounds"]
         assert ref["stats"] == bat["stats"]
+
+
+# ----------------------------------------------------------------------
+# Typed-vs-object representation parity
+# ----------------------------------------------------------------------
+# Payload columns with a declared dtype must be a pure representation
+# change: toggling typed payloads off (forcing the object path everywhere)
+# may not shift a single observable, under either engine, in any mode.
+def _run_multicast_int(rt):
+    # Plain-int packets: the instance the typed multicast wire accepts.
+    trees = rt.multicast_setup(_memberships(rt))
+    out = rt.multicast(
+        trees, {g: 1000 + g for g in range(6)}, {g: g for g in range(6)}
+    )
+    return (sorted((u, sorted(p.items())) for u, p in out.received.items()), out.rounds)
+
+
+def _run_direct_typed(rt):
+    import numpy as np
+
+    from repro.primitives.direct import send_direct
+
+    pair = np.dtype([("a", "i8"), ("b", "i8")])
+    sends = [(u, (u * 7 + i) % rt.n, (u, i)) for u in range(rt.n) for i in range(3)]
+    inbox = send_direct(rt.net, sends, dtype=pair)
+    # Box explicitly: a structured numpy scalar raises on ``== tuple``.
+    return (
+        [
+            (d, [(m.src, tuple(m.payload)) for m in msgs])
+            for d, msgs in inbox.items()
+        ],
+        rt.net.round_index,
+    )
+
+
+TYPED_PRIMITIVES = {
+    "aggregation": _run_aggregation,
+    "multicast_int": _run_multicast_int,
+    "direct_typed": _run_direct_typed,
+}
+
+
+@pytest.mark.engine("reference")  # runs both engines itself; skip replays
+class TestTypedRepresentationParity:
+    @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
+    @pytest.mark.parametrize("name", sorted(TYPED_PRIMITIVES))
+    def test_typed_toggle_invisible(self, name, mode):
+        pytest.importorskip("numpy")
+        runs = {}
+        for engine in ENGINES:
+            for typed in (True, False):
+                prev = set_typed_payloads(typed)
+                try:
+                    runs[(engine, typed)] = _execute(
+                        engine, mode, TYPED_PRIMITIVES[name]
+                    )
+                finally:
+                    set_typed_payloads(prev)
+        base = runs[("reference", False)]
+        for key, run in runs.items():
+            assert run["error"] == base["error"], key
+            assert run["result"] == base["result"], key
+            assert run["rounds"] == base["rounds"], key
+            assert run["stats"] == base["stats"], key
 
 
 # ----------------------------------------------------------------------

@@ -152,6 +152,100 @@ class TestFallbackBranches:
             payload_bits_memoized(object())
 
 
+class TestNumpyScalars:
+    """Regression: numpy scalars used to raise ``TypeError`` in both sizers.
+
+    They must size exactly like their Python counterparts (a payload read
+    back off a typed column and re-submitted is a numpy scalar), while
+    staying out of the value-keyed memo (``np.int64(1) == 1 == 1.0``).
+    """
+
+    np = pytest.importorskip("numpy")
+
+    INT_DTYPES = ("int8", "int16", "int32", "int64",
+                  "uint8", "uint16", "uint32", "uint64")
+
+    def test_integer_scalars_size_like_python_ints(self):
+        np = self.np
+        rng = random.Random(11)
+        for name in self.INT_DTYPES:
+            dt = np.dtype(name)
+            info = np.iinfo(dt)
+            samples = {0, 1, info.min, info.max}
+            samples.update(
+                rng.randint(info.min, info.max) for _ in range(50)
+            )
+            for v in samples:
+                s = dt.type(v)
+                assert payload_bits(s) == payload_bits(int(s)), (name, v)
+                assert payload_bits_memoized(s) == payload_bits(int(s))
+
+    def test_bool_float_str_scalars(self):
+        np = self.np
+        assert payload_bits(np.bool_(True)) == payload_bits(True) == 1
+        assert payload_bits(np.bool_(False)) == 1
+        assert payload_bits(np.float64(2.5)) == payload_bits(2.5) == 32
+        assert payload_bits(np.float32(0.0)) == 32
+        assert payload_bits(np.str_("tag")) == payload_bits("tag") == 4
+        assert payload_bits(np.str_("x" * 9)) == payload_bits("x" * 9) == 72
+
+    def test_structured_scalar_sizes_like_tuple(self):
+        np = self.np
+        dt = np.dtype([("tag", "U1"), ("g", "i8"), ("val", "i8")])
+        arr = np.array([("I", 7, -300)], dtype=dt)
+        assert payload_bits(arr[0]) == payload_bits(("I", 7, -300))
+        assert payload_bits_memoized(arr[0]) == payload_bits(("I", 7, -300))
+
+    def test_scalars_inside_containers(self):
+        np = self.np
+        p = (np.int64(255), [np.bool_(True), np.float64(1.0)])
+        assert payload_bits(p) == payload_bits((255, [True, 1.0]))
+
+    def test_numpy_scalars_stay_out_of_the_memo(self):
+        """np.int64(1) == 1 == 1.0 == True: caching one would serve its size
+        for the others."""
+        np = self.np
+        clear_payload_bits_memo()
+        assert payload_bits_memoized(np.float64(1.0)) == 32
+        assert payload_bits_memoized(np.int64(1)) == 1
+        assert payload_bits_memoized(1) == 1
+        assert payload_bits_memoized(1.0) == 32
+        assert all(
+            not isinstance(k, self.np.generic) for k in message._BITS_MEMO
+        )
+
+    def test_typed_column_roundtrip_accounts_identically(self):
+        """Boxing a typed column and re-sizing each element reproduces the
+        vectorized bits exactly, for scalar and structured dtypes."""
+        np = self.np
+        from repro.ncc.message import typed_payload_bits
+
+        rng = random.Random(3)
+        ints = np.asarray(
+            [rng.randint(-(2**63), 2**63 - 1) for _ in range(100)]
+            + [0, 1, -1, -(2**63), 2**63 - 1],
+            dtype=np.int64,
+        )
+        assert typed_payload_bits(ints).tolist() == [
+            payload_bits(v) for v in ints.tolist()
+        ]
+        # Re-submitting the unboxed numpy scalars sizes the same way too.
+        assert [payload_bits(v) for v in ints] == [
+            payload_bits(v) for v in ints.tolist()
+        ]
+        dt = np.dtype([("tag", "U12"), ("g", "i8"), ("ok", "?"), ("w", "f4")])
+        rows = [
+            ("", 0, False, 0.0),
+            ("shortstr", -1, True, -2.5),
+            ("longer-tag!!", 2**62, False, 7.0),
+        ]
+        arr = np.array(rows, dtype=dt)
+        assert typed_payload_bits(arr).tolist() == [
+            payload_bits(r) for r in arr.tolist()
+        ]
+        assert [payload_bits(s) for s in arr] == typed_payload_bits(arr).tolist()
+
+
 class TestMemoSafety:
     def test_equal_value_different_type_not_conflated(self):
         """1 == 1.0 == True, but an int is 1 bit and a float is 32: the

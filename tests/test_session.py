@@ -61,6 +61,47 @@ class TestCaching:
             session_mod._WORKER_SESSION = None
 
 
+class TestOptionValidation:
+    """Regression: a typo'd option used to fall through silently —
+    ``extras={"familly": "grid"}`` ran the *default* workload without
+    complaint because ``_workload`` only forwards keys in
+    ``workload_options``."""
+
+    def test_unknown_option_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as ei:
+            Session().run(RunSpec("bfs", 16, seed=1, extras={"familly": "grid"}))
+        assert "familly" in str(ei.value)
+        assert "family" in str(ei.value)  # known options are listed
+
+    def test_unknown_option_on_optionless_algorithm(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match=r"\(none\)"):
+            Session().run(RunSpec("mis", 16, seed=1, extras={"source": 3}))
+
+    def test_workload_option_accepted(self):
+        report = Session().run(
+            RunSpec("bfs", 16, seed=1, extras={"family": "grid"})
+        )
+        assert report.correct
+
+    def test_run_option_accepted(self):
+        # ``source`` is a keyword of the bfs run callable, not a workload
+        # option; validation must accept both kinds.
+        report = Session().run(RunSpec("bfs", 16, seed=1, extras={"source": 2}))
+        assert report.correct
+
+    def test_run_many_validates_too(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Session().run_many(
+                [RunSpec("bfs", 16, seed=1, extras={"familly": "grid"})]
+            )
+
+
 class TestSweepGrid:
     def test_grid_order_is_algorithm_major(self):
         specs = sweep_grid(["mst", "mis"], [16, 24], seeds=[0, 1])
@@ -73,6 +114,19 @@ class TestSweepGrid:
     def test_engines_axis(self):
         specs = sweep_grid(["mis"], [16], engines=["reference", "batched"])
         assert [s.engine for s in specs] == ["reference", "batched"]
+
+    def test_duplicate_axis_values_collapse(self):
+        """Regression: ``ns=[64, 64]`` used to emit every row twice (and
+        rerun it); axes dedupe preserving first-occurrence order."""
+        specs = sweep_grid(["mis", "mis"], [24, 16, 24], seeds=[0, 1, 0])
+        assert len(specs) == 4
+        assert [(s.n, s.seed) for s in specs] == [
+            (24, 0), (24, 1), (16, 0), (16, 1),
+        ]
+        specs = sweep_grid(
+            ["mis"], [16], engines=["batched", "reference", "batched"]
+        )
+        assert [s.engine for s in specs] == ["batched", "reference"]
 
 
 class TestParallelDeterminism:
