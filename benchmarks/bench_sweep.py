@@ -1,19 +1,23 @@
-"""Experiment-API sweep gates: parallel Session speedup + determinism.
+"""Experiment-API sweep gates: pool speedups + determinism.
 
-Two claims behind ``Session.run_many``:
+Three claims behind ``Session.run_many``:
 
-* **P-SWEEP (speedup)** — on a machine with ≥ 2 cores, fanning a scenario
-  grid out over worker processes is measurably faster than running it
-  serially (the runs are independent simulations; the only shared state is
-  the immutable spec list).  Gated at ≥ 1.2× with jobs=2 — conservative so
-  CI runners with noisy neighbours pass, while still failing if the pool
-  ever serializes (lock contention, pickling the world, …).
-* **byte-determinism** — the parallel JSONL is byte-identical to the
-  serial JSONL (also covered per-spec in ``tests/test_session.py``; here
-  it rides along on the big grid for free).
+* **P-SWEEP (fork speedup)** — on ≥ 2 cores, fanning a grid out over the
+  legacy fork pool beats running it serially.  Gated at ≥ 1.2× with
+  jobs=2 — conservative so CI runners with noisy neighbours pass, while
+  still failing if the pool ever serializes.
+* **P-POOL (persistent speedup)** — on ≥ 4 cores, the persistent worker
+  service (warm workers + shared-memory workload handoff, the ``auto``
+  default) beats serial by ≥ 1.6× with jobs=4; a warm-pool rerun must not
+  be slower than the cold one that paid worker spawn.
+* **byte-determinism** — serial, fork, cold-persistent, and
+  warm-persistent report streams are byte-identical (also pinned
+  per-spec in ``tests/test_session.py`` / ``tests/test_pool.py``; here it
+  rides along on the big grid for free).
 
 Timings land in ``BENCH_engine.json`` under ``sweep_session`` so the CI
-artifact tracks sweep throughput across PRs.
+artifact tracks sweep throughput across PRs (the artifact-presence check
+in ``scripts/verify.sh`` fails if the section goes missing again).
 """
 
 import os
@@ -21,7 +25,7 @@ import time
 
 import pytest
 
-from repro.api import Session, sweep_grid
+from repro.api import Session, shared_memory_available, sweep_grid
 
 from .conftest import emit_bench_json, run_once
 
@@ -32,45 +36,72 @@ SEED = 1
 GRID = sweep_grid(["mst", "mis", "matching"], [48, 64], seeds=[0, 1])
 
 
-def _run_grid(jobs: int):
+def _timed(session: Session, jobs: int):
     t0 = time.perf_counter()
-    reports = Session().run_many(GRID, jobs=jobs)
-    return reports, time.perf_counter() - t0
+    reports = session.run_many(GRID, jobs=jobs)
+    return [r.to_json_line() for r in reports], time.perf_counter() - t0
 
 
 def test_sweep_parallel_speedup(benchmark, report):
     cores = os.cpu_count() or 1
-    serial_reports, serial_s = _run_grid(jobs=1)
-    parallel_reports, parallel_s = _run_grid(jobs=2)
+    shm = shared_memory_available()
 
-    assert all(r.correct for r in serial_reports)
-    serial_lines = [r.to_json_line() for r in serial_reports]
-    parallel_lines = [r.to_json_line() for r in parallel_reports]
-    assert serial_lines == parallel_lines, "parallel sweep is not deterministic"
+    serial_lines, serial_s = _timed(Session(), jobs=1)
+    with Session(pool="fork") as s:
+        fork_lines, fork_s = _timed(s, jobs=2)
+    if shm:
+        with Session(pool="persistent") as s:
+            cold_lines, cold_s = _timed(s, jobs=4)
+            warm_lines, warm_s = _timed(s, jobs=4)
+    else:  # pragma: no cover - containers with a masked /dev/shm
+        cold_lines = warm_lines = serial_lines
+        cold_s = warm_s = float("nan")
 
-    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    assert fork_lines == serial_lines, "fork sweep is not deterministic"
+    assert cold_lines == serial_lines, "persistent sweep is not deterministic"
+    assert warm_lines == serial_lines, "warm pool reuse is not deterministic"
+
+    fork_speedup = serial_s / fork_s if fork_s else float("inf")
+    cold_speedup = serial_s / cold_s if cold_s else float("inf")
+    warm_speedup = serial_s / warm_s if warm_s else float("inf")
     emit_bench_json(
         "sweep_session",
         {
             "grid_runs": len(GRID),
             "cores": cores,
+            "shm_available": shm,
             "serial_s": round(serial_s, 3),
-            "parallel_jobs2_s": round(parallel_s, 3),
-            "speedup_jobs2": round(speedup, 2),
+            "fork_jobs2_s": round(fork_s, 3),
+            "speedup_fork_jobs2": round(fork_speedup, 2),
+            "persistent_jobs4_s": round(cold_s, 3),
+            "speedup_persistent_jobs4": round(cold_speedup, 2),
+            "persistent_warm_jobs4_s": round(warm_s, 3),
+            "speedup_persistent_warm_jobs4": round(warm_speedup, 2),
         },
     )
     report(
         f"Session sweep throughput ({len(GRID)} runs: 3 algos x 2 sizes x 2 seeds)\n"
-        f"  cores={cores}  serial={serial_s:.2f}s  jobs=2={parallel_s:.2f}s  "
-        f"speedup={speedup:.2f}x\n"
-        f"  JSONL byte-identical across jobs: yes"
+        f"  cores={cores}  shm={'yes' if shm else 'no'}  serial={serial_s:.2f}s\n"
+        f"  fork jobs=2: {fork_s:.2f}s ({fork_speedup:.2f}x)   "
+        f"persistent jobs=4: {cold_s:.2f}s ({cold_speedup:.2f}x)   "
+        f"warm: {warm_s:.2f}s ({warm_speedup:.2f}x)\n"
+        f"  JSONL byte-identical across pools and jobs: yes"
     )
 
     if cores < 2:
-        pytest.skip("speedup gate needs >= 2 cores; determinism still checked")
-    assert speedup >= 1.2, (
-        f"parallel sweep not measurably faster: {speedup:.2f}x "
-        f"(serial {serial_s:.2f}s vs jobs=2 {parallel_s:.2f}s)"
+        pytest.skip("speedup gates need >= 2 cores; determinism still checked")
+    assert fork_speedup >= 1.2, (
+        f"fork sweep not measurably faster: {fork_speedup:.2f}x "
+        f"(serial {serial_s:.2f}s vs jobs=2 {fork_s:.2f}s)"
+    )
+    if cores < 4 or not shm:
+        pytest.skip("persistent gate needs >= 4 cores and shared memory")
+    assert cold_speedup >= 1.6, (
+        f"persistent pool under its gate: {cold_speedup:.2f}x "
+        f"(serial {serial_s:.2f}s vs jobs=4 {cold_s:.2f}s)"
+    )
+    assert warm_s <= cold_s * 1.1, (
+        f"warm pool reuse slower than cold spawn: {warm_s:.2f}s vs {cold_s:.2f}s"
     )
 
 

@@ -20,14 +20,25 @@
 #      actually landed in BENCH_engine.json (the cross-PR trajectory
 #      artifact);
 #   7. the experiment-API sweep gates (Session.run_many byte-deterministic
-#      for any jobs value; >= 1.2x parallel speedup when >= 2 cores), plus
-#      a `python -m repro sweep` smoke whose JSONL lands in
+#      for any jobs value through the serial path, the legacy fork pool,
+#      and the persistent worker service; >= 1.2x fork speedup when >= 2
+#      cores and >= 1.6x persistent-pool speedup at jobs=4 when >= 4
+#      cores), plus a `python -m repro sweep` smoke whose JSONL lands in
 #      SWEEP_results.jsonl (override with SWEEP_JSONL) for the CI artifact;
 #   8. the scenario subsystem: per-family workload-build/run timings
 #      (benchmarks/bench_scenarios.py -> BENCH_engine.json `scenarios`)
 #      and a `python -m repro matrix` smoke (>= 6 families x >= 3
 #      algorithms) whose JSONL lands in MATRIX_results.jsonl (override
-#      with MATRIX_JSONL) next to the sweep artifact.
+#      with MATRIX_JSONL) next to the sweep artifact;
+#   9. the sweep-stress smoke: a 1000-run grid driven through the
+#      persistent pool into a sharded result store (SWEEP_store, override
+#      with SWEEP_STORE), deliberately stopped at row 400 and resumed via
+#      `sweep --resume`, then verified complete — exercising the manifest,
+#      the store, and crash-safe resume end to end;
+#  10. a final check that every expected section actually landed in
+#      BENCH_engine.json (the cross-PR trajectory artifact) — this is the
+#      check that catches a benchmark silently dropping its section, as
+#      `sweep_session` once did.
 #
 # Timings land in BENCH_engine.json (override with BENCH_ENGINE_JSON) so CI
 # can archive the perf trajectory across PRs.
@@ -64,22 +75,6 @@ python -m pytest -q benchmarks/bench_primitives.py -k "lazy"
 echo "== typed payload-column benchmark (gate + scale ladder) =="
 python -m pytest -q benchmarks/bench_primitives.py -k "typed_columns"
 
-echo "== bench-trajectory artifact check =="
-python - <<'PY'
-import json, os
-path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
-with open(path, encoding="utf-8") as fh:
-    data = json.load(fh)
-gate = data["typed_columns"]
-assert gate["whole_run_speedup"] >= gate["target"], gate
-assert gate["messages_constructed_typed_run"] == 0, gate
-assert gate["payload_boxes_typed_run"] == 0, gate
-ladder = data["typed_columns_ladder"]
-assert set(ladder) == {"4096", "16384", "65536"}, sorted(ladder)
-print(f"{path}: typed_columns + typed_columns_ladder sections present "
-      f"({len(data)} sections total)")
-PY
-
 echo "== sweep session benchmark =="
 python -m pytest -q benchmarks/bench_sweep.py
 
@@ -96,5 +91,44 @@ python -m repro matrix --algos mis,matching,components \
     --scenarios forest-union,grid,star,cycle,pa-heavy-tail,ring-of-chords \
     --n 24 --jobs 2 --out "${MATRIX_JSONL:-MATRIX_results.jsonl}"
 echo "matrix smoke wrote $(wc -l < "${MATRIX_JSONL:-MATRIX_results.jsonl}") reports"
+
+echo "== sweep-stress smoke (1000-run grid, persistent pool, interrupt + resume) =="
+SWEEP_STORE="${SWEEP_STORE:-SWEEP_store}"
+rm -rf "$SWEEP_STORE"
+python -m repro sweep --algos mis --ns 16 --seeds 0:250 \
+    --scenarios star,cycle,grid,forest-union \
+    --jobs 4 --store "$SWEEP_STORE" --shards 4 --max-rows 400
+python -m repro sweep --resume "$SWEEP_STORE/manifest.jsonl" --jobs 4
+python - "$SWEEP_STORE" <<'PY'
+import sys
+from repro.api import Manifest, ResultStore
+store = ResultStore.open(sys.argv[1])
+mani = Manifest.load(sys.argv[1] + "/manifest.jsonl")
+assert store.count() == len(mani.specs) == 1000, (store.count(), len(mani.specs))
+assert mani.complete, mani.done_rows
+print(f"sweep stress: {store.count()} runs durable across {store.shards} "
+      f"shards; interrupt at 400 + resume exercised")
+PY
+
+echo "== bench-trajectory artifact check =="
+python - <<'PY'
+import json, os
+path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
+with open(path, encoding="utf-8") as fh:
+    data = json.load(fh)
+required = ("typed_columns", "typed_columns_ladder", "sweep_session", "scenarios")
+missing = [s for s in required if s not in data]
+assert not missing, f"{path} is missing sections: {missing}"
+gate = data["typed_columns"]
+assert gate["whole_run_speedup"] >= gate["target"], gate
+assert gate["messages_constructed_typed_run"] == 0, gate
+assert gate["payload_boxes_typed_run"] == 0, gate
+ladder = data["typed_columns_ladder"]
+assert set(ladder) == {"4096", "16384", "65536"}, sorted(ladder)
+sweep = data["sweep_session"]
+assert sweep["grid_runs"] >= 12 and "speedup_persistent_jobs4" in sweep, sweep
+print(f"{path}: {', '.join(required)} sections present "
+      f"({len(data)} sections total)")
+PY
 
 echo "verify: all gates passed"

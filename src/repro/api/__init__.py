@@ -22,13 +22,20 @@ Three layers, one import::
   algorithm×scenario grid with :func:`matrix_grid` (incompatible cells —
   an algorithm requirement the scenario cannot provide — are skipped).
 * **Schema** (:mod:`repro.api.schema`) — frozen :class:`RunSpec` in,
-  JSON-serializable :class:`RunReport` out, canonical JSONL persistence.
+  JSON-serializable :class:`RunReport` out, canonical JSONL persistence,
+  content-addressed spec hashing.
 * **Session** (:mod:`repro.api.session`) — serial or multiprocessing
   execution with per-``n`` butterfly/workload caching; JSONL output is
   byte-identical for any ``jobs`` value.
+* **Sweep service** — the persistent worker pool with shared-memory
+  workload handoff (:mod:`repro.api.pool`), resumable sweep manifests
+  (:mod:`repro.api.manifest`), and the sharded append-only result store
+  plus query layer (:mod:`repro.api.store`).  ``Session(pool=...)``
+  selects the pool; ``run_many(store=..., manifest=...)`` makes a sweep
+  durable and resumable.  See docs/OPERATIONS.md.
 
-The CLI (``python -m repro run/table1/sweep``) is a thin wrapper over this
-module.
+The CLI (``python -m repro run/table1/sweep/query``) is a thin wrapper
+over this module.
 """
 
 from ..registry import (
@@ -49,18 +56,27 @@ from ..scenarios import (
     register_scenario,
     scenario_names,
 )
+from .manifest import Manifest, ManifestError
+from .pool import PersistentPool, WorkerCrashError, shared_memory_available
 from .schema import RunReport, RunSpec, dump_reports, load_reports
 from .session import Session, matrix_grid, sweep_grid
+from .store import ResultStore, StoreError
 
 __all__ = [
     "AlgorithmSpec",
+    "Manifest",
+    "ManifestError",
+    "PersistentPool",
+    "ResultStore",
     "RunReport",
     "RunSpec",
     "ScenarioCompatibilityError",
     "ScenarioSpec",
     "Session",
+    "StoreError",
     "UnknownAlgorithmError",
     "UnknownScenarioError",
+    "WorkerCrashError",
     "algorithm_names",
     "dump_reports",
     "get_algorithm",
@@ -72,6 +88,7 @@ __all__ = [
     "register_algorithm",
     "register_scenario",
     "scenario_names",
+    "shared_memory_available",
     "sweep_grid",
     "table1_specs",
 ]

@@ -1,0 +1,219 @@
+"""Resumable sweep manifests: an append-only journal of one grid.
+
+A manifest makes a sweep *interruptible*: the first line records the full
+canonical spec grid (content-addressed per row via
+:meth:`RunSpec.content_hash`) plus the result-store location, and every
+completed row appends a ``done`` event **after** its report is in the
+store.  Kill the process at any point — SIGKILL included — and
+``sweep --resume <manifest>`` (or ``Session.run_many`` with the same
+manifest) picks up at the first unfinished row: the completed prefix is
+skipped, its reports are served from the store, and the remaining rows run
+and append exactly where a from-scratch run would have put them, so the
+resumed store is **byte-identical** to an uninterrupted one (pinned in
+``tests/test_store.py``).
+
+Events are one JSON object per line (append-only, flushed per event):
+
+* ``create`` — version, store path, shard count, row count, the grid
+  itself (list of canonical spec dicts) and its aggregate hash;
+* ``done`` — ``row`` (grid index) + ``hash`` after the row's report is
+  durably in the store.  The session emits rows in spec order, so the
+  done-set is always a contiguous prefix — validated on load, because
+  resume correctness (and store byte-determinism) depends on it;
+* ``incident`` — a worker crash or other anomaly (kind, row, exitcode,
+  whether the spec was requeued), timestamped.  Incidents are operational
+  history; they never affect resume arithmetic;
+* ``resume`` — a marker appended every time an existing manifest is
+  reopened for more work.
+
+The manifest is bookkeeping, not results: timestamps and incidents make it
+non-deterministic by design.  Determinism lives in the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Any, Iterator
+
+from ..errors import ConfigurationError
+from .schema import RunSpec
+
+
+class ManifestError(ConfigurationError):
+    """A manifest file is malformed, truncated beyond use, or does not
+    match the grid it is asked to resume."""
+
+
+def grid_hash(specs: list[RunSpec]) -> str:
+    """Aggregate content hash of a whole grid (order-sensitive)."""
+    h = hashlib.sha256()
+    for s in specs:
+        h.update(s.content_hash().encode("ascii"))
+    return h.hexdigest()
+
+
+class Manifest:
+    """One sweep grid's append-only journal (see module docstring).
+
+    Use :meth:`open` (create-or-resume against a known grid) or
+    :meth:`load` (resume knowing only the path, e.g. ``sweep --resume``).
+    """
+
+    VERSION = 1
+
+    def __init__(
+        self,
+        path: str,
+        specs: list[RunSpec],
+        store: str | None,
+        shards: int,
+        done_rows: int,
+        incidents: list[dict[str, Any]],
+    ):
+        self.path = path
+        self.specs = specs
+        self.store = store
+        self.shards = shards
+        self.done_rows = done_rows  #: length of the completed prefix
+        self.incidents = incidents
+        self._fh = open(path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        specs: list[RunSpec],
+        *,
+        store: str | None,
+        shards: int = 1,
+    ) -> "Manifest":
+        """Create the manifest for ``specs``, or — when ``path`` already
+        exists — resume it after verifying it journals the *same* grid
+        (aggregate hash match; a mismatch raises :class:`ManifestError`
+        rather than silently skipping the wrong rows)."""
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            mani = cls.load(path)
+            if grid_hash(mani.specs) != grid_hash(specs):
+                raise ManifestError(
+                    f"manifest {path!r} journals a different grid "
+                    f"({len(mani.specs)} rows) than the one being run "
+                    f"({len(specs)} rows); use a fresh manifest path"
+                )
+            return mani
+        mani = cls(path, list(specs), store, shards, done_rows=0, incidents=[])
+        mani._append(
+            {
+                "event": "create",
+                "version": cls.VERSION,
+                "store": store,
+                "shards": shards,
+                "rows": len(specs),
+                "grid_hash": grid_hash(mani.specs),
+                "grid": [s.to_dict() for s in mani.specs],
+            }
+        )
+        return mani
+
+    @classmethod
+    def load(cls, path: str) -> "Manifest":
+        """Reopen an existing manifest: parse every event, reconstruct the
+        grid, and validate that the done-set is a contiguous prefix.  A
+        torn final line (the process died mid-append) is tolerated and
+        ignored; anything else malformed raises :class:`ManifestError`."""
+        specs: list[RunSpec] | None = None
+        store: str | None = None
+        shards = 1
+        done: set[int] = set()
+        incidents: list[dict[str, Any]] = []
+        try:
+            with open(path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            raise ManifestError(f"cannot read manifest {path!r}: {exc}") from exc
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                ev = json.loads(line)
+            except ValueError as exc:
+                if i == len(lines) - 1:
+                    break  # torn tail from a mid-append kill; resumable
+                raise ManifestError(
+                    f"manifest {path!r} line {i + 1} is not JSON"
+                ) from exc
+            kind = ev.get("event")
+            if kind == "create":
+                specs = [RunSpec.from_dict(d) for d in ev["grid"]]
+                store = ev.get("store")
+                shards = int(ev.get("shards", 1))
+            elif kind == "done":
+                done.add(int(ev["row"]))
+            elif kind == "incident":
+                incidents.append(ev)
+            # "resume" markers and unknown events are informational
+        if specs is None:
+            raise ManifestError(f"manifest {path!r} has no create event")
+        if done and (min(done) != 0 or max(done) != len(done) - 1):
+            raise ManifestError(
+                f"manifest {path!r} done-set is not a contiguous prefix "
+                f"({len(done)} rows, max {max(done)}); it was not written "
+                "by the in-order sweep writer"
+            )
+        if len(done) > len(specs):
+            raise ManifestError(
+                f"manifest {path!r} records {len(done)} done rows for a "
+                f"{len(specs)}-row grid"
+            )
+        mani = cls(path, specs, store, shards, len(done), incidents)
+        mani._append({"event": "resume", "done_rows": len(done), "ts": time.time()})
+        return mani
+
+    # ------------------------------------------------------------------
+    # Journal writes (flushed per event: a kill loses at most one line)
+    # ------------------------------------------------------------------
+    def _append(self, event: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True, separators=(",", ":")))
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def mark_done(self, row: int, spec: RunSpec) -> None:
+        """Journal row completion — call only *after* the report is in the
+        store, and strictly in row order."""
+        if row != self.done_rows:
+            raise ManifestError(
+                f"done events must be in-order: expected row "
+                f"{self.done_rows}, got {row}"
+            )
+        self._append({"event": "done", "row": row, "hash": spec.content_hash()})
+        self.done_rows += 1
+
+    def record_incident(self, info: dict[str, Any]) -> None:
+        """Journal an operational anomaly (worker crash, requeue, ...)."""
+        ev = {"event": "incident", "ts": time.time(), **info}
+        self.incidents.append(ev)
+        self._append(ev)
+
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        return self.done_rows >= len(self.specs)
+
+    def remaining(self) -> Iterator[RunSpec]:
+        """Specs still to run, in order."""
+        return iter(self.specs[self.done_rows :])
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "Manifest":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -19,6 +19,7 @@ Wall times stay on the in-memory report (`wall_time_s`) and in
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Iterator, Mapping
@@ -116,7 +117,29 @@ class RunSpec:
         return dict(self.extras)
 
     def with_(self, **changes: Any) -> "RunSpec":
+        """A copy with ``changes`` applied (specs are frozen)."""
         return replace(self, **changes)
+
+    def canonical_json(self) -> str:
+        """The canonical JSON encoding of this spec: sorted keys, compact
+        separators, scenario key only when set — the exact bytes hashed by
+        :meth:`content_hash`.  Two specs have equal canonical JSON iff
+        they describe the same run."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """Content-addressed identity of this spec: the SHA-256 hex digest
+        of :meth:`canonical_json`.
+
+        Manifests key completed sweep rows by this hash and the result
+        store shards by it, so re-running a grid recognises rows it has
+        already computed no matter where or when they ran.  The hash is
+        stable across processes and Python versions (it hashes canonical
+        JSON bytes, not :func:`hash`).  Hash a *canonicalized* spec
+        (:meth:`Session.canonical <repro.api.Session.canonical>`) when the
+        identity must be independent of aliases and session defaults.
+        """
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {

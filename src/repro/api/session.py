@@ -7,13 +7,28 @@ instance per size) and the workload graphs (keyed by algorithm, size,
 arboricity, seed, and workload options) — so a 3-algorithms × 4-sizes ×
 5-seeds sweep builds each instance once instead of once per run.
 
-``run_many(specs, jobs=N)`` fans the specs out over a process pool (fork
-start method where available: workers inherit the warm interpreter).  Every
-run is a pure function of its canonicalized spec — the engine and
-enforcement are resolved *before* dispatch, so a forked/spawned worker
-cannot drift from the parent's process-wide defaults — which makes the
-resulting JSONL byte-identical for any ``jobs`` value; a regression test
-pins this.
+``run_many(specs, jobs=N)`` fans the specs out over one of two pools:
+
+* ``pool="persistent"`` (the default where shared memory is available) —
+  the long-lived worker service in :mod:`repro.api.pool`: workers spawn
+  once per session, stay warm across ``run_many`` calls, receive specs
+  over per-worker pipes, and read workload graphs from shared-memory
+  segments the parent publishes once per distinct workload.  Worker
+  crashes are survived (in-flight specs requeue; incidents land in the
+  manifest when one is attached).
+* ``pool="fork"`` — the legacy fork-per-sweep ``ProcessPoolExecutor``;
+  every workload is rebuilt inside each worker.  The fallback where
+  ``multiprocessing.shared_memory`` is unavailable.
+
+Every run is a pure function of its canonicalized spec — the engine and
+enforcement are resolved *before* dispatch, so a worker cannot drift from
+the parent's process-wide defaults — which makes the resulting JSONL
+byte-identical for any ``jobs`` value and either pool; regression tests
+pin this.  ``run_many`` optionally journals to a resumable
+:class:`~repro.api.manifest.Manifest` and persists each row to an
+append-only :class:`~repro.api.store.ResultStore` the moment it completes,
+in spec order, so interrupted sweeps resume without recomputing (and the
+resumed store is byte-identical to an uninterrupted one).
 """
 
 from __future__ import annotations
@@ -25,7 +40,9 @@ from typing import Any, Callable, Iterable, Sequence
 from ..config import Enforcement, NCCConfig, default_engine
 from ..errors import ConfigurationError
 from ..registry import bench_config, get_algorithm
+from .manifest import Manifest
 from .schema import RunReport, RunSpec
+from .store import ResultStore
 
 
 def _known_option_keys(alg) -> tuple[set[str], bool]:
@@ -65,14 +82,71 @@ class Session:
     cache:
         Keep per-``n`` butterfly grids and workload graphs alive across
         :meth:`run` calls (on by default; disable to bound memory on huge
-        sweeps).
+        sweeps — workers and shared-memory segments are then released
+        after each ``run_many``).
+    pool:
+        Parallel-execution backend for ``run_many(jobs>1)``: ``"auto"``
+        (default — persistent workers when shared memory is available,
+        else the fork pool), ``"persistent"`` (require the persistent
+        worker service; :class:`ConfigurationError` where shared memory
+        is unavailable), or ``"fork"`` (the legacy fork-per-sweep pool).
+        See :mod:`repro.api.pool`.
+
+    Guarantees
+    ----------
+    * Reports (and their canonical JSONL) are a pure function of the
+      canonicalized spec: identical for ``jobs=1`` and ``jobs=N``, either
+      pool, any host — pinned by ``tests/test_session.py`` /
+      ``tests/test_pool.py``.
+    * A session holding a persistent pool releases its workers and
+      shared-memory segments on :meth:`close` (also a context manager; a
+      finalizer backstops abnormal exits).
+
+    Failure modes
+    -------------
+    :class:`ConfigurationError` for unknown algorithms/scenarios/options
+    or an unsatisfiable ``pool=`` choice;
+    :class:`~repro.api.pool.WorkerCrashError` when a parallel sweep loses
+    every worker or one spec keeps killing workers (after
+    :data:`~repro.api.pool.MAX_REQUEUES` requeues).
     """
 
-    def __init__(self, *, base_config: NCCConfig | None = None, cache: bool = True):
+    def __init__(
+        self,
+        *,
+        base_config: NCCConfig | None = None,
+        cache: bool = True,
+        pool: str = "auto",
+    ):
+        from .pool import POOL_KINDS
+
+        if pool not in POOL_KINDS:
+            raise ConfigurationError(
+                f"unknown pool kind {pool!r}; choose from {', '.join(POOL_KINDS)}"
+            )
         self.base_config = base_config
         self._cache_enabled = cache
+        self._pool_kind = pool
+        self._pool: Any = None  # lazily-spawned PersistentPool
         self._bf_cache: dict[int, Any] = {}
         self._workload_cache: dict[tuple, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the persistent worker pool (if one was spawned) and
+        unlink its shared-memory segments.  Idempotent; the session stays
+        usable (a new pool spawns on the next parallel ``run_many``)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Canonicalization and per-spec config
@@ -142,26 +216,31 @@ class Session:
                 self._bf_cache[n] = bf
         return bf
 
-    def _workload(self, alg, spec: RunSpec):
+    def workload_key(self, spec: RunSpec) -> tuple:
+        """The workload-cache key of a canonicalized spec — also the
+        shared-memory publication key of the persistent pool (parent and
+        workers must agree on it, so it lives here, once)."""
+        alg = get_algorithm(spec.algorithm)
         if spec.scenario is not None:
-            from ..scenarios import get_scenario
-
             # Scenario workloads are algorithm-independent, but the key
             # keeps the algorithm so per-algorithm eviction stays possible.
-            key = (alg.name, spec.scenario, spec.n, spec.a, spec.seed)
-            g = self._workload_cache.get(key)
-            if g is None:
-                g = get_scenario(spec.scenario).build(spec.n, spec.a, spec.seed)
-                if self._cache_enabled:
-                    self._workload_cache[key] = g
-            return g
-        options = {
-            k: v for k, v in spec.extras if k in alg.workload_options
-        }
-        key = (alg.name, spec.n, spec.a, spec.seed, tuple(sorted(options.items())))
+            return (alg.name, spec.scenario, spec.n, spec.a, spec.seed)
+        options = {k: v for k, v in spec.extras if k in alg.workload_options}
+        return (alg.name, spec.n, spec.a, spec.seed, tuple(sorted(options.items())))
+
+    def _workload(self, alg, spec: RunSpec):
+        key = self.workload_key(spec)
         g = self._workload_cache.get(key)
         if g is None:
-            g = alg.workload(spec.n, spec.a, spec.seed, **options)
+            if spec.scenario is not None:
+                from ..scenarios import get_scenario
+
+                g = get_scenario(spec.scenario).build(spec.n, spec.a, spec.seed)
+            else:
+                options = {
+                    k: v for k, v in spec.extras if k in alg.workload_options
+                }
+                g = alg.workload(spec.n, spec.a, spec.seed, **options)
             if self._cache_enabled:
                 self._workload_cache[key] = g
         return g
@@ -221,35 +300,178 @@ class Session:
         jobs: int = 1,
         out: str | None = None,
         progress: Callable[[RunReport], None] | None = None,
+        store: "ResultStore | str | None" = None,
+        manifest: "Manifest | str | None" = None,
+        shards: int = 1,
+        max_rows: int | None = None,
     ) -> list[RunReport]:
-        """Execute specs (in order) and optionally persist JSONL to ``out``.
+        """Execute specs (in order); optionally journal, persist, resume.
 
-        ``jobs > 1`` fans out over a process pool; report order always
-        matches spec order and the JSONL bytes are identical to a serial
-        run.  ``out="-"`` writes the JSONL to stdout.
+        Parameters
+        ----------
+        jobs:
+            Worker processes; ``1`` runs serially in this process.  Which
+            pool serves ``jobs > 1`` is the session's ``pool=`` choice.
+        out:
+            Flat canonical-JSONL path written *after* the sweep completes
+            (``"-"`` = stdout).  Independent of ``store``.
+        progress:
+            Called once per completed row, in spec order, after the row is
+            durable in the store (when one is attached).
+        store:
+            :class:`~repro.api.store.ResultStore` (or directory path) that
+            receives each report the moment its row completes — append
+            only, in spec order, flushed per line.  ``shards`` sets the
+            partition count when the directory is created (an existing
+            store's count wins).
+        manifest:
+            :class:`~repro.api.manifest.Manifest` (or path) journaling the
+            grid.  Requires ``store`` (resume serves completed rows from
+            it).  If the manifest already exists it must journal the same
+            grid, and its completed prefix is *skipped*: those reports are
+            loaded from the store instead of recomputed.
+        max_rows:
+            Process at most this many rows this invocation and return
+            (the manifest stays resumable) — chunked draining of very
+            large grids.
+
+        Returns the full in-order report list (resumed prefix included).
+        Byte-determinism: the same grid yields identical ``out`` bytes and
+        identical store-shard bytes for any ``jobs``/pool/interrupt-resume
+        history.
         """
         spec_list = [self.canonical(s) for s in specs]
-        if jobs <= 1 or len(spec_list) <= 1:
-            reports = []
-            for s in spec_list:
-                r = self.run(s)
-                if progress is not None:
-                    progress(r)
-                reports.append(r)
+        if manifest is not None and store is None:
+            raise ConfigurationError(
+                "run_many(manifest=...) requires store=...: resume serves "
+                "completed rows from the result store"
+            )
+        store_obj = (
+            ResultStore.open_or_create(store, shards)
+            if isinstance(store, str)
+            else store
+        )
+        mani = (
+            Manifest.open(
+                manifest,
+                spec_list,
+                store=getattr(store_obj, "root", None),
+                shards=getattr(store_obj, "shards", shards),
+            )
+            if isinstance(manifest, str)
+            else manifest
+        )
+
+        skip = mani.done_rows if mani is not None else 0
+        prior: list[RunReport] = []
+        if skip:
+            by_hash = store_obj.reports_by_hash()
+            try:
+                prior = [by_hash[s.content_hash()] for s in spec_list[:skip]]
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"manifest {mani.path!r} marks rows done that the "
+                    f"store {store_obj.root!r} does not hold ({exc}); "
+                    "store and manifest are out of sync"
+                ) from exc
+        todo = spec_list[skip:]
+        if max_rows is not None:
+            todo = todo[: max(0, max_rows)]
+
+        reports = list(prior)
+
+        def emit(i: int, r: RunReport) -> None:
+            # In-order, store-first: a row is only journaled done once its
+            # report is durable, so a kill between the two recomputes the
+            # row instead of losing it.
+            if store_obj is not None:
+                store_obj.append(r)
+            if mani is not None:
+                mani.mark_done(skip + i, todo[i])
+            if progress is not None:
+                progress(r)
+            reports.append(r)
+
+        if jobs <= 1 or len(todo) <= 1:
+            for i, s in enumerate(todo):
+                emit(i, self.run(s))
+        elif self._resolved_pool_kind() == "persistent":
+            self._run_persistent(todo, jobs, emit, mani)
         else:
-            reports = self._run_pool(spec_list, jobs, progress)
+            self._run_fork_pool(todo, jobs, emit)
         if out is not None:
             from .schema import dump_reports
 
             dump_reports(reports, out)
         return reports
 
-    def _run_pool(
+    def _resolved_pool_kind(self) -> str:
+        from .pool import shared_memory_available
+
+        if self._pool_kind == "persistent":
+            if not shared_memory_available():
+                raise ConfigurationError(
+                    "Session(pool='persistent') needs "
+                    "multiprocessing.shared_memory, which is unavailable "
+                    "on this host; use pool='auto' or pool='fork'"
+                )
+            return "persistent"
+        if self._pool_kind == "fork":
+            return "fork"
+        return "persistent" if shared_memory_available() else "fork"
+
+    def _persistent_pool(self, jobs: int):
+        """The session's long-lived pool, (re)spawned when the requested
+        worker count changes."""
+        from .pool import PersistentPool
+
+        if self._pool is not None and self._pool.jobs != jobs:
+            self._pool.close()
+            self._pool = None
+        if self._pool is None:
+            self._pool = PersistentPool(
+                jobs, base_config=self.base_config, cache=self._cache_enabled
+            )
+        return self._pool
+
+    def _run_persistent(
+        self,
+        todo: Sequence[RunSpec],
+        jobs: int,
+        emit: Callable[[int, RunReport], None],
+        mani: "Manifest | None",
+    ) -> None:
+        pool = self._persistent_pool(min(jobs, len(todo)))
+        items = []
+        for i, s in enumerate(todo):
+            key = self.workload_key(s)
+            ref = pool.publish_workload(
+                key,
+                lambda s=s: self._workload(get_algorithm(s.algorithm), s),
+            )
+            items.append((i, s.to_dict(), key, ref))
+        on_incident = mani.record_incident if mani is not None else None
+        # Completions arrive in any order (and reruns after a crash);
+        # re-serialize into spec order so every downstream observer —
+        # store, manifest, progress, JSONL — sees a deterministic stream.
+        buffered: dict[int, RunReport] = {}
+        next_i = 0
+        try:
+            for i, data in pool.run(items, on_incident=on_incident):
+                buffered[i] = RunReport.from_dict(data)
+                while next_i in buffered:
+                    emit(next_i, buffered.pop(next_i))
+                    next_i += 1
+        finally:
+            if not self._cache_enabled:
+                self.close()
+
+    def _run_fork_pool(
         self,
         specs: Sequence[RunSpec],
         jobs: int,
-        progress: Callable[[RunReport], None] | None,
-    ) -> list[RunReport]:
+        emit: Callable[[int, RunReport], None],
+    ) -> None:
         import multiprocessing as mp
         from concurrent.futures import ProcessPoolExecutor
 
@@ -262,13 +484,8 @@ class Session:
             initializer=_init_worker,
             initargs=(self.base_config, self._cache_enabled),
         ) as pool:
-            reports = []
-            for data in pool.map(_worker_run, payloads, chunksize=1):
-                r = RunReport.from_dict(data)
-                if progress is not None:
-                    progress(r)
-                reports.append(r)
-        return reports
+            for i, data in enumerate(pool.map(_worker_run, payloads, chunksize=1)):
+                emit(i, RunReport.from_dict(data))
 
 
 # ----------------------------------------------------------------------

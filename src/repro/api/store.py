@@ -1,0 +1,319 @@
+"""The append-only sweep result store and its query layer.
+
+A :class:`ResultStore` is a directory of sharded JSONL partitions::
+
+    results_store/
+      store.json        # {"version": 1, "shards": 4}
+      shard-000.jsonl   # canonical RunReport lines (timing-free)
+      shard-001.jsonl
+      ...
+
+Writes are **single-writer, append-only, in spec order**: the sweep
+session emits each report to shard ``content_hash(spec) mod shards`` the
+moment its row completes (flushed per line), and only ever in grid order.
+Two consequences the tests pin:
+
+* **Byte-determinism.**  Shard routing depends only on the spec and the
+  in-shard order only on grid order, so the same grid produces the same
+  shard bytes for any ``jobs`` value — and a run interrupted at row *k*
+  and resumed (:mod:`repro.api.manifest`) appends exactly where a
+  from-scratch run would have, leaving identical files.
+* **Durability.**  A SIGKILL loses at most the line being written; every
+  previously appended report survives and is skipped on resume.
+
+The query layer (``python -m repro query``) reads a store directory *or*
+a flat ``sweep --out`` JSONL file, filters on spec/report fields, and
+aggregates (count/mean/min/max/sum, optionally grouped) — enough to
+answer "which rows violated their bound" over a 10^4-run grid without
+pandas.  See docs/OPERATIONS.md for recipes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..errors import ConfigurationError
+from .schema import RunReport, RunSpec, load_reports
+
+META_NAME = "store.json"
+SHARD_FMT = "shard-{:03d}.jsonl"
+
+
+class StoreError(ConfigurationError):
+    """A result store is missing, malformed, or used inconsistently."""
+
+
+class ResultStore:
+    """A sharded, append-only store of canonical :class:`RunReport` lines.
+
+    One writer (the sweep session) appends; any number of readers
+    (``repro query``, :meth:`iter_reports`) consume.  Open existing stores
+    with :meth:`open`, create new ones with :meth:`create`;
+    :meth:`open_or_create` does the right thing for the sweep CLI.
+    """
+
+    def __init__(self, root: str, shards: int):
+        if shards < 1:
+            raise StoreError(f"store needs shards >= 1, got {shards}")
+        self.root = root
+        self.shards = shards
+        self._handles: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, root: str, shards: int = 1) -> "ResultStore":
+        """Create a fresh store directory (must not already contain one)."""
+        if os.path.exists(os.path.join(root, META_NAME)):
+            raise StoreError(
+                f"result store already exists at {root!r}; open() it "
+                "(resume) or pick a fresh directory"
+            )
+        os.makedirs(root, exist_ok=True)
+        store = cls(root, shards)
+        with open(os.path.join(root, META_NAME), "w", encoding="utf-8") as fh:
+            json.dump({"version": 1, "shards": shards}, fh)
+            fh.write("\n")
+        return store
+
+    @classmethod
+    def open(cls, root: str) -> "ResultStore":
+        """Open an existing store (shard count comes from its metadata)."""
+        meta_path = os.path.join(root, META_NAME)
+        try:
+            with open(meta_path, encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except OSError as exc:
+            raise StoreError(
+                f"no result store at {root!r} (missing {META_NAME})"
+            ) from exc
+        except ValueError as exc:
+            raise StoreError(f"corrupt store metadata {meta_path!r}") from exc
+        return cls(root, int(meta.get("shards", 1)))
+
+    @classmethod
+    def open_or_create(cls, root: str, shards: int = 1) -> "ResultStore":
+        """Open ``root`` if it is already a store (its recorded shard
+        count wins — resuming must not re-route rows), else create it."""
+        if os.path.exists(os.path.join(root, META_NAME)):
+            return cls.open(root)
+        return cls.create(root, shards)
+
+    # ------------------------------------------------------------------
+    # Writing (single writer, spec order — see module docstring)
+    # ------------------------------------------------------------------
+    def shard_for(self, spec: RunSpec) -> int:
+        """The shard a spec's report lives in: first 8 hex digits of the
+        content hash, mod shard count — stable across runs and hosts."""
+        return int(spec.content_hash()[:8], 16) % self.shards
+
+    def shard_path(self, index: int) -> str:
+        return os.path.join(self.root, SHARD_FMT.format(index))
+
+    def shard_paths(self) -> list[str]:
+        return [self.shard_path(i) for i in range(self.shards)]
+
+    def append(self, report: RunReport) -> None:
+        """Append one report to its shard and flush (durable before the
+        manifest's ``done`` event is journaled)."""
+        idx = self.shard_for(report.spec)
+        fh = self._handles.get(idx)
+        if fh is None:
+            fh = open(self.shard_path(idx), "a", encoding="utf-8")
+            self._handles[idx] = fh
+        fh.write(report.to_json_line())
+        fh.write("\n")
+        fh.flush()
+
+    def close(self) -> None:
+        for fh in self._handles.values():
+            if not fh.closed:
+                fh.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Total stored reports (line count across shards)."""
+        total = 0
+        for path in self.shard_paths():
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    total += sum(1 for line in fh if line.strip())
+            except OSError:
+                continue
+        return total
+
+    def iter_reports(self) -> Iterator[RunReport]:
+        """All stored reports, shard by shard (shard-major order; global
+        grid order is not reconstructed — key by ``spec.content_hash()``
+        when order matters)."""
+        for path in self.shard_paths():
+            if os.path.exists(path):
+                yield from load_reports(path)
+
+    def reports_by_hash(self) -> dict[str, RunReport]:
+        """Stored reports keyed by spec content hash (resume uses this to
+        serve the completed prefix; duplicate hashes are an error — the
+        writer appends every spec at most once)."""
+        out: dict[str, RunReport] = {}
+        for r in self.iter_reports():
+            h = r.spec.content_hash()
+            if h in out:
+                raise StoreError(
+                    f"result store {self.root!r} holds duplicate reports "
+                    f"for spec {r.spec!r}"
+                )
+            out[h] = r
+        return out
+
+
+# ----------------------------------------------------------------------
+# Query layer
+# ----------------------------------------------------------------------
+def load_any(path: str) -> Iterator[RunReport]:
+    """Reports from either a store directory or a flat JSONL file."""
+    if os.path.isdir(path):
+        yield from ResultStore.open(path).iter_reports()
+    elif os.path.exists(path):
+        yield from load_reports(path)
+    else:
+        raise StoreError(f"no result store or JSONL file at {path!r}")
+
+
+#: queryable fields -> extractor.  Spec identity fields plus the measured
+#: outcome columns; extend here and `repro query` picks it up.
+FIELDS: dict[str, Callable[[RunReport], Any]] = {
+    "algorithm": lambda r: r.spec.algorithm,
+    "scenario": lambda r: r.spec.scenario,
+    "n": lambda r: r.spec.n,
+    "a": lambda r: r.spec.a,
+    "seed": lambda r: r.spec.seed,
+    "engine": lambda r: r.engine,
+    "enforcement": lambda r: r.spec.enforcement,
+    "correct": lambda r: r.correct,
+    "rounds": lambda r: r.rounds,
+    "messages": lambda r: r.messages,
+    "bits": lambda r: r.bits,
+    "violations": lambda r: len(r.violations),
+}
+
+#: aggregate functions for --agg (count takes no field).
+AGG_FNS: dict[str, Callable[[list], Any]] = {
+    "count": len,
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "mean": lambda xs: sum(xs) / len(xs) if xs else 0.0,
+}
+
+
+def field_value(report: RunReport, name: str) -> Any:
+    try:
+        return FIELDS[name](report)
+    except KeyError:
+        raise StoreError(
+            f"unknown query field {name!r}; known fields: "
+            f"{', '.join(sorted(FIELDS))}"
+        ) from None
+
+
+def parse_where(terms: Sequence[str]) -> list[tuple[str, Any]]:
+    """``field=value`` filter terms; values coerce like JSON scalars
+    (ints, floats, true/false/null) and fall back to strings."""
+    out: list[tuple[str, Any]] = []
+    for term in terms:
+        name, sep, raw = term.partition("=")
+        if not sep or not name:
+            raise StoreError(
+                f"malformed --where {term!r}; expected field=value"
+            )
+        if name not in FIELDS:
+            raise StoreError(
+                f"unknown query field {name!r}; known fields: "
+                f"{', '.join(sorted(FIELDS))}"
+            )
+        try:
+            value = json.loads(raw)
+        except ValueError:
+            value = raw
+        out.append((name, value))
+    return out
+
+
+def filter_reports(
+    reports: Iterable[RunReport], where: Sequence[tuple[str, Any]]
+) -> Iterator[RunReport]:
+    """Reports matching every ``(field, value)`` term (conjunction)."""
+    for r in reports:
+        if all(field_value(r, name) == value for name, value in where):
+            yield r
+
+
+def parse_aggs(terms: Sequence[str]) -> list[tuple[str, str | None]]:
+    """``fn:field`` aggregate terms (bare ``count`` allowed)."""
+    out: list[tuple[str, str | None]] = []
+    for term in terms:
+        fn, sep, fld = term.partition(":")
+        if fn not in AGG_FNS:
+            raise StoreError(
+                f"unknown aggregate {fn!r}; known: {', '.join(sorted(AGG_FNS))}"
+            )
+        if fn == "count":
+            out.append(("count", None))
+            continue
+        if not sep or fld not in FIELDS:
+            raise StoreError(
+                f"aggregate {term!r} needs fn:field with a known field; "
+                f"known fields: {', '.join(sorted(FIELDS))}"
+            )
+        out.append((fn, fld))
+    return out
+
+
+def aggregate(
+    reports: Iterable[RunReport],
+    group_by: Sequence[str],
+    aggs: Sequence[tuple[str, str | None]],
+) -> tuple[list[str], list[list[Any]]]:
+    """Grouped aggregation -> (headers, rows), groups in first-seen order.
+
+    ``group_by`` may be empty (one overall row); ``aggs`` are
+    ``(fn, field)`` pairs from :func:`parse_aggs`.
+    """
+    for g in group_by:
+        if g not in FIELDS:
+            raise StoreError(
+                f"unknown query field {g!r}; known fields: "
+                f"{', '.join(sorted(FIELDS))}"
+            )
+    groups: dict[tuple, list[RunReport]] = {}
+    for r in reports:
+        key = tuple(field_value(r, g) for g in group_by)
+        groups.setdefault(key, []).append(r)
+    headers = list(group_by) + [
+        fn if fld is None else f"{fn}({fld})" for fn, fld in aggs
+    ]
+    rows: list[list[Any]] = []
+    for key, members in groups.items():
+        row: list[Any] = list(key)
+        for fn, fld in aggs:
+            values = (
+                members
+                if fld is None
+                else [field_value(r, fld) for r in members]
+            )
+            out = AGG_FNS[fn](values)
+            row.append(round(out, 3) if isinstance(out, float) else out)
+        rows.append(row)
+    return headers, rows

@@ -12,6 +12,12 @@ Usage::
     python -m repro sweep --algos mst,mis --ns 64,128 --seeds 0:5 \
         --jobs 8 --out results.jsonl
     python -m repro sweep --algos mis --ns 64 --scenarios grid,star,ring-of-chords
+    python -m repro sweep --algos mis --ns 32 --seeds 0:500 --jobs 8 \
+        --store sweep_store          # durable + resumable (manifest inside)
+    python -m repro sweep --resume sweep_store/manifest.jsonl --jobs 8
+    python -m repro query sweep_store --where correct=false
+    python -m repro query sweep_store --group-by algorithm,n \
+        --agg count --agg mean:rounds
     python -m repro matrix --algos mis,matching,components \
         --scenarios forest-union,grid,star,cycle,pa-heavy-tail,ring-of-chords \
         --n 32 --jobs 4 --out MATRIX_results.jsonl
@@ -20,19 +26,32 @@ Usage::
 and print the same row structure the benchmarks and EXPERIMENTS.md use;
 ``sweep`` fans a whole scenario grid out over worker processes and writes
 canonical :class:`~repro.api.RunReport` JSONL (``--out -`` streams the
-JSONL to stdout and the human summary to stderr).  Algorithms are resolved
-through :mod:`repro.registry`, so anything registered there — including
+JSONL to stdout and the human summary to stderr).  With ``--store`` the
+sweep also persists every row to a sharded append-only result store the
+moment it completes and journals progress to a manifest, so an
+interrupted sweep restarts from where it stopped via ``--resume`` —
+see docs/OPERATIONS.md.  ``query`` filters/aggregates a store (or a flat
+``--out`` JSONL) without pandas.  Algorithms are resolved through
+:mod:`repro.registry`, so anything registered there — including
 non-Table-1 entries like ``components`` — is runnable by name or alias.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 from .analysis.reporting import format_table
-from .api import RunSpec, Session, matrix_grid, sweep_grid
+from .api import (
+    Manifest,
+    RunSpec,
+    Session,
+    WorkerCrashError,
+    matrix_grid,
+    sweep_grid,
+)
 from .config import NCCConfig, known_engines
 from .errors import ConfigurationError
 from .registry import (
@@ -266,74 +285,194 @@ def _resolve_scenarios(names: Sequence[str] | None, command: str) -> list[str] |
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    try:
-        algos = [_runnable_algorithm(name).name for name in args.algos]
-    except UnknownAlgorithmError as exc:
-        print(f"sweep: {exc}", file=sys.stderr)
-        return 2
-    for engine in args.engines or ():
-        if engine not in known_engines():
+    manifest: "Manifest | str | None"
+    if args.resume is not None:
+        # The manifest journals the canonical grid, store path, and shard
+        # count; the axis flags describe a *new* grid and would silently
+        # disagree with it, so reject the telltale one.
+        if args.algos is not None:
             print(
-                f"sweep: unknown engine {engine!r}; choose from "
-                f"{', '.join(sorted(known_engines()))}",
+                "sweep: --resume reconstructs the grid from the manifest; "
+                "drop --algos (and the other axis flags)",
                 file=sys.stderr,
             )
             return 2
-    scenarios = _resolve_scenarios(args.scenarios, "sweep")
-    if args.scenarios is not None and scenarios is None:
-        return 2
-    try:
-        specs = sweep_grid(
-            algos,
-            args.ns,
-            a=args.a,
-            seeds=args.seeds,
-            engines=args.engines or [args.engine],
-            enforcement=args.enforcement,
-            scenarios=scenarios or [None],
-        )
-    except ConfigurationError as exc:
-        print(f"sweep: {exc}", file=sys.stderr)
-        return 2
-    if not specs:
-        print("sweep: empty grid (no sizes or no seeds)", file=sys.stderr)
-        return 2
+        try:
+            mani = Manifest.load(args.resume)
+        except ConfigurationError as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 2
+        if mani.store is None:
+            print(
+                f"sweep: manifest {args.resume!r} records no result store; "
+                "it cannot be resumed",
+                file=sys.stderr,
+            )
+            return 2
+        specs = list(mani.specs)
+        store, manifest, shards = mani.store, mani, mani.shards
+    else:
+        if args.algos is None:
+            print(
+                "sweep: provide --algos for a new sweep, or "
+                "--resume MANIFEST to continue one",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            algos = [_runnable_algorithm(name).name for name in args.algos]
+        except UnknownAlgorithmError as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 2
+        for engine in args.engines or ():
+            if engine not in known_engines():
+                print(
+                    f"sweep: unknown engine {engine!r}; choose from "
+                    f"{', '.join(sorted(known_engines()))}",
+                    file=sys.stderr,
+                )
+                return 2
+        scenarios = _resolve_scenarios(args.scenarios, "sweep")
+        if args.scenarios is not None and scenarios is None:
+            return 2
+        try:
+            specs = sweep_grid(
+                algos,
+                args.ns,
+                a=args.a,
+                seeds=args.seeds,
+                engines=args.engines or [args.engine],
+                enforcement=args.enforcement,
+                scenarios=scenarios or [None],
+            )
+        except ConfigurationError as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 2
+        if not specs:
+            print("sweep: empty grid (no sizes or no seeds)", file=sys.stderr)
+            return 2
+        store, shards = args.store, args.shards
+        manifest = args.manifest
+        if manifest is None and store is not None:
+            manifest = os.path.join(store, "manifest.jsonl")
+        if manifest is not None and store is None:
+            print("sweep: --manifest requires --store", file=sys.stderr)
+            return 2
     summary_out = sys.stderr if args.out == "-" else sys.stdout
     try:
-        reports = Session().run_many(specs, jobs=args.jobs, out=args.out)
+        with Session(pool=args.pool) as session:
+            reports = session.run_many(
+                specs,
+                jobs=args.jobs,
+                out=args.out,
+                store=store,
+                manifest=manifest,
+                shards=shards,
+                max_rows=args.max_rows,
+            )
+    except WorkerCrashError as exc:
+        # The manifest (if any) journaled every completed row; resuming
+        # after fixing the cause recomputes nothing already done.
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 1
     except ConfigurationError as exc:
         # e.g. an algorithm×scenario pairing the registry rejects — a
         # clean error, not a traceback (`matrix` skips such cells instead).
         print(f"sweep: {exc}", file=sys.stderr)
         return 2
-    headers = ["algorithm", "n", "a", "seed", "engine", "rounds", "messages",
-               "correct"]
-    if scenarios:
-        headers.insert(1, "scenario")
-    print(
-        format_table(
-            headers,
-            [
+    if store is not None:
+        # Store-backed sweeps are the 10^3..10^4-run path: a per-row table
+        # would be unreadable, so print an aggregate status line instead
+        # (`repro query` is the drill-down).
+        mani_path = manifest.path if isinstance(manifest, Manifest) else manifest
+        done, total = len(reports), len(specs)
+        failed = sum(1 for r in reports if not r.correct)
+        print(
+            f"sweep: {done}/{total} runs done ({args.jobs} jobs), "
+            f"{failed} incorrect; store {store}",
+            file=summary_out,
+        )
+        if done < total:
+            print(
+                f"sweep: resume with: python -m repro sweep "
+                f"--resume {mani_path}",
+                file=summary_out,
+            )
+    else:
+        show_scenario = any(r.spec.scenario for r in reports)
+        headers = ["algorithm", "n", "a", "seed", "engine", "rounds",
+                   "messages", "correct"]
+        if show_scenario:
+            headers.insert(1, "scenario")
+        print(
+            format_table(
+                headers,
                 [
-                    r.spec.algorithm,
-                    *([r.spec.scenario] if scenarios else []),
-                    r.spec.n,
-                    r.spec.a,
-                    r.spec.seed,
-                    r.engine,
-                    r.rounds,
-                    r.messages,
-                    r.correct,
-                ]
-                for r in reports
-            ],
-            title=f"sweep: {len(reports)} runs ({args.jobs} jobs)",
-        ),
-        file=summary_out,
-    )
+                    [
+                        r.spec.algorithm,
+                        *([r.spec.scenario] if show_scenario else []),
+                        r.spec.n,
+                        r.spec.a,
+                        r.spec.seed,
+                        r.engine,
+                        r.rounds,
+                        r.messages,
+                        r.correct,
+                    ]
+                    for r in reports
+                ],
+                title=f"sweep: {len(reports)} runs ({args.jobs} jobs)",
+            ),
+            file=summary_out,
+        )
     if args.out and args.out != "-":
         print(f"wrote {len(reports)} reports to {args.out}", file=summary_out)
     return 0 if all(r.correct for r in reports) else 1
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from .api.store import (
+        FIELDS,
+        StoreError,
+        aggregate,
+        field_value,
+        filter_reports,
+        load_any,
+        parse_aggs,
+        parse_where,
+    )
+
+    try:
+        where = parse_where(args.where or [])
+        reports = list(filter_reports(load_any(args.path), where))
+        if args.jsonl:
+            for r in reports:
+                print(r.to_json_line())
+            return 0
+        if args.group_by is not None or args.agg:
+            group_by = args.group_by or []
+            aggs = parse_aggs(args.agg or ["count"])
+            headers, rows = aggregate(reports, group_by, aggs)
+            title = f"query: {len(reports)} reports"
+        else:
+            headers = args.select or [
+                "algorithm", "scenario", "n", "seed", "engine",
+                "rounds", "messages", "correct",
+            ]
+            for h in headers:
+                if h not in FIELDS:
+                    raise StoreError(
+                        f"unknown query field {h!r}; known fields: "
+                        f"{', '.join(sorted(FIELDS))}"
+                    )
+            shown = reports if args.limit is None else reports[: args.limit]
+            rows = [[field_value(r, h) for h in headers] for r in shown]
+            title = f"query: {len(shown)} of {len(reports)} reports"
+    except ConfigurationError as exc:
+        print(f"query: {exc}", file=sys.stderr)
+        return 2
+    print(format_table(headers, rows, title=title))
+    return 0
 
 
 def cmd_matrix(args: argparse.Namespace) -> int:
@@ -492,8 +631,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw = sub.add_parser(
         "sweep", help="run a scenario grid in parallel, emit RunReport JSONL"
     )
-    p_sw.add_argument("--algos", type=_names_arg("algorithms"), required=True,
-                      help="comma list of algorithms, e.g. mst,mis")
+    p_sw.add_argument("--algos", type=_names_arg("algorithms"), default=None,
+                      help="comma list of algorithms, e.g. mst,mis "
+                           "(required unless --resume)")
     p_sw.add_argument("--ns", type=_ints_arg, default="32,64",
                       help="comma list of sizes")
     p_sw.add_argument("--a", type=int, default=2)
@@ -512,9 +652,56 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None, help="capacity enforcement (default: count)")
     p_sw.add_argument("--jobs", type=int, default=1,
                       help="worker processes (default 1 = serial)")
+    p_sw.add_argument("--pool", choices=["auto", "persistent", "fork"],
+                      default="auto",
+                      help="parallel backend for --jobs > 1: persistent "
+                           "worker service with shared-memory workloads, "
+                           "legacy fork-per-sweep pool, or auto-select "
+                           "(default: auto)")
     p_sw.add_argument("--out", default=None,
                       help="JSONL output path ('-' = stdout)")
+    p_sw.add_argument("--store", default=None, metavar="DIR",
+                      help="persist each completed run to a sharded "
+                           "append-only result store (durable + resumable; "
+                           "query it with `repro query DIR`)")
+    p_sw.add_argument("--shards", type=int, default=1,
+                      help="store partition count when creating DIR "
+                           "(an existing store's count wins; default 1)")
+    p_sw.add_argument("--manifest", default=None, metavar="PATH",
+                      help="progress journal path (default: "
+                           "DIR/manifest.jsonl inside --store)")
+    p_sw.add_argument("--resume", default=None, metavar="MANIFEST",
+                      help="continue an interrupted sweep: grid, store, and "
+                           "completed prefix all come from the manifest")
+    p_sw.add_argument("--max-rows", type=int, default=None, metavar="N",
+                      help="run at most N rows this invocation, then stop "
+                           "(the manifest stays resumable)")
     p_sw.set_defaults(fn=cmd_sweep)
+
+    p_q = sub.add_parser(
+        "query",
+        help="filter/aggregate a result store or RunReport JSONL file",
+    )
+    p_q.add_argument("path", help="store directory (from sweep --store) or "
+                                  "flat JSONL file (from sweep --out)")
+    p_q.add_argument("--where", action="append", default=None,
+                     metavar="FIELD=VALUE",
+                     help="keep reports where FIELD equals VALUE (JSON "
+                          "scalar or string; repeatable, terms AND)")
+    p_q.add_argument("--select", type=_names_arg("fields"), default=None,
+                     help="comma list of columns for the per-report table")
+    p_q.add_argument("--group-by", type=_names_arg("fields"), default=None,
+                     help="comma list of fields to group aggregates by")
+    p_q.add_argument("--agg", action="append", default=None,
+                     metavar="FN:FIELD",
+                     help="aggregate per group: count, or fn:field with fn "
+                          "in sum,min,max,mean (repeatable; default count)")
+    p_q.add_argument("--limit", type=int, default=None,
+                     help="cap the per-report table at N rows")
+    p_q.add_argument("--jsonl", action="store_true",
+                     help="emit matching reports as canonical JSONL instead "
+                          "of a table")
+    p_q.set_defaults(fn=cmd_query)
 
     p_mx = sub.add_parser(
         "matrix",

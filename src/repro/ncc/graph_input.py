@@ -88,6 +88,45 @@ class InputGraph:
         # id(u,v) = u ∘ v needs ceil(log2 n) bits per endpoint.
         self.idbits = max(1, math.ceil(math.log2(max(2, self.n))))
 
+    @classmethod
+    def from_canonical_arrays(
+        cls,
+        n: int,
+        edges: Iterable[EdgeT],
+        weights: Iterable[int] | None = None,
+    ) -> "InputGraph":
+        """Rebuild a graph from already-canonical columns, skipping
+        validation and dedup.
+
+        The trusted fast path of the persistent sweep pool
+        (:mod:`repro.api.pool`): the parent process publishes a validated
+        graph's ``edges()`` (sorted canonical pairs) and aligned weight
+        column through shared memory, and workers reconstruct the graph
+        without re-running the generator or the ``__init__`` edge checks.
+        ``edges`` must be exactly what :meth:`edges` returned — sorted,
+        endpoint-ordered, duplicate-free, in ``[0, n)`` — and ``weights``
+        (when given) positive ints aligned with it.  Feeding anything else
+        silently builds a corrupt graph; this is an internal transport
+        constructor, not an input API.  The result is observably
+        indistinguishable from the originally validated instance.
+        """
+        self = cls.__new__(cls)
+        self.n = int(n)
+        adj: list[list[int]] = [[] for _ in range(self.n)]
+        edge_tuples = tuple((int(u), int(v)) for u, v in edges)
+        for u, v in edge_tuples:
+            adj[u].append(v)
+            adj[v].append(u)
+        self._adj = tuple(tuple(sorted(neigh)) for neigh in adj)
+        self._edges = edge_tuples
+        self._weights = (
+            {e: int(w) for e, w in zip(edge_tuples, weights)}
+            if weights is not None
+            else None
+        )
+        self.idbits = max(1, math.ceil(math.log2(max(2, self.n))))
+        return self
+
     # ------------------------------------------------------------------
     # Global views (used by generators/oracles, not by per-node logic)
     # ------------------------------------------------------------------

@@ -311,6 +311,40 @@ def register_algorithm(
     unchanged; the registry keeps an :class:`AlgorithmSpec` built from it
     plus the declared pieces.  Registering the same canonical name twice
     replaces the entry (latest wins), so modules are reload-safe.
+
+    Registration is the integration point: a registered (runnable)
+    algorithm is automatically runnable by name through ``RunSpec`` /
+    ``Session``, every CLI subcommand (``run``/``sweep``/``matrix``),
+    the engine-parity harness, and the oracle-check suite — no other
+    wiring needed.
+
+    Parameters
+    ----------
+    name / aliases:
+        Canonical lookup name (lowercased) plus alternate spellings
+        (``"MM"`` → ``matching``); all resolve via :func:`get_algorithm`.
+    summary / bound / table1_key:
+        Human-facing description, the paper's round bound (printed next
+        to rows), and the Table 1 row key when the algorithm appears
+        there.
+    build_workload / workload_options:
+        Input-instance builder ``(n, a, seed, **options) -> InputGraph``
+        and the option names it accepts (forwarded from
+        ``RunSpec.extras``; anything else is rejected at
+        canonicalization).
+    check / describe:
+        Sequential-oracle correctness check and row describer — these
+        are what make the algorithm's results *verifiable* in sweeps.
+    parity:
+        Optional callable exercised by the differential engine-parity
+        harness.
+    kind:
+        ``"algorithm"`` (runnable) or ``"subroutine"`` (resolvable but
+        not independently runnable, e.g. ``findmin``).
+    default_scenario / requires:
+        Default workload scenario, and the guarantee names a scenario
+        must provide (``"weights"``, ``"connected"``) — checked by the
+        scenario compatibility layer before any run.
     """
 
     def _register(run: Runner | None) -> Runner | None:

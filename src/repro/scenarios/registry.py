@@ -190,6 +190,39 @@ def register_scenario(
     unchanged; the registry keeps a :class:`ScenarioSpec` built from it
     plus the declared guarantees.  Registering the same canonical name
     twice replaces the entry (latest wins), so modules are reload-safe.
+
+    A registered scenario automatically lands on every axis: the
+    ``--scenarios`` sweep axis, the algorithm×scenario ``matrix``, the
+    scenario listing, the guarantee-certification suite
+    (``tests/test_scenarios.py`` property-tests every declaration
+    below), and the scenario benchmarks.
+
+    Parameters
+    ----------
+    name / aliases:
+        Canonical lookup name (lowercased) plus alternate spellings
+        (``"PA"`` → ``pa-heavy-tail``); resolve via
+        :func:`get_scenario` / :func:`canonical_scenario_name`.
+    summary:
+        One-line human description shown by ``python -m repro scenarios``.
+    arboricity:
+        Declared arboricity bound as a callable ``(n, a) -> int``
+        (constant for fixed families, knob-tracking for a-controlled
+        ones); certified against the Nash-Williams density bound.
+        ``None`` means unbounded (the trivial ``n`` bound is displayed).
+    connected / weighted / diameter / degrees:
+        Declared guarantees: connectivity, edge weights, diameter class
+        (``"constant"``/``"log"``/``"sqrt"``/``"linear"``), degree
+        profile (``"regular"``/``"heavy-tail"``/``"star"``).  Algorithm
+        ``requires`` tuples (e.g. ``("weights",)``) are matched against
+        these — a requirement the scenario cannot provide makes the
+        pair incompatible.
+    uses_a:
+        Whether the builder actually consumes the arboricity knob
+        (a-controlled families); knob-insensitive families ignore it.
+    base:
+        For weighted compositions: the underlying topology family whose
+        structural guarantees this scenario inherits.
     """
 
     def _register(build: ScenarioBuilder) -> ScenarioBuilder:
