@@ -35,7 +35,13 @@
 #      with SWEEP_STORE), deliberately stopped at row 400 and resumed via
 #      `sweep --resume`, then verified complete — exercising the manifest,
 #      the store, and crash-safe resume end to end;
-#  10. a final check that every expected section actually landed in
+#  10. reprolint (`python -m repro lint --strict`): the AST invariant
+#      checks — determinism, hot-path purity, registry discipline,
+#      canonical-schema freeze, engine-parity locality, pool fork-safety —
+#      fail on any non-baselined finding or a baseline that should have
+#      shrunk; the JSON findings document lands in REPROLINT_findings.json
+#      (override with REPROLINT_JSON) for the CI artifact;
+#  11. a final check that every expected section actually landed in
 #      BENCH_engine.json (the cross-PR trajectory artifact) — this is the
 #      check that catches a benchmark silently dropping its section, as
 #      `sweep_session` once did.
@@ -109,6 +115,10 @@ assert mani.complete, mani.done_rows
 print(f"sweep stress: {store.count()} runs durable across {store.shards} "
       f"shards; interrupt at 400 + resume exercised")
 PY
+
+echo "== reprolint (static invariant checks) =="
+python -m repro lint src tests benchmarks --strict \
+    --output "${REPROLINT_JSON:-REPROLINT_findings.json}"
 
 echo "== bench-trajectory artifact check =="
 python - <<'PY'

@@ -75,7 +75,7 @@ class ResultStore:
         os.makedirs(root, exist_ok=True)
         store = cls(root, shards)
         with open(os.path.join(root, META_NAME), "w", encoding="utf-8") as fh:
-            json.dump({"version": 1, "shards": shards}, fh)
+            json.dump({"version": 1, "shards": shards}, fh, sort_keys=True)
             fh.write("\n")
         return store
 

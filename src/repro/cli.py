@@ -21,6 +21,7 @@ Usage::
     python -m repro matrix --algos mis,matching,components \
         --scenarios forest-union,grid,star,cycle,pa-heavy-tail,ring-of-chords \
         --n 32 --jobs 4 --out MATRIX_results.jsonl
+    python -m repro lint src tests benchmarks --strict
 
 ``run`` and ``table1`` are thin wrappers over :class:`repro.api.Session`
 and print the same row structure the benchmarks and EXPERIMENTS.md use;
@@ -54,6 +55,8 @@ from .api import (
 )
 from .config import NCCConfig, known_engines
 from .errors import ConfigurationError
+from .lint import add_lint_arguments
+from .lint import run_from_args as _lint_from_args
 from .registry import (
     UnknownAlgorithmError,
     algorithm_names,
@@ -730,6 +733,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument("--n", type=int, default=64,
                       help="reference n for the displayed arboricity bounds")
     p_sc.set_defaults(fn=cmd_scenarios)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="reprolint: statically check the repo's determinism, "
+             "hot-path, and registry invariants",
+    )
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(fn=_lint_from_args)
 
     p_sep = sub.add_parser("separation", help="gossip model-separation table")
     p_sep.add_argument("--ns", type=_ints_arg, default="32,64,128")

@@ -25,6 +25,7 @@ import random
 from typing import Iterable
 
 from ..ncc.graph_input import EdgeT, InputGraph
+from ..rng import seeded_rng
 
 
 def _rng(seed: int) -> random.Random:
@@ -38,7 +39,7 @@ def _rng(seed: int) -> random.Random:
         raise TypeError(
             f"generator seed must be an explicit int (default 0), got {seed!r}"
         )
-    return random.Random(seed)
+    return seeded_rng(seed)
 
 
 def path(n: int) -> InputGraph:

@@ -17,8 +17,12 @@ Two deployment notes mirror the paper:
 
 from __future__ import annotations
 
-import random
 from typing import Iterable, Sequence
+
+# Imported from the seeding leaf, not repro.rng: rng.py imports this
+# module, so the usual `from ..rng import derived_rng` spelling would
+# be a circular import.
+from ..seeding import derived_rng
 
 MERSENNE_61 = (1 << 61) - 1
 
@@ -65,7 +69,7 @@ class KWiseHash:
         self.k = int(k)
         self.range_size = int(range_size)
         self.seed = int(seed)
-        rng = random.Random(("kwise", k, range_size, seed).__repr__())
+        rng = derived_rng("kwise", k, range_size, seed)
         # Leading coefficient non-zero keeps the polynomial degree exactly
         # k-1; the family stays k-wise independent either way, but this makes
         # distinct seeds collide less in small unit tests.

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..errors import ConfigurationError
+from ..rng import seeded_rng
 
 
 @dataclass
@@ -82,7 +83,5 @@ class KMachineNetwork:
 def random_vertex_partition(n: int, k: int, seed: int = 0) -> list[int]:
     """Assign each of ``n`` graph nodes to a uniformly random machine —
     the standard input distribution of the k-machine model [36]."""
-    import random
-
-    rng = random.Random(f"kmachine-partition|{seed}|{n}|{k}")
+    rng = seeded_rng(f"kmachine-partition|{seed}|{n}|{k}")
     return [rng.randrange(k) for _ in range(n)]

@@ -1,0 +1,53 @@
+"""reprolint — AST-checked invariants for the NCC reproduction repo.
+
+The repo's load-bearing contracts (byte-determinism, zero-construction
+hot paths, registry discipline, canonical schemas, engine parity, pool
+fork-safety) are enforced dynamically by the test suite — but only on
+the inputs the tests happen to exercise.  ``reprolint`` makes them
+*statically* checkable: every rule is an AST visitor over a single
+shared parse per file, registered the same way algorithms register with
+:mod:`repro.registry`, and wired into ``python -m repro lint``.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the
+shrink-only baseline workflow.
+"""
+
+from .baseline import BaselineError
+from .rules import (
+    FileContext,
+    Finding,
+    Rule,
+    UnknownRuleError,
+    get_rule,
+    iter_rules,
+    register_rule,
+    rule_ids,
+)
+from .runner import (
+    LintResult,
+    UsageError,
+    add_lint_arguments,
+    discover,
+    main,
+    run_from_args,
+    run_paths,
+)
+
+__all__ = [
+    "BaselineError",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "UnknownRuleError",
+    "UsageError",
+    "add_lint_arguments",
+    "discover",
+    "get_rule",
+    "iter_rules",
+    "main",
+    "register_rule",
+    "rule_ids",
+    "run_from_args",
+    "run_paths",
+]

@@ -1,0 +1,7 @@
+"""Standalone entry point: ``python -m repro.lint [paths...]``."""
+
+import sys
+
+from .runner import main
+
+sys.exit(main())

@@ -1,0 +1,105 @@
+"""Shrink-only baselines: grandfather old findings, fail new ones.
+
+A baseline file is a JSON object mapping ``"<path>::<rule>"`` to a
+finding count — the per-(file, rule) budget of grandfathered violations.
+The contract:
+
+* a finding inside its budget is **baselined** (reported in the summary,
+  does not fail the run);
+* a finding beyond its budget is **new** and fails the run — so a file
+  with 2 grandfathered NCC001 hits fails the moment a 3rd appears;
+* a budget that no longer fires is **stale**: ``--update-baseline``
+  shrinks it away, and ``--strict`` (the CI mode) fails until it does —
+  this is what makes the baseline monotonically shrinking;
+* :func:`shrink` can only lower counts and drop keys, never add or
+  raise: new violations have exactly one exit — fixing the code (or an
+  explicit reviewed ``# reprolint: disable=`` suppression).  The sole
+  exception is bootstrap: updating a baseline *file that does not exist
+  yet* adopts the current findings wholesale.
+
+Counts (rather than line numbers) key the budget so unrelated edits that
+shift a grandfathered violation up or down a file do not churn the
+baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Mapping
+
+from ..errors import ConfigurationError
+from .rules import Finding
+
+
+class BaselineError(ConfigurationError):
+    """A malformed baseline file or a growth attempt."""
+
+
+def load(path: str) -> dict[str, int]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline {path!r}: {exc}") from None
+    if not isinstance(data, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v > 0
+        for k, v in data.items()
+    ):
+        raise BaselineError(
+            f"baseline {path!r} must map '<path>::<rule>' keys to positive "
+            "finding counts"
+        )
+    return data
+
+
+def save(path: str, baseline: Mapping[str, int]) -> None:
+    """Write a baseline deterministically (sorted keys, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(dict(sorted(baseline.items())), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def partition(
+    findings: Iterable[Finding], baseline: Mapping[str, int]
+) -> tuple[list[Finding], int, dict[str, int]]:
+    """Split findings into (new, baselined_count, stale_budgets).
+
+    Within one (file, rule) bucket the *first* findings in position order
+    consume the budget; the overflow is new.  ``stale`` maps baseline
+    keys to the unconsumed remainder of their budget.
+    """
+    used: dict[str, int] = {}
+    new: list[Finding] = []
+    baselined = 0
+    for f in findings:
+        key = f.baseline_key
+        if used.get(key, 0) < baseline.get(key, 0):
+            used[key] = used.get(key, 0) + 1
+            baselined += 1
+        else:
+            new.append(f)
+    stale = {
+        key: budget - used.get(key, 0)
+        for key, budget in baseline.items()
+        if used.get(key, 0) < budget
+    }
+    return new, baselined, stale
+
+
+def shrink(
+    old: Mapping[str, int], findings: Iterable[Finding]
+) -> dict[str, int]:
+    """The shrink-only update: keep each existing budget clamped down to
+    what still fires; never add keys, never raise counts."""
+    current: dict[str, int] = {}
+    for f in findings:
+        current[f.baseline_key] = current.get(f.baseline_key, 0) + 1
+    return {
+        key: min(budget, current[key])
+        for key, budget in old.items()
+        if current.get(key, 0) > 0
+    }

@@ -1,0 +1,162 @@
+"""NCC001 — determinism: no ambient entropy in the library.
+
+Guards the repo-wide byte-determinism contract (ROADMAP "Experiment
+surface": jobs=1 ≡ jobs=N byte-identical JSONL; canonical output is a
+pure function of the spec).  Three families of violation:
+
+* **Unrouted RNG construction** — library code must build its streams
+  through the sanctioned constructors (:func:`repro.seeding.seeded_rng` /
+  ``derived_rng``, re-exported by :mod:`repro.rng`), never
+  ``random.Random`` directly; zero-argument ``random.Random()`` (OS
+  entropy) and ``random.SystemRandom`` are flagged everywhere, including
+  tests and benchmarks.
+* **Global-RNG module calls** — ``random.randrange(...)`` etc. draw from
+  the interpreter-global stream, which any import can perturb.
+* **Wall-clock / OS entropy** — ``time.time()``, ``datetime.now()``,
+  ``os.urandom``, ``uuid.uuid1/4``, ``secrets.*`` outside the allowlist
+  (the sweep manifest journals real timestamps; benchmarks measure real
+  time).  ``time.perf_counter``/``monotonic`` are fine: timings stay out
+  of canonical JSONL by schema design.
+* **Set-literal iteration** — ``for x in {...}`` in library code is
+  hash-order dependent (string hashing is salted per process), so any
+  set-literal walk feeding canonical output is a reproducibility bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from . import FileContext, Finding, Rule, register_rule
+
+#: module-level functions of the interpreter-global random stream.
+GLOBAL_RANDOM_FNS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+})
+
+#: wall-clock / entropy calls needing an allowlist entry.
+WALLCLOCK_CALLS = ("time.time", "time.time_ns", "os.urandom",
+                   "uuid.uuid1", "uuid.uuid4")
+
+#: modules allowed to read the wall clock: the sweep manifest journals
+#: real timestamps (events carry ``ts`` keys; canonical RunReport JSONL
+#: never does), and benchmarks measure real elapsed time.
+WALLCLOCK_ALLOWLIST = ("repro/api/manifest.py",)
+
+#: the one module allowed to call ``random.Random`` directly.
+SEEDING_MODULE = "repro/seeding.py"
+
+
+@register_rule
+class NCC001Determinism(Rule):
+    id = "NCC001"
+    name = "determinism"
+    invariant = (
+        "byte-determinism: canonical output is a pure function of the "
+        "RunSpec (seeded RNG streams only, no wall clock, no hash-order)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        wallclock_ok = ctx.path_is(*WALLCLOCK_ALLOWLIST) or ctx.under("benchmarks")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, wallclock_ok)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if isinstance(node.iter, ast.Set) and ctx.in_library:
+                    yield self.finding(
+                        ctx, node,
+                        "iteration over a set literal is hash-order "
+                        "dependent; iterate a sorted() or tuple literal",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                if ctx.in_library:
+                    for gen in node.generators:
+                        if isinstance(gen.iter, ast.Set):
+                            yield self.finding(
+                                ctx, gen.iter,
+                                "comprehension over a set literal is "
+                                "hash-order dependent; use a sorted() or "
+                                "tuple literal",
+                            )
+
+    # ------------------------------------------------------------------
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, wallclock_ok: bool
+    ) -> Iterator[Finding]:
+        func = node.func
+        # random.Random / random.SystemRandom construction
+        if ctx.resolves_to(func, "random.Random"):
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    "unseeded random.Random() seeds from OS entropy; "
+                    "pass an explicit seed derived from the master seed",
+                )
+            elif ctx.in_library and not ctx.path_is(SEEDING_MODULE):
+                yield self.finding(
+                    ctx, node,
+                    "construct RNG streams through repro.rng.seeded_rng / "
+                    "derived_rng (repro.seeding), not random.Random directly",
+                )
+            return
+        if ctx.resolves_to(func, "random.SystemRandom"):
+            yield self.finding(
+                ctx, node, "random.SystemRandom is OS entropy; derive a "
+                "seeded stream via repro.rng.seeded_rng instead",
+            )
+            return
+        # module-level calls on the interpreter-global random stream
+        for fn in GLOBAL_RANDOM_FNS:
+            if ctx.resolves_to(func, f"random.{fn}"):
+                yield self.finding(
+                    ctx, node,
+                    f"random.{fn}() draws from the interpreter-global "
+                    "stream; use a repro.rng.seeded_rng(...) instance",
+                )
+                return
+        # wall clock / entropy
+        if not wallclock_ok:
+            for dotted in WALLCLOCK_CALLS:
+                if ctx.resolves_to(func, dotted):
+                    yield self.finding(
+                        ctx, node,
+                        f"{dotted}() is nondeterministic wall-clock/entropy; "
+                        "allowed only in the manifest journal and benchmarks",
+                    )
+                    return
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("now", "utcnow", "today")
+                and self._mentions_datetime(ctx, func.value)
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"datetime.{func.attr}() is nondeterministic wall clock; "
+                    "allowed only in the manifest journal and benchmarks",
+                )
+            elif isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ) and ctx.imports.get(func.value.id) == "secrets":
+                yield self.finding(
+                    ctx, node,
+                    f"secrets.{func.attr}() is OS entropy; derive a seeded "
+                    "stream via repro.rng.seeded_rng instead",
+                )
+
+    @staticmethod
+    def _mentions_datetime(ctx: FileContext, value: ast.expr) -> bool:
+        """True for ``datetime.now(...)`` receivers: the ``datetime`` class
+        (from-import) or the ``datetime.datetime`` attribute chain."""
+        if isinstance(value, ast.Name):
+            origin = ctx.imports.get(value.id, "")
+            return origin == "datetime" or origin.endswith("datetime.datetime")
+        if isinstance(value, ast.Attribute) and isinstance(value.value, ast.Name):
+            return (
+                value.attr in ("datetime", "date")
+                and ctx.imports.get(value.value.id) == "datetime"
+            )
+        return False

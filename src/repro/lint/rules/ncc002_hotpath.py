@@ -1,0 +1,88 @@
+"""NCC002 — hot-path purity: zero boxing in the columnar fast path.
+
+Guards the ROADMAP "Zero-construction delivery" and "Typed columns never
+box" invariants: clean batched rounds construct zero ``Message`` objects
+and zero Python payload boxes (gated dynamically by the
+``message_construction_count`` / ``payload_box_count`` counters and the
+``bench_primitives.py`` speedup gates).  This rule makes the contract
+visible at diff time: inside the hot-path module set, constructing a
+``Message(...)`` or boxing a whole inbox with ``.payloads()`` is flagged
+unless it sits in an annotated fallback — a function whose name contains
+``fallback`` or whose ``def`` line carries ``# reprolint: fallback`` —
+or carries a per-line ``# reprolint: disable=NCC002`` with justification
+(the deliberate reference-engine degradation branches).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from . import FileContext, Finding, Rule, register_rule
+
+#: the modules a clean batched round executes end-to-end; everything here
+#: must stay on the column path.
+HOT_PATH_MODULES = (
+    "repro/ncc/batched.py",
+    "repro/butterfly/routing.py",
+    "repro/primitives/aggregation.py",
+    "repro/primitives/multi_aggregation.py",
+    "repro/primitives/multicast.py",
+    "repro/primitives/multicast_setup.py",
+    "repro/primitives/direct.py",
+    "repro/primitives/aggregate_broadcast.py",
+)
+
+FALLBACK_MARK = "# reprolint: fallback"
+
+
+@register_rule
+class NCC002HotPathPurity(Rule):
+    id = "NCC002"
+    name = "hot-path-purity"
+    invariant = (
+        "zero-construction delivery / typed columns never box: clean "
+        "batched rounds build no Message objects and no payload boxes"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.path_is(*HOT_PATH_MODULES):
+            return
+        yield from self._walk(ctx, ctx.tree)
+
+    # ------------------------------------------------------------------
+    def _walk(self, ctx: FileContext, node: ast.AST) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._is_fallback(ctx, child):
+                    continue  # annotated fallback: object path is the point
+            if isinstance(child, ast.Call):
+                func = child.func
+                if (
+                    isinstance(func, ast.Name) and func.id == "Message"
+                ) or (
+                    isinstance(func, ast.Attribute) and func.attr == "Message"
+                ):
+                    yield self.finding(
+                        ctx, child,
+                        "Message(...) construction on a hot path; submit "
+                        "columns via BatchBuilder (or annotate a fallback)",
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "payloads"
+                    and not child.args
+                ):
+                    yield self.finding(
+                        ctx, child,
+                        ".payloads() boxes every element of the inbox; read "
+                        "payload_array()/columns (or annotate a fallback)",
+                    )
+            yield from self._walk(ctx, child)
+
+    @staticmethod
+    def _is_fallback(ctx: FileContext, fn: ast.FunctionDef) -> bool:
+        if "fallback" in fn.name.lower():
+            return True
+        line = ctx.lines[fn.lineno - 1] if fn.lineno <= len(ctx.lines) else ""
+        return FALLBACK_MARK in line

@@ -1,0 +1,99 @@
+"""NCC003 — registry discipline: one source of truth for algorithms.
+
+Guards the ROADMAP "Experiment surface" invariant: all algorithm
+consumers resolve through :mod:`repro.registry`, and the deprecated
+``analysis.tables.TABLE1_RUNNERS`` shim is frozen — referenced only by
+the shim module itself and the tests that pin its byte-compatibility.
+Two checks:
+
+* every module under ``repro/algorithms/`` (and the scenario family
+  catalog ``repro/scenarios/families.py``) must self-register via the
+  ``@register_algorithm`` / ``register_scenario`` decorators — an
+  algorithm module that forgets is silently invisible to the CLI, the
+  sweep driver, the parity harness, and the oracle-check suite;
+* any new reference to ``TABLE1_RUNNERS`` outside the shim and its
+  pinned tests is flagged (resolve through ``repro.registry`` instead).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from . import FileContext, Finding, Rule, register_rule
+
+#: files allowed to reference the frozen TABLE1_RUNNERS shim: the shim
+#: itself plus the tests pinning its byte-compatibility surface.
+SHIM_ALLOWLIST = (
+    "repro/analysis/tables.py",
+    "tests/test_tables.py",
+    "tests/test_registry.py",
+    "tests/test_cli.py",
+)
+
+#: (path predicate suffix-dir, required registration callable)
+SELF_REGISTERING = (
+    ("repro/algorithms/", "register_algorithm"),
+    ("repro/scenarios/families.py", "register_scenario"),
+)
+
+
+@register_rule
+class NCC003RegistryDiscipline(Rule):
+    id = "NCC003"
+    name = "registry-discipline"
+    invariant = (
+        "experiment surface: consumers resolve algorithms through "
+        "registry.py; TABLE1_RUNNERS stays a frozen deprecation shim"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_self_registration(ctx)
+        if not ctx.path_is(*SHIM_ALLOWLIST):
+            yield from self._check_shim_references(ctx)
+
+    # ------------------------------------------------------------------
+    def _check_self_registration(self, ctx: FileContext) -> Iterator[Finding]:
+        p = ctx.effective_path
+        if p.endswith("__init__.py"):
+            return
+        for marker, register_fn in SELF_REGISTERING:
+            if marker.endswith("/"):
+                applies = ("/" + marker) in ("/" + p) and p.endswith(".py")
+            else:
+                applies = ctx.path_is(marker)
+            if not applies:
+                continue
+            names = {
+                node.id for node in ast.walk(ctx.tree)
+                if isinstance(node, ast.Name)
+            } | {
+                node.attr for node in ast.walk(ctx.tree)
+                if isinstance(node, ast.Attribute)
+            }
+            if register_fn not in names:
+                yield self.finding(
+                    ctx, None,
+                    f"module does not self-register via @{register_fn}; "
+                    "unregistered entries are invisible to the CLI, sweeps, "
+                    "the parity harness, and the oracle-check suite",
+                    line=1,
+                )
+            return
+
+    def _check_shim_references(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "TABLE1_RUNNERS":
+                        yield self.finding(
+                            ctx, node,
+                            "import of the frozen TABLE1_RUNNERS shim; "
+                            "resolve through repro.registry.get_algorithm",
+                        )
+            elif isinstance(node, ast.Attribute) and node.attr == "TABLE1_RUNNERS":
+                yield self.finding(
+                    ctx, node,
+                    "reference to the frozen TABLE1_RUNNERS shim; resolve "
+                    "through repro.registry.get_algorithm",
+                )

@@ -1,0 +1,88 @@
+"""NCC004 — canonical-schema freeze: frozen specs, sorted canonical JSON.
+
+Guards the ROADMAP "Experiment surface" invariant's schema half:
+``RunSpec``/``RunReport`` are frozen dataclasses whose canonical JSONL is
+byte-deterministic.  Two checks:
+
+* ``object.__setattr__`` — the only way to mutate a frozen dataclass —
+  is confined to ``api/schema.py`` (``RunSpec.__post_init__``
+  canonicalization) and ``config.py`` (``NCCConfig``'s own
+  ``__post_init__``); anywhere else it is someone editing a frozen spec
+  after construction, which silently breaks content-hash identity;
+* in the canonical-serialization modules (``api/schema.py``,
+  ``api/manifest.py``, ``api/store.py``) every ``json.dumps``/``dump``
+  call must pass ``sort_keys=True`` — Python dict order is insertion
+  order, so an unsorted dump bakes incidental construction order into
+  bytes that manifests and stores compare and content-hash.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from . import FileContext, Finding, Rule, register_rule
+
+#: modules allowed to call object.__setattr__ (their own frozen
+#: dataclasses' __post_init__ canonicalization).
+SETATTR_ALLOWLIST = ("repro/api/schema.py", "repro/config.py")
+
+#: modules whose JSON output is canonical (compared/hashed as bytes).
+CANONICAL_MODULES = (
+    "repro/api/schema.py",
+    "repro/api/manifest.py",
+    "repro/api/store.py",
+)
+
+
+@register_rule
+class NCC004SchemaFreeze(Rule):
+    id = "NCC004"
+    name = "canonical-schema-freeze"
+    invariant = (
+        "experiment surface: RunSpec/RunReport JSONL is canonical and "
+        "byte-deterministic (frozen specs, sorted keys)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        check_dumps = ctx.path_is(*CANONICAL_MODULES)
+        check_setattr = not ctx.path_is(*SETATTR_ALLOWLIST)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                check_setattr
+                and isinstance(func, ast.Attribute)
+                and func.attr == "__setattr__"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "object"
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "object.__setattr__ mutates a frozen schema object; "
+                    "attribute writes are confined to api/schema.py "
+                    "(use RunSpec.with_(...) to derive a changed spec)",
+                )
+            elif check_dumps and (
+                ctx.resolves_to(func, "json.dumps")
+                or ctx.resolves_to(func, "json.dump")
+            ):
+                if not self._has_sorted_keys(node):
+                    yield self.finding(
+                        ctx, node,
+                        "json.dump(s) in a canonical-serialization module "
+                        "must pass sort_keys=True (dict order is insertion "
+                        "order and is not canonical)",
+                    )
+
+    @staticmethod
+    def _has_sorted_keys(node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if kw.arg == "sort_keys":
+                return (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is True
+                )
+            if kw.arg is None:  # **kwargs — can't see inside; trust it
+                return True
+        return False

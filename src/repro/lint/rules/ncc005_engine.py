@@ -1,0 +1,69 @@
+"""NCC005 — engine-parity locality: round semantics live in one place.
+
+Guards the ROADMAP "Engine parity" invariant: the engines are observably
+indistinguishable because any change to round semantics lands in the
+shared canonical walks (``RoundEngine._send_walk`` / ``_recv_walk``) in
+``ncc/engine.py`` — never in one engine.  Statically:
+
+* **defining** (or overriding) ``_send_walk``/``_recv_walk`` anywhere but
+  ``ncc/engine.py`` is flagged — an engine subclass shadowing a walk
+  forks the semantics and the differential parity harness only catches
+  it on the inputs it happens to replay;
+* **referencing** the walk internals from outside the engine module set
+  (``ncc/engine.py`` defines them, ``ncc/batched.py`` drives them over
+  columns) is flagged — primitives and tests must go through the public
+  ``exchange`` surface so all three enforcement modes stay equivalent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from . import FileContext, Finding, Rule, register_rule
+
+WALKS = ("_send_walk", "_recv_walk")
+
+#: where the canonical walks may be *defined*.
+DEFINING_MODULE = "repro/ncc/engine.py"
+
+#: the engine modules allowed to *call* the walk internals.
+ENGINE_MODULES = ("repro/ncc/engine.py", "repro/ncc/batched.py")
+
+
+@register_rule
+class NCC005EngineParityLocality(Rule):
+    id = "NCC005"
+    name = "engine-parity-locality"
+    invariant = (
+        "engine parity: round semantics change only in the shared "
+        "canonical walks in ncc/engine.py, never in one engine"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        may_define = ctx.path_is(DEFINING_MODULE)
+        may_reference = ctx.path_is(*ENGINE_MODULES)
+        if may_define and may_reference:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in WALKS
+                and not may_define
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"defining {node.name} outside ncc/engine.py forks the "
+                    "round semantics; change the shared canonical walk "
+                    "instead so every engine inherits it",
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr in WALKS
+                and not may_reference
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"{node.attr} is a walk internal of the engine module "
+                    "set; go through the public exchange surface",
+                )

@@ -1,0 +1,318 @@
+"""The reprolint runner: discover, parse once, run every rule, report.
+
+Drives the whole pipeline behind ``python -m repro lint`` (and the
+standalone ``python -m repro.lint``):
+
+1. **discover** ``.py`` files under the given paths (skipping
+   ``__pycache__`` and the deliberate-violation corpus under
+   ``lint_fixtures/``, which is linted only when named explicitly);
+2. **parse each file exactly once** into a
+   :class:`~repro.lint.rules.FileContext` shared by every registered
+   rule (the ``# reprolint: path=`` directive in a fixture's first lines
+   re-scopes it to a library path);
+3. **run the rules** (all of them, or a ``--select`` subset), dropping
+   findings whose source line carries a matching
+   ``# reprolint: disable=NCC00x`` suppression;
+4. **apply the baseline** (shrink-only; see :mod:`repro.lint.baseline`)
+   and render ``--format text|json`` plus the optional ``--output``
+   JSON artifact.
+
+Exit codes (shared with every ``repro`` subcommand): 0 clean, 1
+non-baselined findings (or, under ``--strict``, a stale baseline), 2
+usage errors (unknown path, unknown rule, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+from . import baseline as baseline_mod
+from .rules import (
+    PATH_DIRECTIVE,
+    FileContext,
+    Finding,
+    Rule,
+    UnknownRuleError,
+    get_rule,
+    iter_rules,
+)
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+DEFAULT_BASELINE = "reprolint-baseline.json"
+DISABLE_MARK = "# reprolint: disable="
+
+#: directories never walked implicitly: bytecode, and the fixture corpus
+#: of deliberate violations (linted only as explicit file arguments).
+SKIP_DIRS = frozenset({"__pycache__", "lint_fixtures", ".git"})
+
+
+class UsageError(ConfigurationError):
+    """A bad invocation (unknown path/rule) — exit code 2."""
+
+
+# ----------------------------------------------------------------------
+# Discovery and parsing
+# ----------------------------------------------------------------------
+def discover(paths: Sequence[str]) -> list[str]:
+    """Resolve files/directories to a sorted list of ``.py`` files."""
+    files: set[str] = set()
+    for path in paths:
+        norm = path.rstrip("/")
+        if os.path.isfile(norm):
+            files.add(norm.replace(os.sep, "/"))
+        elif os.path.isdir(norm):
+            for dirpath, dirnames, filenames in os.walk(norm):
+                dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+                for name in filenames:
+                    if name.endswith(".py"):
+                        files.add(
+                            os.path.join(dirpath, name).replace(os.sep, "/")
+                        )
+        else:
+            raise UsageError(f"no such file or directory: {path!r}")
+    return sorted(files)
+
+
+def parse_file(path: str) -> FileContext | Finding:
+    """One shared parse per file; a syntax error degrades to a finding
+    (rule NCC000) so one broken file cannot hide the rest of the run."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+    except OSError as exc:
+        raise UsageError(f"cannot read {path!r}: {exc}") from None
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return Finding(
+            rule="NCC000",
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+    lines = source.splitlines()
+    effective = path
+    for line in lines[:5]:
+        stripped = line.strip()
+        if stripped.startswith(PATH_DIRECTIVE):
+            effective = stripped[len(PATH_DIRECTIVE):].strip()
+            break
+    return FileContext(path=path, effective_path=effective, tree=tree, lines=lines)
+
+
+def _suppressed(finding: Finding, ctx: FileContext) -> bool:
+    """Per-line ``# reprolint: disable=NCC001[,NCC002]`` (or ``all``)."""
+    if finding.line > len(ctx.lines):
+        return False
+    line = ctx.lines[finding.line - 1]
+    at = line.find(DISABLE_MARK)
+    if at < 0:
+        return False
+    ids = line[at + len(DISABLE_MARK):].split()[0] if (
+        line[at + len(DISABLE_MARK):].strip()
+    ) else ""
+    codes = {c.strip().upper() for c in ids.split(",") if c.strip()}
+    return "ALL" in codes or finding.rule.upper() in codes
+
+
+# ----------------------------------------------------------------------
+# The lint pipeline
+# ----------------------------------------------------------------------
+@dataclass
+class LintResult:
+    """Everything one lint run observed, before baseline application."""
+
+    findings: list[Finding]
+    suppressed: int
+    files: int
+    rules: tuple[str, ...]
+
+
+def run_files(
+    files: Iterable[str], rules: Sequence[Rule] | None = None
+) -> LintResult:
+    """Lint already-discovered files and return position-sorted findings."""
+    active = list(rules) if rules is not None else list(iter_rules())
+    findings: list[Finding] = []
+    suppressed = 0
+    count = 0
+    for path in files:
+        count += 1
+        parsed = parse_file(path)
+        if isinstance(parsed, Finding):
+            findings.append(parsed)  # syntax errors are not suppressible
+            continue
+        for rule in active:
+            for finding in rule.check(parsed):
+                if _suppressed(finding, parsed):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(
+        findings=findings,
+        suppressed=suppressed,
+        files=count,
+        rules=tuple(r.id for r in active),
+    )
+
+
+def run_paths(
+    paths: Sequence[str], select: Sequence[str] | None = None
+) -> LintResult:
+    """Discover + lint (the Python-API entry the tests drive)."""
+    rules = [get_rule(r) for r in select] if select else None
+    return run_files(discover(paths), rules)
+
+
+# ----------------------------------------------------------------------
+# Output
+# ----------------------------------------------------------------------
+def to_json_doc(
+    result: LintResult,
+    new: list[Finding],
+    baselined: int,
+    stale: dict[str, int],
+) -> str:
+    """The stable JSON findings document (sorted keys, sorted findings —
+    byte-identical across runs on identical inputs)."""
+    doc = {
+        "version": 1,
+        "files": result.files,
+        "rules": list(result.rules),
+        "findings": [f.to_dict() for f in new],
+        "baselined": baselined,
+        "suppressed": result.suppressed,
+        "stale_baseline": dict(sorted(stale.items())),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def _summary(
+    result: LintResult, new: list[Finding], baselined: int, stale: dict[str, int]
+) -> str:
+    bits = [f"{len(new)} finding(s)"]
+    if baselined:
+        bits.append(f"{baselined} baselined")
+    if result.suppressed:
+        bits.append(f"{result.suppressed} suppressed")
+    if stale:
+        bits.append(f"{len(stale)} stale baseline entr(y/ies)")
+    return (
+        f"reprolint: {', '.join(bits)} across {result.files} files "
+        f"({len(result.rules)} rules)"
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def add_lint_arguments(p: argparse.ArgumentParser) -> None:
+    """The `lint` argument surface (shared by `repro lint` and
+    ``python -m repro.lint``)."""
+    p.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                   help="files or directories to lint "
+                        f"(default: {' '.join(DEFAULT_PATHS)})")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="stdout format (default text)")
+    p.add_argument("--baseline", default=DEFAULT_BASELINE, metavar="PATH",
+                   help="baseline file of grandfathered findings "
+                        f"(default {DEFAULT_BASELINE}; 'none' disables)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="shrink the baseline to what still fires (never "
+                        "adds entries; bootstraps a missing file)")
+    p.add_argument("--strict", action="store_true",
+                   help="also fail when baseline entries no longer fire "
+                        "(CI mode: forces the baseline to shrink)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="additionally write the JSON findings document "
+                        "to PATH (the CI artifact)")
+    p.add_argument("--select", default=None, metavar="RULES",
+                   help="comma list of rule ids to run (default: all)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list registered rules and exit")
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.id}  {rule.name}")
+            print(f"        guards: {rule.invariant}")
+        return 0
+    try:
+        select = (
+            [s for s in args.select.split(",") if s.strip()]
+            if args.select else None
+        )
+        result = run_paths(args.paths, select=select)
+        use_baseline = args.baseline != "none"
+        old = baseline_mod.load(args.baseline) if use_baseline else {}
+    except (UsageError, UnknownRuleError, baseline_mod.BaselineError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    new, baselined, stale = baseline_mod.partition(result.findings, old)
+
+    if args.update_baseline and use_baseline:
+        if os.path.exists(args.baseline):
+            updated = baseline_mod.shrink(old, result.findings)
+        else:
+            # Bootstrap: adopting a baseline for the first time
+            # grandfathers everything currently firing.
+            updated = baseline_mod.shrink(
+                {f.baseline_key: 10**9 for f in result.findings},
+                result.findings,
+            )
+        baseline_mod.save(args.baseline, updated)
+        new, baselined, stale = baseline_mod.partition(result.findings, updated)
+        print(
+            f"lint: baseline {args.baseline} now has {len(updated)} "
+            f"entr(y/ies) covering {sum(updated.values())} finding(s)",
+            file=sys.stderr,
+        )
+
+    json_doc = to_json_doc(result, new, baselined, stale)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(json_doc)
+    if args.format == "json":
+        sys.stdout.write(json_doc)
+    else:
+        for finding in new:
+            print(finding.render())
+        print(_summary(result, new, baselined, stale))
+        if stale:
+            keys = ", ".join(sorted(stale))
+            print(
+                f"lint: stale baseline entries (no longer fire): {keys}; "
+                "shrink with --update-baseline",
+                file=sys.stderr,
+            )
+    if new:
+        return 1
+    if args.strict and stale:
+        print(
+            "lint: --strict: baseline must shrink to match the code; "
+            "run with --update-baseline and commit the result",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    p = argparse.ArgumentParser(
+        prog="repro lint",
+        description="reprolint: AST-checked repo invariants "
+                    "(determinism, hot-path purity, registry discipline)",
+    )
+    add_lint_arguments(p)
+    return run_from_args(p.parse_args(argv))

@@ -44,12 +44,12 @@ Design notes
 
 from __future__ import annotations
 
-import random
 from contextlib import contextmanager
 from typing import Iterable, Iterator, Mapping
 
 from ..config import DEFAULT_CONFIG, Enforcement, NCCConfig
 from ..errors import CapacityError, MessageSizeError, SimulationLimitError
+from ..rng import derived_rng
 from .engine import InboxT, RoundEngine, build_engine
 from .message import BatchBuilder, InboxBatch, Message, merge_round_inboxes
 from .stats import NetworkStats, Violation
@@ -79,7 +79,7 @@ class NCCNetwork:
         self.stats = NetworkStats()
         self._round = 0
         self._phase_stack: list[str] = []
-        self._drop_rng = random.Random(("ncc-drop", self.config.seed, n).__repr__())
+        self._drop_rng = derived_rng("ncc-drop", self.config.seed, n)
         #: The pluggable enforcement/accounting core executing each round.
         self.engine: RoundEngine = build_engine(self.config.resolve_engine(), self)
         #: Optional per-round observer ``f(round_index, messages)`` — used by

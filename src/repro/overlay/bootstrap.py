@@ -27,11 +27,11 @@ knowledge, only the input-graph neighbourhoods plus random contacts.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
 
 from ..errors import ProtocolError
 from ..ncc.message import Message
+from ..rng import seeded_rng
 from ..runtime import NCCRuntime
 from ..primitives.functions import Aggregate
 
@@ -40,7 +40,7 @@ def random_contact_lists(
     n: int, multiplier: float = 1.0, seed: int = 0
 ) -> list[list[int]]:
     """Per-node lists of ``⌈multiplier · log₂ n⌉`` distinct random contacts."""
-    rng = random.Random(f"contacts|{seed}|{n}|{multiplier}")
+    rng = seeded_rng(f"contacts|{seed}|{n}|{multiplier}")
     k = max(1, math.ceil(multiplier * math.log2(max(2, n))))
     contacts: list[list[int]] = []
     for u in range(n):

@@ -14,6 +14,11 @@ The paper's primitives rely on two kinds of randomness:
   Heads/Tails, MIS ranks).  ``node_rng(u, tag)`` returns a deterministic
   per-node stream so that simulations are reproducible from the master seed
   while distinct nodes and protocol steps stay independent.
+
+All streams are built through the sanctioned constructors in
+:mod:`repro.seeding` (re-exported here as :func:`seeded_rng` /
+:func:`derived_rng`), the only module allowed to call ``random.Random``
+directly — ``reprolint`` rule NCC001 checks this statically.
 """
 
 from __future__ import annotations
@@ -24,6 +29,9 @@ from typing import Callable
 
 from .config import NCCConfig
 from .hashing.kwise import KWiseHash
+from .seeding import derived_rng, seeded_rng
+
+__all__ = ["RANK_RANGE", "SharedRandomness", "derived_rng", "seeded_rng"]
 
 #: Range for packet ranks ρ(i).  Theorem B.2 needs K ≥ 8C; congestion C is
 #: O(L/n + log n) = o(2^30) for every instance this library can simulate.
@@ -54,7 +62,7 @@ class SharedRandomness:
 
     def _seed_for(self, tag: object) -> int:
         # Stable 64-bit seed derived from (master seed, tag).
-        return random.Random(f"{self.config.seed}|{tag!r}").getrandbits(63)
+        return seeded_rng(f"{self.config.seed}|{tag!r}").getrandbits(63)
 
     def _account(self, bits: int) -> None:
         self.agreement_bits += bits
@@ -127,7 +135,7 @@ class SharedRandomness:
     # ------------------------------------------------------------------
     def node_rng(self, node: int, tag: object) -> random.Random:
         """A private, reproducible stream for one node and protocol step."""
-        return random.Random(f"{self.config.seed}|node|{node}|{tag!r}")
+        return seeded_rng(f"{self.config.seed}|node|{node}|{tag!r}")
 
     def fresh_tag(self, base: str) -> tuple[str, int]:
         """A unique tag (for per-invocation hash functions)."""

@@ -1,0 +1,56 @@
+"""Sanctioned constructors for deterministic randomness.
+
+Every random stream in the library must be reproducible from explicit
+inputs (the master seed plus a protocol tag) — byte-determinism across
+serial/fork/persistent sweeps depends on it, and `reprolint` rule NCC001
+enforces it statically: this module is the *only* place allowed to call
+``random.Random`` directly.  Library code builds its RNGs through
+
+* :func:`seeded_rng` — an explicitly seeded stream (the seed is typically
+  a pipe-joined tag string, e.g. ``f"contacts|{seed}|{n}|{multiplier}"``);
+* :func:`derived_rng` — a stream keyed by a tag tuple; the seed is the
+  tuple's ``repr``, so ``derived_rng("kwise", k, m, seed)`` is
+  byte-identical to the historical
+  ``random.Random(("kwise", k, m, seed).__repr__())`` spelling.
+
+Both are re-exported from :mod:`repro.rng` for callers already importing
+the randomness broker; :mod:`repro.hashing.kwise` imports from here
+directly because ``rng.py`` itself imports ``kwise`` (the re-export would
+cycle).
+
+This module is deliberately a stdlib-only leaf so that anything — the
+graph generators, the hashing layer, the network core — can depend on it
+without import-order concerns.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["seeded_rng", "derived_rng"]
+
+
+def seeded_rng(seed: int | str) -> random.Random:
+    """A deterministic stream from an *explicit* seed.
+
+    ``None`` is rejected rather than passed through: ``random.Random(None)``
+    seeds from OS entropy, which is exactly the nondeterminism NCC001
+    exists to keep out of the library.
+    """
+    if seed is None:
+        raise TypeError(
+            "seeded_rng requires an explicit seed; random.Random(None) "
+            "would seed from OS entropy and break run reproducibility"
+        )
+    return random.Random(seed)
+
+
+def derived_rng(*parts: object) -> random.Random:
+    """A deterministic stream keyed by a tag tuple.
+
+    The seed is ``repr(parts)``, which is stable across processes and
+    Python versions for the int/str/float tags the library uses.
+    """
+    if not parts:
+        raise TypeError("derived_rng requires at least one tag part")
+    return seeded_rng(repr(parts))

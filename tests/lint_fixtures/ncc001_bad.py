@@ -1,0 +1,29 @@
+# reprolint: path=src/repro/graphs/fixture_mod.py
+"""NCC001 fixture: every determinism violation the rule knows."""
+import datetime
+import os
+import random
+import time
+
+
+def unseeded():
+    return random.Random()  # unseeded: OS-entropy seed
+
+
+def directly_seeded(seed):
+    return random.Random(seed)  # library code must go through seeding.py
+
+
+def global_stream():
+    return random.randint(0, 7)  # process-global Mersenne stream
+
+
+def wallclock():
+    return time.time(), datetime.datetime.now(), os.urandom(8)
+
+
+def set_iteration():
+    out = []
+    for x in {3, 1, 2}:  # set-literal iteration order is salted
+        out.append(x)
+    return out

@@ -1,0 +1,24 @@
+# reprolint: path=src/repro/graphs/fixture_mod.py
+"""NCC001 fixture: the compliant spellings of everything the bad twin does."""
+from repro.seeding import derived_rng, seeded_rng
+
+
+def explicitly_seeded(seed):
+    return seeded_rng(seed)
+
+
+def tagged(seed, n):
+    return derived_rng("fixture", seed, n)
+
+
+def monotonic_ok():
+    import time
+
+    return time.monotonic(), time.perf_counter()  # durations, not identity
+
+
+def sorted_iteration():
+    out = []
+    for x in sorted({3, 1, 2}):  # sorted() fixes the order
+        out.append(x)
+    return out

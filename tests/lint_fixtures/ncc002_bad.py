@@ -1,0 +1,13 @@
+# reprolint: path=src/repro/primitives/aggregation.py
+"""NCC002 fixture: boxing in a hot-path module, outside any fallback."""
+
+
+class Message:
+    def __init__(self, src, dst, payload):
+        self.src, self.dst, self.payload = src, dst, payload
+
+
+def hot_loop(inbox, out):
+    for item in inbox.payloads():  # per-element boxing on the hot path
+        out.append(Message(0, 1, item))  # Message construction on the hot path
+    return out

@@ -1,0 +1,26 @@
+# reprolint: path=src/repro/primitives/aggregation.py
+"""NCC002 fixture: columnar hot path; boxing only in annotated fallbacks."""
+
+
+class Message:
+    def __init__(self, src, dst, payload):
+        self.src, self.dst, self.payload = src, dst, payload
+
+
+def hot_loop(inbox, out):
+    arr = inbox.payload_array()  # columnar read: no per-element objects
+    out.extend(arr.tolist())
+    return out
+
+
+def boxed_fallback(inbox, out):
+    # The function name marks the degraded path; boxing is allowed here.
+    for item in inbox.payloads():
+        out.append(Message(0, 1, item))
+    return out
+
+
+def lower_columns(inbox, out):  # reprolint: fallback
+    for item in inbox.payloads():
+        out.append(item)
+    return out

@@ -1,0 +1,8 @@
+# reprolint: path=src/repro/algorithms/fixture_alg.py
+"""NCC003 fixture: an algorithm module that never self-registers, and a
+consumer importing the deprecated TABLE1_RUNNERS shim."""
+from repro.analysis.tables import TABLE1_RUNNERS  # deprecated shim import
+
+
+def run(runtime):
+    return TABLE1_RUNNERS["MST"](runtime)

@@ -1,0 +1,16 @@
+# reprolint: path=src/repro/api/manifest.py
+"""NCC004 fixture: frozen-spec mutation and unsorted canonical JSON."""
+import json
+
+
+def retag(spec, tag):
+    object.__setattr__(spec, "scenario", tag)  # mutating a frozen spec
+    return spec
+
+
+def write_meta(fh, meta):
+    json.dump(meta, fh)  # canonical module: insertion order leaks into bytes
+
+
+def render(meta):
+    return json.dumps(meta, indent=2)  # same defect, dumps flavour

@@ -1,0 +1,15 @@
+# reprolint: path=src/repro/api/manifest.py
+"""NCC004 fixture: derive-don't-mutate, and sorted canonical JSON."""
+import json
+
+
+def retag(spec, tag):
+    return spec.with_(scenario=tag)  # derive a changed spec
+
+
+def write_meta(fh, meta):
+    json.dump(meta, fh, sort_keys=True)
+
+
+def render(meta):
+    return json.dumps(meta, indent=2, sort_keys=True)

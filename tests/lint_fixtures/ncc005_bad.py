@@ -1,0 +1,14 @@
+# reprolint: path=src/repro/primitives/fixture_prim.py
+"""NCC005 fixture: a primitive reimplementing and poking walk internals."""
+
+
+class ShortcutEngine:
+    def _send_walk(self, outboxes):  # forking the canonical send walk
+        return outboxes
+
+    def _recv_walk(self, inboxes):  # forking the canonical recv walk
+        return inboxes
+
+
+def sneaky(engine, outboxes):
+    return engine._send_walk(outboxes)  # walk internals from outside

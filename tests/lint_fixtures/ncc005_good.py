@@ -1,0 +1,6 @@
+# reprolint: path=src/repro/primitives/fixture_prim.py
+"""NCC005 fixture: primitives go through the public exchange surface."""
+
+
+def well_behaved(net, outboxes):
+    return net.exchange(outboxes)  # the public round surface

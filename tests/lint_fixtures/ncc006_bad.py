@@ -1,0 +1,10 @@
+# reprolint: path=src/repro/api/fixture_workerlib.py
+"""NCC006 fixture: ambient state in the pool-worker import surface."""
+import collections
+import os
+
+_result_cache = {}  # mutable module-level container
+pending = []  # another one
+counts = collections.Counter()  # constructor spelling
+
+_log = open(os.devnull, "w")  # module-level handle: shared offset after fork

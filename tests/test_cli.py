@@ -1,6 +1,7 @@
 """The command-line interface."""
 
 import json
+import os
 
 import pytest
 
@@ -365,3 +366,37 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestLint:
+    """`repro lint` shares the CLI's exit-code contract: 0 clean, 1
+    findings, 2 usage errors."""
+
+    FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "lint_fixtures")
+
+    def test_clean_run_exits_0(self, capsys):
+        good = os.path.join(self.FIXTURES, "ncc001_good.py")
+        assert main(["lint", good, "--baseline", "none"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, capsys):
+        bad = os.path.join(self.FIXTURES, "ncc001_bad.py")
+        assert main(["lint", bad, "--baseline", "none"]) == 1
+        assert "NCC001" in capsys.readouterr().out
+
+    def test_nonexistent_path_exits_2(self, capsys):
+        assert main(["lint", "no/such/dir", "--baseline", "none"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("lint:") and "no such file" in err
+
+    def test_unknown_rule_exits_2(self, capsys):
+        good = os.path.join(self.FIXTURES, "ncc001_good.py")
+        assert main(["lint", good, "--select", "NCC042",
+                     "--baseline", "none"]) == 2
+        assert "NCC042" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "NCC001" in out and "NCC006" in out
