@@ -2,7 +2,8 @@
 # Tier-1 verification plus the engine-parity gates this repo's PRs must keep:
 #
 #   1. the full test-suite under the reference round engine (tier-1);
-#   2. the same suite replayed under the batched round engine — every test
+#   2. the same suite replayed under the batched round engine and again
+#      under the sharded round engine (worker-pool delivery) — every test
 #      must pass unchanged because the engines are observably identical;
 #   3. the engine fast-path benchmark (>= 2x columnar engine speedup at
 #      n = 1024 on steady-state resubmission, plus stats/drop parity on
@@ -35,13 +36,18 @@
 #      with SWEEP_STORE), deliberately stopped at row 400 and resumed via
 #      `sweep --resume`, then verified complete — exercising the manifest,
 #      the store, and crash-safe resume end to end;
-#  10. reprolint (`python -m repro lint --strict`): the AST invariant
+#  10. the sharded-engine ladder (benchmarks/bench_sharded.py ->
+#      BENCH_engine.json `sharded_ladder`): batched vs sharded rounds/sec
+#      at n = 10^5 and 10^6 — the n = 10^6 sharded row completing is an
+#      acceptance artifact on any host; the speedup gate applies only on
+#      >= 4 cores (below that the pool shares the parent's core);
+#  11. reprolint (`python -m repro lint --strict`): the AST invariant
 #      checks — determinism, hot-path purity, registry discipline,
 #      canonical-schema freeze, engine-parity locality, pool fork-safety —
 #      fail on any non-baselined finding or a baseline that should have
 #      shrunk; the JSON findings document lands in REPROLINT_findings.json
 #      (override with REPROLINT_JSON) for the CI artifact;
-#  11. a final check that every expected section actually landed in
+#  12. a final check that every expected section actually landed in
 #      BENCH_engine.json (the cross-PR trajectory artifact) — this is the
 #      check that catches a benchmark silently dropping its section, as
 #      `sweep_session` once did.
@@ -68,6 +74,9 @@ python -m pytest -x -q "$@"
 
 echo "== replay: batched engine =="
 python -m pytest -x -q --engine=batched "$@"
+
+echo "== replay: sharded engine =="
+python -m pytest -x -q --engine=sharded "$@"
 
 echo "== engine fast-path benchmark =="
 python -m pytest -q benchmarks/bench_engine_fastpath.py
@@ -116,6 +125,9 @@ print(f"sweep stress: {store.count()} runs durable across {store.shards} "
       f"shards; interrupt at 400 + resume exercised")
 PY
 
+echo "== sharded engine ladder (n = 10^5 and 10^6) =="
+python -m pytest -q benchmarks/bench_sharded.py
+
 echo "== reprolint (static invariant checks) =="
 python -m repro lint src tests benchmarks --strict \
     --output "${REPROLINT_JSON:-REPROLINT_findings.json}"
@@ -126,7 +138,8 @@ import json, os
 path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
 with open(path, encoding="utf-8") as fh:
     data = json.load(fh)
-required = ("typed_columns", "typed_columns_ladder", "sweep_session", "scenarios")
+required = ("typed_columns", "typed_columns_ladder", "sweep_session", "scenarios",
+            "sharded_ladder")
 missing = [s for s in required if s not in data]
 assert not missing, f"{path} is missing sections: {missing}"
 gate = data["typed_columns"]
@@ -137,6 +150,8 @@ ladder = data["typed_columns_ladder"]
 assert set(ladder) == {"4096", "16384", "65536"}, sorted(ladder)
 sweep = data["sweep_session"]
 assert sweep["grid_runs"] >= 12 and "speedup_persistent_jobs4" in sweep, sweep
+shard = data["sharded_ladder"]
+assert 1_000_000 in [row[0] for row in shard["rows"]], shard
 print(f"{path}: {', '.join(required)} sections present "
       f"({len(data)} sections total)")
 PY

@@ -83,6 +83,14 @@ class RunSpec:
         algorithm's default workload.  ``None`` keeps the canonical
         JSONL byte-identical to the pre-scenario schema: the key is
         only serialized when a scenario is set.
+    shards:
+        Worker count for the ``"sharded"`` engine, or ``None`` to leave
+        it to the engine (auto from the core count).  Like ``scenario``,
+        the key is only serialized when set, so shard-free results files
+        stay byte-identical to the PR 8 schema.  The value never changes
+        a run's output (sharded runs are byte-identical for every shard
+        count) — it is part of the spec so a sweep row records how it
+        was executed, not part of the workload identity.
     """
 
     algorithm: str
@@ -93,6 +101,7 @@ class RunSpec:
     enforcement: str | None = None
     extras: ExtrasT = field(default=())
     scenario: str | None = None
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         if not self.algorithm:
@@ -103,6 +112,14 @@ class RunSpec:
             raise ConfigurationError(f"RunSpec.n must be >= 1, got {self.n}")
         if self.a < 1:
             raise ConfigurationError(f"RunSpec.a must be >= 1, got {self.a}")
+        if self.shards is not None and (
+            not isinstance(self.shards, int)
+            or isinstance(self.shards, bool)
+            or self.shards < 1
+        ):
+            raise ConfigurationError(
+                f"RunSpec.shards must be an integer >= 1 when set, got {self.shards!r}"
+            )
         object.__setattr__(self, "extras", _freeze_extras(self.extras))
         if self.enforcement is not None:
             # Normalize eagerly so bad specs fail at construction time.
@@ -152,9 +169,12 @@ class RunSpec:
             "extras": dict(self.extras),
         }
         # Serialized only when set, so scenario-free results files stay
-        # byte-identical to the pre-scenario schema.
+        # byte-identical to the pre-scenario schema (likewise shard-free
+        # files and the pre-sharding schema).
         if self.scenario is not None:
             data["scenario"] = self.scenario
+        if self.shards is not None:
+            data["shards"] = self.shards
         return data
 
     @classmethod
@@ -168,6 +188,7 @@ class RunSpec:
             enforcement=data.get("enforcement"),
             extras=data.get("extras") or (),
             scenario=data.get("scenario"),
+            shards=data.get("shards"),
         )
 
 

@@ -184,10 +184,22 @@ class Session:
                     f"{', '.join(sorted(known)) if known else '(none)'}"
                 )
         cfg = self.base_config if self.base_config is not None else bench_config(0)
+        engine = spec.engine or cfg.engine or default_engine()
+        if spec.shards is not None:
+            # A shard count implies the sharded engine; an explicit
+            # different engine is a contradiction, not a silent override.
+            if spec.engine in (None, "", "sharded"):
+                engine = "sharded"
+            else:
+                raise ConfigurationError(
+                    f"RunSpec sets shards={spec.shards} but engine="
+                    f"{spec.engine!r}; shards only applies to the "
+                    "'sharded' engine"
+                )
         return spec.with_(
             algorithm=alg.name,
             scenario=scenario,
-            engine=spec.engine or cfg.engine or default_engine(),
+            engine=engine,
             enforcement=spec.enforcement or cfg.enforcement.value,
         )
 
@@ -201,6 +213,8 @@ class Session:
             cfg = cfg.with_(engine=spec.engine)
         if spec.enforcement:
             cfg = cfg.with_(enforcement=Enforcement(spec.enforcement))
+        if spec.shards is not None:
+            cfg = cfg.with_(shards=spec.shards)
         return cfg
 
     # ------------------------------------------------------------------
@@ -530,11 +544,14 @@ def sweep_grid(
     enforcement: str | None = None,
     extras: dict[str, Any] | None = None,
     scenarios: Sequence[str | None] = (None,),
+    engine_shards: int | None = None,
 ) -> list[RunSpec]:
     """The cartesian spec grid, in deterministic algorithm-major order
     (scenario varies directly inside the algorithm axis, i.e. it is the
     second-slowest-moving axis; engine is the fastest).  Each axis is
-    deduplicated preserving first-occurrence order."""
+    deduplicated preserving first-occurrence order.  ``engine_shards``
+    (a scalar, not an axis — shard count never changes a row's bytes)
+    applies to every spec and implies the sharded engine."""
     return [
         RunSpec(
             algorithm=alg,
@@ -545,6 +562,7 @@ def sweep_grid(
             enforcement=enforcement,
             extras=extras or (),
             scenario=scenario,
+            shards=engine_shards,
         )
         for alg in _dedup_axis(algorithms)
         for scenario in _dedup_axis(scenarios)

@@ -136,6 +136,23 @@ def _seeds_arg(text: str) -> list[int]:
         ) from None
 
 
+def _shards_arg(text: str) -> int:
+    """Shard-worker count for the sharded engine: an integer >= 1.
+    Validated here so ``--shards banana`` and ``--shards 0`` are argparse
+    errors (exit 2), same as every other axis flag."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer shard count, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"shard count must be >= 1, got {value}"
+        )
+    return value
+
+
 def _rows_arg(text: str) -> list[str]:
     """Comma-separated Table 1 row keys, e.g. ``MIS,MM``."""
     rows = [r.strip().upper() for r in text.split(",")]
@@ -219,7 +236,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     try:
         spec = RunSpec(
             alg.name, args.n, a=args.a, seed=args.seed, engine=args.engine,
-            extras=extras, scenario=args.scenario,
+            extras=extras, scenario=args.scenario, shards=args.shards,
         )
         report = Session().run(spec)
     except ConfigurationError as exc:
@@ -347,6 +364,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 engines=args.engines or [args.engine],
                 enforcement=args.enforcement,
                 scenarios=scenarios or [None],
+                engine_shards=args.engine_shards,
             )
         except ConfigurationError as exc:
             print(f"sweep: {exc}", file=sys.stderr)
@@ -618,6 +636,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(BFS-only: forest | grid)")
     p_run.add_argument("--engine", choices=engines, default=None,
                        help="round engine (default: config default)")
+    p_run.add_argument("--shards", type=_shards_arg, default=None,
+                       help="shard-worker count (implies --engine sharded; "
+                            "never changes the run's output — a pure "
+                            "performance knob)")
     p_run.set_defaults(fn=cmd_run)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1 rows")
@@ -651,6 +673,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma list of workload scenarios ('all' = every "
                            "registered family); omit for each algorithm's "
                            "default workload")
+    p_sw.add_argument("--engine-shards", type=_shards_arg, default=None,
+                      metavar="K",
+                      help="shard-worker count for the sharded engine "
+                           "(implies --engine sharded for every run; "
+                           "distinct from --shards, the store partition "
+                           "count)")
     p_sw.add_argument("--enforcement", choices=["strict", "count", "drop"],
                       default=None, help="capacity enforcement (default: count)")
     p_sw.add_argument("--jobs", type=int, default=1,

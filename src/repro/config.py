@@ -30,6 +30,11 @@ from .errors import ConfigurationError
 #: Built-in round-engine implementations (see :mod:`repro.ncc.engine`).
 ENGINE_CHOICES = ("reference", "batched")
 
+#: Engines that register themselves on first import (see
+#: :func:`repro.ncc.engine.build_engine`); selectable by name without an
+#: eager import of their (heavier) modules.
+LAZY_ENGINES = ("sharded",)
+
 _DEFAULT_ENGINE = "reference"
 
 
@@ -38,6 +43,7 @@ def known_engines() -> tuple[str, ...]:
     :func:`repro.ncc.engine.register_engine` (imported lazily — the
     registry lives above this module in the import graph)."""
     names = set(ENGINE_CHOICES)
+    names.update(LAZY_ENGINES)
     try:
         from .ncc.engine import engine_names
 
@@ -124,9 +130,18 @@ class NCCConfig:
         Round-engine implementation: ``"reference"`` (per-message walk) or
         ``"batched"`` (columnar fast path; see :mod:`repro.ncc.batched`).
         The empty string (default) defers to :func:`default_engine`, which
-        lets the test-suite replay everything under another engine.  Both
+        lets the test-suite replay everything under another engine.  All
         engines are certified observably identical by
-        ``tests/test_engine_parity.py``.
+        ``tests/test_engine_parity.py``.  ``"sharded"`` distributes the
+        columnar delivery kernel across worker processes (see
+        :mod:`repro.ncc.sharded`).
+    shards:
+        Worker-process count for the ``"sharded"`` engine (node IDs are
+        partitioned into this many contiguous ranges).  ``0`` (default)
+        lets the engine pick from the machine's core count.  The value
+        never changes observable output — a sharded run is byte-identical
+        to the single-process batched run for every ``shards`` value —
+        so it is a performance knob, not part of the experiment identity.
     """
 
     capacity_multiplier: float = 4.0
@@ -139,6 +154,7 @@ class NCCConfig:
     coloring_epsilon: float = 0.5
     charge_hash_agreement: bool = True
     engine: str = ""
+    shards: int = 0
     extras: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -161,6 +177,10 @@ class NCCConfig:
             raise ConfigurationError(
                 f"unknown round engine {self.engine!r}; choose from {known_engines()}"
             )
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool):
+            raise ConfigurationError("shards must be an integer")
+        if self.shards < 0:
+            raise ConfigurationError("shards must be >= 0 (0 = auto)")
 
     # ------------------------------------------------------------------
     # Derived quantities

@@ -24,6 +24,9 @@ from . import FileContext, Finding, Rule, register_rule
 #: must stay on the column path.
 HOT_PATH_MODULES = (
     "repro/ncc/batched.py",
+    "repro/ncc/sharded/engine.py",
+    "repro/ncc/sharded/kernel.py",
+    "repro/ncc/sharded/workers.py",
     "repro/butterfly/routing.py",
     "repro/primitives/aggregation.py",
     "repro/primitives/multi_aggregation.py",

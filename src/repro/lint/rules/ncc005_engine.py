@@ -10,9 +10,10 @@ shared canonical walks (``RoundEngine._send_walk`` / ``_recv_walk``) in
   forks the semantics and the differential parity harness only catches
   it on the inputs it happens to replay;
 * **referencing** the walk internals from outside the engine module set
-  (``ncc/engine.py`` defines them, ``ncc/batched.py`` drives them over
-  columns) is flagged — primitives and tests must go through the public
-  ``exchange`` surface so all three enforcement modes stay equivalent.
+  (``ncc/engine.py`` defines them, ``ncc/batched.py`` and
+  ``ncc/sharded/engine.py`` drive them over columns) is flagged —
+  primitives and tests must go through the public ``exchange`` surface so
+  all three enforcement modes stay equivalent.
 """
 
 from __future__ import annotations
@@ -28,7 +29,11 @@ WALKS = ("_send_walk", "_recv_walk")
 DEFINING_MODULE = "repro/ncc/engine.py"
 
 #: the engine modules allowed to *call* the walk internals.
-ENGINE_MODULES = ("repro/ncc/engine.py", "repro/ncc/batched.py")
+ENGINE_MODULES = (
+    "repro/ncc/engine.py",
+    "repro/ncc/batched.py",
+    "repro/ncc/sharded/engine.py",
+)
 
 
 @register_rule

@@ -10,8 +10,11 @@ one worker — either way a run stops being a pure function of its spec.
 A lazily-opened module-level handle (``open(...)`` at import time) is
 worse: after fork, parent and child share one file offset.
 
-Scope: the ``repro/api/`` package (the surface every worker imports).
-Flags module-level assignments of mutable containers (list/dict/set
+Scope: the ``repro/api/`` package (the surface every sweep worker
+imports) and the ``repro/ncc/sharded/`` package (the shard-pool
+parent/worker surface — the same fork-inheritance hazards apply to the
+per-round block workers).  Flags module-level assignments of mutable
+containers (list/dict/set
 displays and comprehensions, ``list()``/``dict()``/``set()``/
 ``defaultdict()``/``deque()``/``Counter()``/``OrderedDict()`` calls) and
 module-level ``open(...)`` calls.  Scalars and immutable tuples are fine
@@ -49,7 +52,8 @@ class NCC006PoolForkSafety(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        if "/repro/api/" not in "/" + ctx.effective_path:
+        path = "/" + ctx.effective_path
+        if "/repro/api/" not in path and "/repro/ncc/sharded/" not in path:
             return
         yield from self._module_level(ctx, ctx.tree.body)
 

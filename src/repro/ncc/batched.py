@@ -531,16 +531,11 @@ class BatchedEngine(RoundEngine):
                 _np.fromiter(kinds_l, dtype=object, count=m_count).take(order).tolist()
             )
 
-        starts_l = starts.tolist()
-        ends_l = ends.tolist()
-        dsts_l = dsts_present.tolist()
-        over = InboxBatch._over
-        delivered: dict[int, InboxBatch] = {}
-        for j in arrival.tolist():
-            delivered[dsts_l[j]] = over(
-                src_perm, dsts_l[j], pay_perm, None, kind_perm,
-                starts_l[j], ends_l[j],
-            )
+        delivered = InboxBatch._over_spans(
+            src_perm, pay_perm, kind_perm,
+            dsts_present.tolist(), starts.tolist(), ends.tolist(),
+            arrival.tolist(),
+        )
         if max_recv <= net.capacity:
             if max_recv > stats.max_received_per_round:
                 stats.max_received_per_round = max_recv

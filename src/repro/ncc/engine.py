@@ -4,13 +4,16 @@
 outgoing traffic into a ``sender -> [Message]`` mapping and hands it to a
 :class:`RoundEngine`, which owns everything the model charges for inside a
 round: node-id validation, send/receive capacity enforcement, message-size
-budgets, DROP-mode sampling, and the per-message statistics.  Two engines
+budgets, DROP-mode sampling, and the per-message statistics.  Three engines
 exist:
 
 * :class:`ReferenceEngine` — the per-message walk this repository started
   with, kept as the executable specification of round semantics;
 * :class:`~repro.ncc.batched.BatchedEngine` — a columnar fast path that
-  performs the same checks over parallel ``(src, dst, bits)`` arrays.
+  performs the same checks over parallel ``(src, dst, bits)`` arrays;
+* :class:`~repro.ncc.sharded.ShardedEngine` — the batched engine with its
+  clean-round delivery kernel distributed across worker processes by
+  contiguous destination range (one shm block shuffle per round).
 
 The engines are interchangeable by contract: for any input they must
 produce identical inboxes (content, list order, and dict insertion order),
@@ -202,6 +205,8 @@ def build_engine(name: str, net: "NCCNetwork") -> RoundEngine:
     if name not in _REGISTRY and name == "batched":
         # Imported lazily so the numpy-free reference path never pays for it.
         from . import batched  # noqa: F401  (registers itself on import)
+    elif name not in _REGISTRY and name == "sharded":
+        from . import sharded  # noqa: F401  (registers itself on import)
     cls = _REGISTRY.get(name)
     if cls is None:
         raise ConfigurationError(

@@ -631,6 +631,41 @@ class InboxBatch(_SequenceABC):
         return self
 
     @classmethod
+    def _over_spans(cls, srcs, payloads, kinds, dsts, starts, ends, arrival,
+                    cols=None):
+        """One round's delivered ``{dst: span}`` dict, built in bulk.
+
+        The engines' clean-round delivery builds one span per receiving
+        node; at n ≥ 10^5 the per-span :meth:`_over` call overhead (frame
+        + argument packing per inbox) dominates the merge, so this builds
+        the whole dict in one tight loop with the allocator bound locally.
+        ``dsts``/``starts``/``ends`` are per-group int lists; ``arrival``
+        gives the dict insertion order.  With ``cols``, group ``j`` reads
+        its ``(srcs, payloads)`` backing columns from ``cols[j]`` (the
+        sharded engine's per-block columns) instead of the shared
+        ``srcs``/``payloads``.
+        """
+        new = object.__new__
+        delivered: dict[int, "InboxBatch"] = {}
+        for j in arrival:
+            self = new(cls)
+            if cols is not None:
+                srcs, payloads = cols[j]
+            d = dsts[j]
+            self._srcs = srcs
+            self._dsts = d
+            self._payloads = payloads
+            self._bits = None
+            self._kinds = kinds
+            self._start = starts[j]
+            self._end = ends[j]
+            self._msgs = None
+            self._mat = None
+            self._bits_agg = None
+            delivered[d] = self
+        return delivered
+
+    @classmethod
     def _of_messages(cls, msgs, dst, start, end):
         """Span over an already-materialized message column."""
         self = object.__new__(cls)
@@ -916,50 +951,69 @@ def gather_typed_spans(inboxes):
     """One round's typed inboxes as whole columns: ``(dsts, payloads)``.
 
     When every inbox is a typed-column :class:`InboxBatch` whose spans are
-    views of one shared payload column and together tile it exactly — the
+    views of a shared payload column and together tile it exactly — the
     layout the batched engine delivers — this returns the destination
     column (one id per message, int64) and that payload column directly:
-    no per-inbox array handling, no copies, no boxes.  Returns ``None``
-    for any other layout (object columns, message-backed inboxes, merged
-    rounds, the reference engine); callers keep their per-inbox loop as
-    the fallback.
+    no per-inbox array handling, no copies, no boxes.  The sharded engine
+    delivers the same layout in per-shard pieces (one backing column per
+    destination-shard block, hosts in disjoint ascending ranges); those
+    concatenate — in min-host block order, which is exactly the
+    single-process destination-ascending order — into one column pair.
+    Returns ``None`` for any other layout (object columns, message-backed
+    inboxes, merged rounds, the reference engine); callers keep their
+    per-inbox loop as the fallback.
     """
     if _np is None or not inboxes:
         return None
-    base = None
-    hosts: list[int] = []
-    starts: list[int] = []
-    ends: list[int] = []
+    # Group spans by backing column (identity: spans *share* their base).
+    bases: dict[int, list] = {}  # id(base) -> [base, hosts, starts, ends]
     for host, rec in inboxes.items():
         if type(rec) is not InboxBatch or rec._msgs is not None:
             return None
         pays = rec._payloads
         if type(pays) is list:
             return None
-        if base is None:
-            base = pays
-        elif pays is not base:
+        ent = bases.get(id(pays))
+        if ent is None:
+            bases[id(pays)] = ent = [pays, [], [], []]
+        ent[1].append(host)
+        ent[2].append(rec._start)
+        ent[3].append(rec._end)
+    # Deterministic base order: ascending smallest host.  Bases must cover
+    # disjoint host ranges for that to be a meaningful total order (true
+    # of shard blocks; anything stranger falls back).
+    groups = sorted(bases.values(), key=lambda ent: min(ent[1]))
+    prev_hi = -1
+    dcols = []
+    pcols = []
+    for base, hosts, starts, ends in groups:
+        if min(hosts) <= prev_hi:
             return None
-        hosts.append(host)
-        starts.append(rec._start)
-        ends.append(rec._end)
-    order = sorted(range(len(hosts)), key=starts.__getitem__)
-    pos = 0
-    hs: list[int] = []
-    sizes: list[int] = []
-    for i in order:
-        if starts[i] != pos:
+        prev_hi = max(hosts)
+        order = sorted(range(len(hosts)), key=starts.__getitem__)
+        pos = 0
+        hs: list[int] = []
+        sizes: list[int] = []
+        for i in order:
+            if starts[i] != pos:
+                return None
+            pos = ends[i]
+            hs.append(hosts[i])
+            sizes.append(pos - starts[i])
+        if pos != len(base):
             return None
-        pos = ends[i]
-        hs.append(hosts[i])
-        sizes.append(pos - starts[i])
-    if pos != len(base):
+        dcols.append(
+            _np.repeat(
+                _np.fromiter(hs, _np.int64, len(hs)),
+                _np.fromiter(sizes, _np.int64, len(sizes)),
+            )
+        )
+        pcols.append(base)
+    if len(pcols) == 1:
+        return dcols[0], pcols[0]
+    if any(p.dtype != pcols[0].dtype for p in pcols):
         return None
-    dsts = _np.repeat(
-        _np.fromiter(hs, _np.int64, len(hs)),
-        _np.fromiter(sizes, _np.int64, len(sizes)),
-    )
-    return dsts, base
+    return _np.concatenate(dcols), _np.concatenate(pcols)
 
 
 def _norm_id_column(ids: int | Sequence[int], k: int) -> int | list[int]:

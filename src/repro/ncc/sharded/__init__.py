@@ -1,0 +1,13 @@
+"""Sharded NCC engine: one network instance, nodes across processes.
+
+Selected via ``NCCConfig(engine="sharded", shards=k)`` (CLI:
+``run --shards`` / ``sweep --engine-shards``).  Importing this package
+registers :class:`ShardedEngine`; :func:`repro.ncc.engine.build_engine`
+does so lazily when the name is first requested.  See
+:mod:`repro.ncc.sharded.engine` for the architecture and the
+byte-identity argument, and docs/OPERATIONS.md for running at n = 10^6.
+"""
+
+from .engine import CUTOFF_EXTRA, SHARD_ROUND_CUTOFF, ShardedEngine
+
+__all__ = ["CUTOFF_EXTRA", "SHARD_ROUND_CUTOFF", "ShardedEngine"]

@@ -1,0 +1,55 @@
+"""The per-shard delivery kernel: one block of a round, bucketed.
+
+This is the distributed half of the batched engine's clean-round delivery
+(:meth:`repro.ncc.batched.BatchedEngine._deliver_deferred_np`): the same
+stable-argsort bucketing, run over the slice of the round's typed columns
+whose destinations fall in one shard's contiguous node-id range.  The
+parent recovers the *global* delivery from the per-block outputs:
+
+* within one destination, all messages live in the same block (shards
+  partition destinations), and the block preserves the round's flat
+  submission order — so each inbox's internal order is already right;
+* across destinations, the global inbox dict order is first-arrival
+  order, recovered by sorting every block's destination groups by
+  ``first`` — the global flat index of each group's first message.
+
+One function, imported by both the shard workers and the parent's
+in-process crash fallback, so a requeued or fallback block is
+byte-identical to a worker-computed one by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bucket_block(dst, pay, src, flat, lo):
+    """Bucket one shard block into destination groups.
+
+    Parameters are parallel columns of the block's messages in round flat
+    order: ``dst``/``src`` int64 node ids, ``pay`` the typed payload
+    column, ``flat`` the global flat index of each message, and ``lo`` the
+    first node id the shard owns (offsets the bincount so the count table
+    spans the shard, not the whole network).
+
+    Returns ``(dsts, starts, ends, first, src_perm, pay_perm, max_recv)``:
+    destination groups in ascending-id order as spans ``[starts, ends)``
+    over the permuted ``src_perm``/``pay_perm`` columns, ``first`` the
+    global flat index of each group's first message (the parent's merge
+    key), and ``max_recv`` the block's largest group.
+    """
+    order = np.argsort(dst, kind="stable")
+    per = np.bincount(dst - lo)
+    present = np.flatnonzero(per)
+    cnts = per[present]
+    ends = np.cumsum(cnts)
+    starts = ends - cnts
+    return (
+        present + lo,
+        starts,
+        ends,
+        flat.take(order.take(starts)),
+        src.take(order),
+        pay.take(order),
+        int(cnts.max()),
+    )

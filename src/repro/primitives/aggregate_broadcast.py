@@ -129,6 +129,7 @@ def pipelined_broadcast(
     *,
     src: int = 0,
     kind: str = "pipelined-bcast",
+    collect: bool = True,
 ) -> dict[int, list[Any]]:
     """Broadcast ``items`` from node ``src`` to all nodes, pipelined.
 
@@ -139,12 +140,27 @@ def pipelined_broadcast(
     messages per round, and ``k`` items reach everyone in
     ``O(log n + k/log n)`` rounds.
 
-    Returns the items received per node (in order), for caller convenience.
+    Returns the items received per node (in order), for caller convenience;
+    ``collect=False`` skips building that O(n·k) structure (an empty dict
+    is returned) for callers that only broadcast for the rounds/traffic —
+    the shared-hash agreement charge.  Network traffic is identical either
+    way.
     """
     item_list = list(items)
     n = net.n
-    received: dict[int, list[Any]] = {u: [] for u in range(n)}
-    received[src] = list(item_list)
+    if src == 0 and n > 1 and item_list:
+        first = item_list[0]
+        if all(it is first for it in item_list):
+            # Identical items (the agreement broadcasts send [h] * k): the
+            # per-node FIFO schedule collapses to one counter per tree
+            # depth — same rounds, same senders in the same order, same
+            # per-edge batches, without n deques or per-item inbox scans.
+            return _broadcast_uniform(
+                net, item_list, kind=kind, collect=collect
+            )
+    received: dict[int, list[Any]] = {u: [] for u in range(n)} if collect else {}
+    if collect:
+        received[src] = list(item_list)
     if n == 1 or not item_list:
         return received
 
@@ -183,11 +199,62 @@ def pipelined_broadcast(
         for v, rec in inbox.items():
             for payload in payloads_of(rec):
                 item = payload[1]
-                if v != src:
+                if collect and v != src:
                     received[v].append(item)
                 if 2 * v + 1 < n:
                     fifos.setdefault(v, deque()).append(item)
 
+    return received
+
+
+def _broadcast_uniform(
+    net: NCCNetwork,
+    item_list: list,
+    *,
+    kind: str,
+    collect: bool,
+) -> dict[int, list[Any]]:
+    """Closed-form pipelined broadcast of ``k`` identical items from node 0.
+
+    Every internal node at binary-tree depth ``d`` has the same queue
+    length every round (each parent ships the same batch size to both
+    children), and the generic loop's sender order is ascending node id —
+    the fifo dict stays sorted because each round's (re)insertions are the
+    ascending senders' ascending child pairs, covering disjoint increasing
+    id ranges.  So one depth-indexed counter dict replays the exact
+    traffic: same rounds, same flat message order, same batch sizes and
+    payload values.  Pinned differentially against the generic loop in
+    ``tests/test_primitives.py``.
+    """
+    n = net.n
+    k = len(item_list)
+    item = item_list[0]
+    rate = max(1, net.capacity // 2)
+    last_internal = (n - 2) // 2  # deepest node with a child in range
+    maxd = (last_internal + 1).bit_length() - 1
+    qd: dict[int, int] = {0: k}  # tree depth -> queue length (uniform)
+    while qd:
+        out = BatchBuilder(kind=kind)
+        takes = [(d, min(rate, qd[d])) for d in sorted(qd)]
+        for d, take in takes:
+            wrapped = [("B", item)] * take
+            lo = (1 << d) - 1
+            hi = min((1 << (d + 1)) - 2, last_internal)
+            for u in range(lo, hi + 1):
+                out.add_many(u, (2 * u + 1,) * take, wrapped)
+                if 2 * u + 2 < n:
+                    out.add_many(u, (2 * u + 2,) * take, wrapped)
+        net.exchange(out)
+        for d, take in takes:
+            qd[d] -= take
+            if not qd[d]:
+                del qd[d]
+            if d + 1 <= maxd:
+                qd[d + 1] = qd.get(d + 1, 0) + take
+    if not collect:
+        return {}
+    received = {u: [item] * k for u in range(n)}
+    received[0] = list(item_list)
     return received
 
 

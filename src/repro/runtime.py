@@ -79,8 +79,11 @@ class NCCRuntime:
 
         k = max(1, math.ceil(bits / self.net.message_bits))
         with self.net.phase("hash-agreement"):
+            # collect=False: only the rounds/messages/bits are the charge;
+            # nobody reads the per-node received lists.
             pipelined_broadcast(
-                self.net, self.bf, [0] * k, kind="hash-agreement"
+                self.net, self.bf, [0] * k, kind="hash-agreement",
+                collect=False,
             )
 
     # ------------------------------------------------------------------

@@ -27,7 +27,7 @@ import pytest
 
 import repro.config
 from repro import Enforcement, NCCConfig, NCCRuntime
-from repro.config import ENGINE_CHOICES
+from repro.config import ENGINE_CHOICES, LAZY_ENGINES
 from repro.graphs import generators, weights
 
 
@@ -36,8 +36,9 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         "--engine",
         action="store",
         default="reference",
-        choices=[*ENGINE_CHOICES, "both"],
-        help="round engine to replay the suite under (both = parametrize every test)",
+        choices=[*ENGINE_CHOICES, *LAZY_ENGINES, "both"],
+        help="round engine to replay the suite under "
+             "(both = parametrize every test over the built-in engines)",
     )
 
 

@@ -72,7 +72,9 @@ class TestRunReport:
     def test_fields(self):
         r = self._report()
         assert r.correct and r.rounds > 0 and r.messages > 0 and r.bits > 0
-        assert r.engine in ("reference", "batched")
+        from repro.config import known_engines
+
+        assert r.engine in known_engines()
         assert r.row["rounds"] > 0
         assert r.stats["rounds"] == r.rounds
         assert r.violations == []

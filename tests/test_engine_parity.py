@@ -1,4 +1,4 @@
-"""Differential parity harness: reference vs batched round engine.
+"""Differential parity harness: reference vs batched vs sharded engine.
 
 The round engines must be *observably indistinguishable* — same algorithm
 outputs, same round counts, same statistics (including the exact violation
@@ -37,10 +37,29 @@ from repro.ncc.message import (
 )
 from repro.ncc.network import NCCNetwork
 
-ENGINES = ("reference", "batched")
+ENGINES = ("reference", "batched", "sharded")
 MODES = tuple(Enforcement)
 N = 20
 SEED = 7
+
+
+def _engine_cfg(engine: str, **kw) -> NCCConfig:
+    """Config for one engine under differential replay.  The sharded
+    engine gets a worker count and a round cutoff of 1 so even these tiny
+    rounds take the real distributed block shuffle instead of inheriting
+    the batched delivery wholesale."""
+    if engine == "sharded":
+        extras = dict(kw.pop("extras", None) or {})
+        extras.setdefault("shard_cutoff", 1)
+        return NCCConfig(engine=engine, shards=3, extras=extras, **kw)
+    return NCCConfig(engine=engine, **kw)
+
+
+def _assert_parity(outcomes):
+    """Every engine's captured observables must equal the reference's."""
+    base = outcomes["reference"]
+    for engine, got in outcomes.items():
+        assert got == base, f"engine {engine!r} diverged from reference"
 
 
 def _graph():
@@ -76,10 +95,10 @@ assert _EXPECTED <= set(ALGORITHMS), sorted(_EXPECTED - set(ALGORITHMS))
 
 def _execute(engine: str, mode: Enforcement, run):
     """Run one algorithm under one engine; capture every observable."""
-    cfg = NCCConfig(
+    cfg = _engine_cfg(
+        engine,
         seed=SEED,
         enforcement=mode,
-        engine=engine,
         extras={"lightweight_sync": True},
     )
     rt = NCCRuntime(N, cfg)
@@ -102,11 +121,13 @@ class TestAlgorithmParity:
     @pytest.mark.parametrize("name", sorted(ALGORITHMS))
     def test_algorithm_indistinguishable(self, name, mode):
         runs = {e: _execute(e, mode, ALGORITHMS[name]) for e in ENGINES}
-        ref, bat = runs["reference"], runs["batched"]
-        assert ref["error"] == bat["error"]
-        assert ref["result"] == bat["result"]
-        assert ref["rounds"] == bat["rounds"]
-        assert ref["stats"] == bat["stats"]
+        ref = runs["reference"]
+        for engine in ENGINES[1:]:
+            got = runs[engine]
+            assert ref["error"] == got["error"], engine
+            assert ref["result"] == got["result"], engine
+            assert ref["rounds"] == got["rounds"], engine
+            assert ref["stats"] == got["stats"], engine
 
 
 # ----------------------------------------------------------------------
@@ -229,11 +250,13 @@ class TestPrimitiveParity:
     @pytest.mark.parametrize("name", sorted(PRIMITIVES))
     def test_primitive_indistinguishable(self, name, mode):
         runs = {e: _execute(e, mode, PRIMITIVES[name]) for e in ENGINES}
-        ref, bat = runs["reference"], runs["batched"]
-        assert ref["error"] == bat["error"]
-        assert ref["result"] == bat["result"]
-        assert ref["rounds"] == bat["rounds"]
-        assert ref["stats"] == bat["stats"]
+        ref = runs["reference"]
+        for engine in ENGINES[1:]:
+            got = runs[engine]
+            assert ref["error"] == got["error"], engine
+            assert ref["result"] == got["result"], engine
+            assert ref["rounds"] == got["rounds"], engine
+            assert ref["stats"] == got["stats"], engine
 
 
 # ----------------------------------------------------------------------
@@ -327,7 +350,7 @@ def _random_round(rng: random.Random, n: int, cap: int, *, batch: bool):
 
 
 def _replay(engine: str, mode: Enforcement, seed: int, *, batch: bool, n: int = 64):
-    cfg = NCCConfig(seed=SEED, enforcement=mode, engine=engine)
+    cfg = _engine_cfg(engine, seed=SEED, enforcement=mode)
     net = NCCNetwork(n, cfg)
     rng = random.Random(seed)
     trace = []
@@ -359,26 +382,26 @@ class TestExchangeFuzzParity:
         must raise identically in every mode and under every engine."""
         outcomes = {}
         for engine in ENGINES:
-            net = NCCNetwork(16, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            net = NCCNetwork(16, _engine_cfg(engine, seed=1, enforcement=mode))
             msgs = [Message(0, d % 16, "x") for d in range(net.capacity + 3)]
             msgs[2] = Message(1, 2, "x")  # wrong src, hidden mid-group
             with pytest.raises(ValueError) as e:
                 net.exchange({0: msgs})
             outcomes[engine] = (str(e.value), net.stats.comparable())
-        assert outcomes["reference"] == outcomes["batched"]
+        _assert_parity(outcomes)
 
     def test_huge_destination_id_rejected_not_allocated(self):
         """A single absurd dst id in a large round must raise the reference
         ValueError, not size a count table to dst.max()+1 slots."""
         outcomes = {}
         for engine in ENGINES:
-            net = NCCNetwork(1024, NCCConfig(seed=1, engine=engine))
+            net = NCCNetwork(1024, _engine_cfg(engine, seed=1))
             msgs = [Message(s % 1024, (s + 1) % 1024, "x") for s in range(300)]
             msgs[150] = Message(150, 10**12, "x")
             with pytest.raises(ValueError) as e:
                 net.exchange(msgs)
             outcomes[engine] = str(e.value)
-        assert outcomes["reference"] == outcomes["batched"]
+        _assert_parity(outcomes)
 
     def test_id_beyond_int64_rejected_identically(self):
         """An id that does not fit an int64 column must still raise the
@@ -387,7 +410,7 @@ class TestExchangeFuzzParity:
         outcomes = {}
         for engine in ENGINES:
             for batch in (False, True):
-                net = NCCNetwork(1024, NCCConfig(seed=1, engine=engine))
+                net = NCCNetwork(1024, _engine_cfg(engine, seed=1))
                 dsts = [(s + 1) % 1024 for s in range(300)]
                 dsts[150] = 2**63
                 if batch:
@@ -425,13 +448,13 @@ class TestExchangeFuzzParity:
         under both engines."""
         outcomes = {}
         for engine in ENGINES:
-            net = NCCNetwork(16, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            net = NCCNetwork(16, _engine_cfg(engine, seed=1, enforcement=mode))
             empty = MessageBatch.from_columns(3, [], [])
             assert len(empty) == 0
             assert empty.list_cols == ([], [], [])
             inbox = net.exchange({3: empty})
             outcomes[engine] = (inbox, net.round_index, net.stats.comparable())
-        assert outcomes["reference"] == outcomes["batched"]
+        _assert_parity(outcomes)
         assert outcomes["reference"][0] == {}
         assert outcomes["reference"][1] == 1
 
@@ -441,14 +464,14 @@ class TestExchangeFuzzParity:
         bits accounting, under both engines."""
         outcomes = {}
         for engine in ENGINES:
-            net = NCCNetwork(16, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            net = NCCNetwork(16, _engine_cfg(engine, seed=1, enforcement=mode))
             batch = MessageBatch.from_columns(4, [9], [("one", 5)], kind="solo")
             inbox = net.exchange({4: batch})
             outcomes[engine] = (
                 [(d, msgs) for d, msgs in inbox.items()],
                 net.stats.comparable(),
             )
-        assert outcomes["reference"] == outcomes["batched"]
+        _assert_parity(outcomes)
         ((dst, msgs),) = outcomes["reference"][0]
         assert dst == 9
         assert len(msgs) == 1
@@ -463,7 +486,7 @@ class TestExchangeFuzzParity:
         payloads = [("tup", 3, 7), 42, None, True, ("nested", (1, 2)), "tag"]
         outcomes = {}
         for engine in ENGINES:
-            net = NCCNetwork(16, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            net = NCCNetwork(16, _engine_cfg(engine, seed=1, enforcement=mode))
             batch = MessageBatch.from_columns(
                 0, list(range(1, len(payloads) + 1)), payloads, kind="mix"
             )
@@ -472,7 +495,7 @@ class TestExchangeFuzzParity:
                 [(d, [(m.payload, m.bits) for m in msgs]) for d, msgs in inbox.items()],
                 net.stats.comparable(),
             )
-        assert outcomes["reference"] == outcomes["batched"]
+        _assert_parity(outcomes)
         delivered = dict(outcomes["reference"][0])
         assert delivered[2] == [(42, 6)]
         assert delivered[3] == [(None, 1)]
@@ -481,13 +504,13 @@ class TestExchangeFuzzParity:
     def test_bad_destination_indistinguishable(self, mode):
         outcomes = {}
         for engine in ENGINES:
-            net = NCCNetwork(16, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            net = NCCNetwork(16, _engine_cfg(engine, seed=1, enforcement=mode))
             msgs = [Message(0, d % 16, "x") for d in range(net.capacity + 3)]
             msgs[-1] = Message(0, 99, "x")  # out-of-range dst
             with pytest.raises(ValueError) as e:
                 net.exchange({0: msgs})
             outcomes[engine] = (str(e.value), net.stats.comparable())
-        assert outcomes["reference"] == outcomes["batched"]
+        _assert_parity(outcomes)
 
 
 # ----------------------------------------------------------------------
@@ -520,30 +543,34 @@ class TestInboxBatchParity:
         inboxes = {}
         stats = {}
         for engine in ENGINES:
-            net = NCCNetwork(n, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            net = NCCNetwork(n, _engine_cfg(engine, seed=1, enforcement=mode))
             inboxes[engine] = net.exchange(
                 _deferred_round_traffic(n, count, mixed_kinds=mixed)
             )
             stats[engine] = net.stats.comparable()
-        ref, bat = inboxes["reference"], inboxes["batched"]
-        assert stats["reference"] == stats["batched"]
-        # Dict equality AND order, both comparison directions.
-        assert list(ref.keys()) == list(bat.keys())
-        assert ref == bat
-        assert [(d, m) for d, m in bat.items()] == [(d, m) for d, m in ref.items()]
-        # The batched engine delivered lazy views; the reference, lists.
+        ref = inboxes["reference"]
+        # The reference engine delivered lists; the lazy engines, views.
         assert all(type(box) is list for box in ref.values())
-        assert all(type(box) is InboxBatch for box in bat.values())
-        # Column accessors agree with the reference lists without
-        # constructing messages.
-        before = message_construction_count()
-        for dst, box in bat.items():
-            assert box.payloads() == [m.payload for m in ref[dst]]
-            assert box.srcs() == [m.src for m in ref[dst]]
-            assert box.dsts() == [dst] * len(ref[dst])
-            assert box.kinds() == [m.kind for m in ref[dst]]
-            assert box.items() == [(m.src, m.payload) for m in ref[dst]]
-        assert message_construction_count() == before
+        for engine in ENGINES[1:]:
+            bat = inboxes[engine]
+            assert stats["reference"] == stats[engine], engine
+            # Dict equality AND order, both comparison directions.
+            assert list(ref.keys()) == list(bat.keys()), engine
+            assert ref == bat, engine
+            assert [(d, m) for d, m in bat.items()] == [
+                (d, m) for d, m in ref.items()
+            ], engine
+            assert all(type(box) is InboxBatch for box in bat.values()), engine
+            # Column accessors agree with the reference lists without
+            # constructing messages.
+            before = message_construction_count()
+            for dst, box in bat.items():
+                assert box.payloads() == [m.payload for m in ref[dst]]
+                assert box.srcs() == [m.src for m in ref[dst]]
+                assert box.dsts() == [dst] * len(ref[dst])
+                assert box.kinds() == [m.kind for m in ref[dst]]
+                assert box.items() == [(m.src, m.payload) for m in ref[dst]]
+            assert message_construction_count() == before, engine
 
     @pytest.mark.parametrize("count", [2, 8], ids=["small", "argsort"])
     def test_clean_batched_round_constructs_zero_messages(self, count):
@@ -571,7 +598,7 @@ class TestInboxBatchParity:
         outcomes = {}
         for engine in ENGINES:
             net = NCCNetwork(
-                32, NCCConfig(seed=1, enforcement=mode, engine=engine)
+                32, _engine_cfg(engine, seed=1, enforcement=mode)
             )
             inbox = net.exchange(_deferred_round_traffic(32, 3))
             flat = [m for box in inbox.values() for m in box]
@@ -587,7 +614,7 @@ class TestInboxBatchParity:
                 third,
                 net.stats.comparable(),
             )
-        assert outcomes["reference"] == outcomes["batched"]
+        _assert_parity(outcomes)
 
     @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
     def test_deferred_overload_walks_match(self, mode):
@@ -596,7 +623,7 @@ class TestInboxBatchParity:
         n = 64
         outcomes = {}
         for engine in ENGINES:
-            net = NCCNetwork(n, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            net = NCCNetwork(n, _engine_cfg(engine, seed=1, enforcement=mode))
             out = BatchBuilder(kind="hot")
             for u in range(net.capacity + 10):
                 out.add(u, 0, ("h", u))
@@ -609,7 +636,7 @@ class TestInboxBatchParity:
                 )
             except ReproError as e:
                 outcomes[engine] = (type(e).__name__, str(e), net.stats.comparable())
-        assert outcomes["reference"] == outcomes["batched"]
+        _assert_parity(outcomes)
 
     def test_deferred_bad_ids_walk_to_reference_errors(self):
         """Out-of-range ids inside a deferred submission raise the
@@ -619,7 +646,7 @@ class TestInboxBatchParity:
         for count, bad_dst in ((2, 99), (8, 99), (2, 2**63), (8, 2**63)):
             outcomes = {}
             for engine in ENGINES:
-                net = NCCNetwork(16, NCCConfig(seed=1, engine=engine))
+                net = NCCNetwork(16, _engine_cfg(engine, seed=1))
                 out = BatchBuilder()
                 for u in range(16):
                     for i in range(count):
@@ -628,7 +655,7 @@ class TestInboxBatchParity:
                 with pytest.raises(ValueError) as e:
                     net.exchange(out)
                 outcomes[engine] = (str(e.value), net.stats.comparable())
-            assert outcomes["reference"] == outcomes["batched"]
+            _assert_parity(outcomes)
 
     @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
     def test_duplicate_coercing_keys_merge_inbox_batches(self, mode):
@@ -636,7 +663,7 @@ class TestInboxBatchParity:
         merge even when the first value is a delivered InboxBatch."""
         outcomes = {}
         for engine in ENGINES:
-            net = NCCNetwork(32, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            net = NCCNetwork(32, _engine_cfg(engine, seed=1, enforcement=mode))
             inbox = net.exchange(_deferred_round_traffic(32, 2))
             box = inbox[2]  # receiver 2's batch: all messages have dst 2
             # 2.5 and 2 are distinct dict keys but coerce to one sender.
@@ -650,7 +677,7 @@ class TestInboxBatchParity:
                 )
             except (ReproError, ValueError) as e:
                 outcomes[engine] = (type(e).__name__, str(e), net.stats.comparable())
-        assert outcomes["reference"] == outcomes["batched"]
+        _assert_parity(outcomes)
 
     @pytest.mark.parametrize("mode", MODES, ids=[m.value for m in MODES])
     def test_numpy_free_degraded_path(self, mode, monkeypatch):
@@ -664,17 +691,20 @@ class TestInboxBatchParity:
         stats = {}
         constructed = {}
         for engine in ENGINES:
-            net = NCCNetwork(n, NCCConfig(seed=1, enforcement=mode, engine=engine))
+            net = NCCNetwork(n, _engine_cfg(engine, seed=1, enforcement=mode))
             before = message_construction_count()
             inboxes[engine] = net.exchange(_deferred_round_traffic(n, 8))
             constructed[engine] = message_construction_count() - before
             stats[engine] = net.stats.comparable()
-        assert stats["reference"] == stats["batched"]
-        assert inboxes["reference"] == inboxes["batched"]
-        assert list(inboxes["reference"]) == list(inboxes["batched"])
-        assert constructed["batched"] == 0
         assert constructed["reference"] > 0
-        assert all(type(b) is InboxBatch for b in inboxes["batched"].values())
+        for engine in ENGINES[1:]:
+            assert stats["reference"] == stats[engine], engine
+            assert inboxes["reference"] == inboxes[engine], engine
+            assert list(inboxes["reference"]) == list(inboxes[engine]), engine
+            assert constructed[engine] == 0, engine
+            assert all(
+                type(b) is InboxBatch for b in inboxes[engine].values()
+            ), engine
 
     def test_numpy_free_overload_parity(self, monkeypatch):
         monkeypatch.setattr(batched_mod, "_np", None)
@@ -682,7 +712,7 @@ class TestInboxBatchParity:
         outcomes = {}
         for engine in ENGINES:
             net = NCCNetwork(
-                64, NCCConfig(seed=1, enforcement=Enforcement.DROP, engine=engine)
+                64, _engine_cfg(engine, seed=1, enforcement=Enforcement.DROP)
             )
             out = BatchBuilder(kind="hot")
             for u in range(net.capacity + 10):
@@ -692,4 +722,4 @@ class TestInboxBatchParity:
                 [(d, sorted(m.payload[1] for m in msgs)) for d, msgs in inbox.items()],
                 net.stats.comparable(),
             )
-        assert outcomes["reference"] == outcomes["batched"]
+        _assert_parity(outcomes)

@@ -84,6 +84,43 @@ class TestRuleCorpus:
         found = findings_for(fixture("ncc006_good.py"), "NCC006")
         assert found == [], found
 
+    def test_ncc006_covers_shard_worker_surface(self, tmp_path):
+        # The shard-pool package is part of the worker import surface: the
+        # same ambient-state hazards apply to the per-round block workers.
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "# reprolint: path=src/repro/ncc/sharded/fixture_workers.py\n"
+            "_inflight = {}\n"
+        )
+        assert [f.rule for f in run_paths([str(bad)]).findings] == ["NCC006"]
+        # ...while the write-once pool-handle scalar idiom stays exempt.
+        good = tmp_path / "good.py"
+        good.write_text(
+            "# reprolint: path=src/repro/ncc/sharded/fixture_workers.py\n"
+            "_POOL = None\n"
+        )
+        assert run_paths([str(good)]).findings == []
+
+    def test_ncc002_covers_sharded_engine(self, tmp_path):
+        # The sharded delivery modules are hot-path: Message construction
+        # and whole-inbox boxing are flagged there exactly as in batched.py.
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "# reprolint: path=src/repro/ncc/sharded/engine.py\n"
+            "def deliver(Message, box):\n"
+            "    Message(0, 1, 'x')\n"
+            "    return box.payloads()\n"
+        )
+        found = findings_for(str(bad), "NCC002")
+        assert len(found) == 2, found
+        good = tmp_path / "good.py"
+        good.write_text(
+            "# reprolint: path=src/repro/ncc/sharded/engine.py\n"
+            "def deliver(box):\n"
+            "    return box.payload_array()\n"
+        )
+        assert findings_for(str(good), "NCC002") == []
+
 
 # ----------------------------------------------------------------------
 # Framework mechanics
