@@ -23,7 +23,11 @@ theorem's bound:
   Aggregation run at n = 4096 with declared payload dtypes must beat the
   object-column pipeline while constructing zero ``Message`` objects *and*
   zero Python payload boxes, and the same comparison is recorded at
-  n = 4096 / 16384 / 65536 in BENCH_engine.json.
+  n = 4096 / 16384 / 65536 in BENCH_engine.json;
+* P-TELEM — the disabled-telemetry overhead gate: the tracer hooks wired
+  through the engines must cost <= 3% of the P-TYPED whole-run wall time
+  when no tracer is installed (hook-firing count x microbenchmarked
+  disabled-guard cost, see the test's docstring).
 """
 
 import math
@@ -675,6 +679,101 @@ def test_typed_columns_scale_ladder(benchmark, report):
         )
     )
     emit_bench_json("typed_columns_ladder", ladder)
+    run_once(benchmark, lambda: None)
+
+
+TELEMETRY_OVERHEAD_BUDGET = 0.03
+
+
+def _disabled_guard_cost(iters=2_000_000):
+    """Per-firing cost of the disabled tracer hook: one module-attribute
+    load plus an ``is None`` test (loop overhead included, which only
+    overstates the cost — the gate stays conservative)."""
+    from repro.telemetry import tracer as _tracer
+
+    assert _tracer.CURRENT is None
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        if _tracer.CURRENT is not None:  # pragma: no cover - tracing is off
+            raise AssertionError("tracer installed during guard benchmark")
+    return (time.perf_counter() - t0) / iters
+
+
+def test_telemetry_disabled_overhead(benchmark, report):
+    """P-TELEM: disabled tracer hooks cost <= 3% of a typed whole run.
+
+    The hooks are compiled into the engines, so "before instrumentation"
+    cannot be timed directly; the gate is arithmetic instead.  A traced
+    run of the P-TYPED workload counts how often the instrumented sites
+    fire (every span is a begin/end or stamp pair, every event one call),
+    a microbenchmark prices the disabled-path guard (one module-attribute
+    load + ``is None`` test), and the product must stay under
+    ``TELEMETRY_OVERHEAD_BUDGET`` of the untraced wall time.  The traced
+    wall time rides along in BENCH_engine.json for context (it is *not*
+    the gate: tracing on pays for real record-keeping by design).
+    """
+    from repro.telemetry import tracing
+
+    n = 4096
+    t_off, _, _, _ = _typed_gate_run(n, typed=True, repeats=2)
+
+    prob = _typed_gate_problem(n)
+    previous = set_typed_payloads(True)
+    try:
+        cfg = NCCConfig(
+            seed=0,
+            enforcement=Enforcement.COUNT,
+            engine="batched",
+            extras={"lightweight_sync": True},
+        )
+        rt = NCCRuntime(n, cfg)
+        with tracing(label="overhead-gate") as tr:
+            t0 = time.perf_counter()
+            rt.aggregation(prob)
+            t_on = time.perf_counter() - t0
+    finally:
+        set_typed_payloads(previous)
+
+    spans = sum(1 for kind, _, _ in tr.structure() if kind == "span")
+    events = len(tr.records) - spans
+    firings = 2 * spans + events
+    guard_s = _disabled_guard_cost()
+    overhead_frac = (firings * guard_s) / t_off
+
+    report(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["untraced wall s", round(t_off, 4)],
+                ["traced wall s", round(t_on, 4)],
+                ["hook firings", firings],
+                ["guard cost ns", round(guard_s * 1e9, 2)],
+                ["disabled overhead", f"{overhead_frac:.5%}"],
+            ],
+            title=(
+                f"P-TELEM  Disabled-telemetry overhead at n={n} "
+                f"(acceptance: <= {TELEMETRY_OVERHEAD_BUDGET:.0%} of the "
+                "untraced run)"
+            ),
+        )
+    )
+    emit_bench_json(
+        "telemetry_overhead",
+        {
+            "budget": TELEMETRY_OVERHEAD_BUDGET,
+            "disabled_overhead_frac": round(overhead_frac, 6),
+            "guard_cost_ns": round(guard_s * 1e9, 3),
+            "hook_firings": firings,
+            "n": n,
+            "traced_run_s": round(t_on, 4),
+            "untraced_run_s": round(t_off, 4),
+        },
+    )
+    assert overhead_frac <= TELEMETRY_OVERHEAD_BUDGET, (
+        f"disabled telemetry hooks cost {overhead_frac:.3%} of the typed "
+        f"run at n={n} ({firings} firings x {guard_s * 1e9:.1f} ns), over "
+        f"the {TELEMETRY_OVERHEAD_BUDGET:.0%} budget"
+    )
     run_once(benchmark, lambda: None)
 
 

@@ -41,13 +41,23 @@
 #      at n = 10^5 and 10^6 — the n = 10^6 sharded row completing is an
 #      acceptance artifact on any host; the speedup gate applies only on
 #      >= 4 cores (below that the pool shares the parent's core);
-#  11. reprolint (`python -m repro lint --strict`): the AST invariant
+#  11. the telemetry gates: the disabled-tracer overhead benchmark
+#      (hook firings x guard cost <= 3% of the P-TYPED run ->
+#      BENCH_engine.json `telemetry_overhead`), a traced parity replay
+#      (tests/test_engine_parity.py under --tracing: live hooks must not
+#      change a byte), and a traced smoke — `run --trace` into
+#      TRACE_run.json (override with TRACE_RUN_JSON), `repro trace`
+#      + `--bounds` summaries of it, and a pooled `sweep --telemetry`
+#      whose merged trace/events/summary land in TRACE_sweep/ (override
+#      with TRACE_SWEEP_DIR) for the CI artifact;
+#  12. reprolint (`python -m repro lint --strict`): the AST invariant
 #      checks — determinism, hot-path purity, registry discipline,
-#      canonical-schema freeze, engine-parity locality, pool fork-safety —
+#      canonical-schema freeze, engine-parity locality, pool fork-safety,
+#      telemetry clock containment —
 #      fail on any non-baselined finding or a baseline that should have
 #      shrunk; the JSON findings document lands in REPROLINT_findings.json
 #      (override with REPROLINT_JSON) for the CI artifact;
-#  12. a final check that every expected section actually landed in
+#  13. a final check that every expected section actually landed in
 #      BENCH_engine.json (the cross-PR trajectory artifact) — this is the
 #      check that catches a benchmark silently dropping its section, as
 #      `sweep_session` once did.
@@ -128,6 +138,24 @@ PY
 echo "== sharded engine ladder (n = 10^5 and 10^6) =="
 python -m pytest -q benchmarks/bench_sharded.py
 
+echo "== telemetry overhead gate (disabled hooks <= 3%) =="
+python -m pytest -q benchmarks/bench_primitives.py -k "telemetry"
+
+echo "== traced parity replay (live hooks change nothing) =="
+python -m pytest -q tests/test_engine_parity.py tests/test_telemetry.py --tracing
+
+echo "== telemetry smoke (run --trace, repro trace, sweep --telemetry) =="
+TRACE_RUN_JSON="${TRACE_RUN_JSON:-TRACE_run.json}"
+TRACE_SWEEP_DIR="${TRACE_SWEEP_DIR:-TRACE_sweep}"
+rm -rf "$TRACE_SWEEP_DIR"
+python -m repro run mst --n 64 --trace "$TRACE_RUN_JSON" > /dev/null
+python -m repro trace "$TRACE_RUN_JSON" > /dev/null
+python -m repro trace "$TRACE_RUN_JSON" --bounds | tail -n 3
+python -m repro sweep --algos mis,matching --ns 32 --seeds 0:3 --jobs 2 \
+    --telemetry "$TRACE_SWEEP_DIR" --out /dev/null
+python -m repro trace "$TRACE_SWEEP_DIR/trace.json" | head -n 1
+test -s "$TRACE_SWEEP_DIR/events.jsonl" && test -s "$TRACE_SWEEP_DIR/summary.txt"
+
 echo "== reprolint (static invariant checks) =="
 python -m repro lint src tests benchmarks --strict \
     --output "${REPROLINT_JSON:-REPROLINT_findings.json}"
@@ -139,9 +167,11 @@ path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
 with open(path, encoding="utf-8") as fh:
     data = json.load(fh)
 required = ("typed_columns", "typed_columns_ladder", "sweep_session", "scenarios",
-            "sharded_ladder")
+            "sharded_ladder", "telemetry_overhead")
 missing = [s for s in required if s not in data]
 assert not missing, f"{path} is missing sections: {missing}"
+telem = data["telemetry_overhead"]
+assert telem["disabled_overhead_frac"] <= telem["budget"], telem
 gate = data["typed_columns"]
 assert gate["whole_run_speedup"] >= gate["target"], gate
 assert gate["messages_constructed_typed_run"] == 0, gate

@@ -48,7 +48,13 @@ from typing import Any, Callable, Iterator, Sequence
 
 from ..errors import ConfigurationError
 from ..ncc.graph_input import InputGraph
+from ..telemetry import tracer as _tracer
+from ..telemetry.metrics import METRICS, MetricRegistry
+from ..telemetry.tracer import Tracer, install_tracer, uninstall_tracer
 from .schema import RunSpec
+
+_POOL_CRASHES = METRICS.counter("pool.crashes")
+_POOL_PUBLISHES = METRICS.counter("pool.publishes")
 
 #: times a single spec may be requeued after killing a worker before the
 #: sweep aborts (a deterministic worker-killer would otherwise take the
@@ -193,9 +199,15 @@ def _maybe_chaos_kill(spec: RunSpec) -> None:
 
 
 def _worker_main(conn, base_config, cache: bool) -> None:
-    """Long-lived worker loop: recv ``(idx, spec_dict, wl_key, wl_ref)``
-    tasks, run them on a warm worker-local Session, send back
-    ``(idx, report_dict)``.  ``None`` (or a closed pipe) shuts down."""
+    """Long-lived worker loop: recv ``(idx, spec_dict, wl_key, wl_ref,
+    trace)`` tasks, run them on a warm worker-local Session, send back
+    ``(idx, report_dict)``.  ``None`` (or a closed pipe) shuts down.
+
+    When the task's ``trace`` flag is set the run executes under a fresh
+    per-row tracer and its payload ships back piggybacked on the report
+    dict under ``"__telemetry__"`` — a key :meth:`RunReport.from_dict`
+    ignores by schema design and the session strips before the report is
+    built, so the canonical surface never sees it."""
     from .session import Session
 
     session = Session(base_config=base_config, cache=cache)
@@ -207,7 +219,7 @@ def _worker_main(conn, base_config, cache: bool) -> None:
             break
         if msg is None:
             break
-        gen, idx, spec_data, wl_key, wl_ref = msg
+        gen, idx, spec_data, wl_key, wl_ref, trace = msg
         spec = RunSpec.from_dict(spec_data)
         _maybe_chaos_kill(spec)
         if wl_key is not None and wl_ref is not None:
@@ -217,10 +229,27 @@ def _worker_main(conn, base_config, cache: bool) -> None:
                 if cache:
                     attached[wl_ref["shm"]] = g
             session._workload_cache[wl_key] = g
-        report = session.run(spec)
+        payload = None
+        if trace:
+            counters_before = METRICS.snapshot()
+            tracer = Tracer(label=f"row-{idx}", row=idx)
+            previous = install_tracer(tracer)
+            try:
+                report = session.run(spec)
+            finally:
+                uninstall_tracer(previous)
+            payload = tracer.to_payload()
+            payload["counters"] = MetricRegistry.delta(
+                counters_before, payload["counters"]
+            )
+        else:
+            report = session.run(spec)
         if not cache:
             session._workload_cache.clear()
-        conn.send((gen, idx, report.to_dict(timing=True)))
+        data = report.to_dict(timing=True)
+        if payload is not None:
+            data["__telemetry__"] = payload
+        conn.send((gen, idx, data))
     conn.close()
 
 
@@ -291,6 +320,15 @@ class PersistentPool:
         if seg is None:
             seg = _Segment(build())
             self._segments[key] = seg
+            _POOL_PUBLISHES.inc()
+            tr = _tracer.CURRENT
+            if tr is not None:
+                tr.event(
+                    "pool-publish",
+                    key=str(key),
+                    nbytes=seg.shm.size,
+                    segments=len(self._segments),
+                )
         return seg.ref
 
     def release_segments(self) -> None:
@@ -308,9 +346,13 @@ class PersistentPool:
         items: Sequence[tuple[int, dict, Any, dict | None]],
         *,
         on_incident: Callable[[dict[str, Any]], None] | None = None,
+        trace: bool = False,
     ) -> Iterator[tuple[int, dict]]:
         """Fan ``items`` (``(idx, spec_dict, wl_key, wl_ref)``) out over
         the workers; yield ``(idx, report_dict)`` in completion order.
+        With ``trace`` each worker runs its row under a fresh tracer and
+        ships the payload back under the report dict's ``"__telemetry__"``
+        key (stripped by the session before the report is built).
 
         Worker deaths are survived: the dead worker's in-flight item is
         requeued (up to :data:`MAX_REQUEUES` times per item) and the
@@ -336,7 +378,7 @@ class PersistentPool:
                 wid = idle.pop()
                 item = pending.popleft()
                 try:
-                    self._workers[wid].conn.send((gen, *item))
+                    self._workers[wid].conn.send((gen, *item, trace))
                 except (BrokenPipeError, OSError):
                     # Death noticed at dispatch: requeue, drop the worker.
                     pending.appendleft(item)
@@ -344,6 +386,9 @@ class PersistentPool:
                         item, wid, attempts, pending, on_incident, sent=False
                     )
                     continue
+                tr = _tracer.CURRENT
+                if tr is not None:
+                    tr.event("pool-dispatch", row=item[0], worker=wid)
                 inflight[wid] = item
             if not self._workers:
                 raise WorkerCrashError(
@@ -409,17 +454,20 @@ class PersistentPool:
             # about the spec itself.
             attempts[idx] = attempts.get(idx, 0) + 1
             over_budget = attempts[idx] > MAX_REQUEUES
+        incident = {
+            "kind": "worker-crash",
+            "row": idx,
+            "exitcode": exitcode,
+            "requeued": requeued and not over_budget,
+            "attempt": attempts.get(idx, 0) if requeued else 0,
+            "workers_left": len(self._workers),
+        }
+        _POOL_CRASHES.inc()
+        tr = _tracer.CURRENT
+        if tr is not None:
+            tr.event("worker-crash", **incident)
         if on_incident is not None:
-            on_incident(
-                {
-                    "kind": "worker-crash",
-                    "row": idx,
-                    "exitcode": exitcode,
-                    "requeued": requeued and not over_budget,
-                    "attempt": attempts.get(idx, 0) if requeued else 0,
-                    "workers_left": len(self._workers),
-                }
-            )
+            on_incident(incident)
         if over_budget:
             raise WorkerCrashError(
                 f"sweep row {idx} crashed {attempts[idx]} workers in a row; "

@@ -40,6 +40,9 @@ from typing import Any, Callable, Iterable, Sequence
 from ..config import Enforcement, NCCConfig, default_engine
 from ..errors import ConfigurationError
 from ..registry import bench_config, get_algorithm
+from ..telemetry import tracer as _tracer
+from ..telemetry.metrics import METRICS, MetricRegistry
+from ..telemetry.tracer import Tracer, install_tracer, uninstall_tracer
 from .manifest import Manifest
 from .schema import RunReport, RunSpec
 from .store import ResultStore
@@ -130,6 +133,12 @@ class Session:
         self._pool: Any = None  # lazily-spawned PersistentPool
         self._bf_cache: dict[int, Any] = {}
         self._workload_cache: dict[tuple, Any] = {}
+        #: engine incident journal of the most recent :meth:`run` (e.g.
+        #: shard-worker crashes the run survived) — kept off the report,
+        #: which is part of the byte-identical canonical surface.
+        self.last_incidents: list[dict] = []
+        #: pool/engine incidents of the most recent :meth:`run_many`.
+        self.last_sweep_incidents: list[dict] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -295,7 +304,10 @@ class Session:
         )
         wall = time.perf_counter() - t0
         rt = ex.runtime
-        return RunReport(
+        # Surface the engine's incident journal (shard-worker crashes the
+        # run survived): sidecar state only — the report stays canonical.
+        self.last_incidents = list(getattr(rt.net.engine, "incidents", ()) or ())
+        report = RunReport(
             spec=spec,
             row=ex.row,
             engine=rt.config.resolve_engine(),
@@ -306,6 +318,25 @@ class Session:
             stats=rt.net.stats.to_dict(),
             wall_time_s=wall,
         )
+        tr = _tracer.CURRENT
+        if tr is not None:
+            tr.add_span(
+                "run",
+                t0,
+                t0 + wall,
+                algorithm=spec.algorithm,
+                n=spec.n,
+                a=spec.a,
+                seed=spec.seed,
+                engine=report.engine,
+                scenario=spec.scenario or "",
+                shards=spec.shards,
+                rounds=report.rounds,
+                messages=report.messages,
+                bits=report.bits,
+                incidents=len(self.last_incidents),
+            )
+        return report
 
     def run_many(
         self,
@@ -318,6 +349,7 @@ class Session:
         manifest: "Manifest | str | None" = None,
         shards: int = 1,
         max_rows: int | None = None,
+        telemetry: Any = None,
     ) -> list[RunReport]:
         """Execute specs (in order); optionally journal, persist, resume.
 
@@ -348,6 +380,14 @@ class Session:
             Process at most this many rows this invocation and return
             (the manifest stays resumable) — chunked draining of very
             large grids.
+        telemetry:
+            Optional :class:`~repro.telemetry.sweep.SweepTelemetry`: every
+            row runs under a fresh tracer (in-process for serial rows,
+            inside the worker for pooled rows — payloads ship back over
+            the result pipes) and pool-level events land on its parent
+            tracer.  Purely a sidecar: reports, stores, and JSONL stay
+            byte-identical with or without it.  Call ``finalize()`` on it
+            afterwards to write the merged trace directory.
 
         Returns the full in-order report list (resumed prefix included).
         Byte-determinism: the same grid yields identical ``out`` bytes and
@@ -406,13 +446,20 @@ class Session:
                 progress(r)
             reports.append(r)
 
+        self.last_sweep_incidents = []
         if jobs <= 1 or len(todo) <= 1:
             for i, s in enumerate(todo):
-                emit(i, self.run(s))
+                if telemetry is None:
+                    report = self.run(s)
+                else:
+                    report = self._run_traced_row(i, s, telemetry)
+                if self.last_incidents:
+                    self.last_sweep_incidents.extend(self.last_incidents)
+                emit(i, report)
         elif self._resolved_pool_kind() == "persistent":
-            self._run_persistent(todo, jobs, emit, mani)
+            self._run_persistent(todo, jobs, emit, mani, telemetry)
         else:
-            self._run_fork_pool(todo, jobs, emit)
+            self._run_fork_pool(todo, jobs, emit, telemetry)
         if out is not None:
             from .schema import dump_reports
 
@@ -448,43 +495,84 @@ class Session:
             )
         return self._pool
 
+    def _run_traced_row(self, i: int, spec: RunSpec, telemetry: Any) -> RunReport:
+        """One serial sweep row under a fresh tracer; the payload (with
+        counter deltas for just this row) lands on the collector."""
+        counters_before = METRICS.snapshot()
+        tracer = Tracer(label=f"row-{i}", row=i)
+        previous = install_tracer(tracer)
+        try:
+            report = self.run(spec)
+        finally:
+            uninstall_tracer(previous)
+        payload = tracer.to_payload()
+        payload["counters"] = MetricRegistry.delta(
+            counters_before, payload["counters"]
+        )
+        telemetry.add_row(i, payload)
+        return report
+
     def _run_persistent(
         self,
         todo: Sequence[RunSpec],
         jobs: int,
         emit: Callable[[int, RunReport], None],
         mani: "Manifest | None",
+        telemetry: Any = None,
     ) -> None:
-        pool = self._persistent_pool(min(jobs, len(todo)))
-        items = []
-        for i, s in enumerate(todo):
-            key = self.workload_key(s)
-            ref = pool.publish_workload(
-                key,
-                lambda s=s: self._workload(get_algorithm(s.algorithm), s),
-            )
-            items.append((i, s.to_dict(), key, ref))
-        on_incident = mani.record_incident if mani is not None else None
-        # Completions arrive in any order (and reruns after a crash);
-        # re-serialize into spec order so every downstream observer —
-        # store, manifest, progress, JSONL — sees a deterministic stream.
-        buffered: dict[int, RunReport] = {}
-        next_i = 0
+        # The collector's parent tracer is installed for the whole
+        # dispatch so pool-level events (publish/dispatch/crash) are
+        # captured alongside the per-row worker traces.
+        previous = (
+            install_tracer(telemetry.tracer) if telemetry is not None else None
+        )
         try:
-            for i, data in pool.run(items, on_incident=on_incident):
-                buffered[i] = RunReport.from_dict(data)
-                while next_i in buffered:
-                    emit(next_i, buffered.pop(next_i))
-                    next_i += 1
+            pool = self._persistent_pool(min(jobs, len(todo)))
+            items = []
+            for i, s in enumerate(todo):
+                key = self.workload_key(s)
+                ref = pool.publish_workload(
+                    key,
+                    lambda s=s: self._workload(get_algorithm(s.algorithm), s),
+                )
+                items.append((i, s.to_dict(), key, ref))
+
+            def on_incident(incident: dict) -> None:
+                self.last_sweep_incidents.append(incident)
+                if mani is not None:
+                    mani.record_incident(incident)
+
+            # Completions arrive in any order (and reruns after a crash);
+            # re-serialize into spec order so every downstream observer —
+            # store, manifest, progress, JSONL — sees a deterministic stream.
+            buffered: dict[int, RunReport] = {}
+            next_i = 0
+            try:
+                for i, data in pool.run(
+                    items,
+                    on_incident=on_incident,
+                    trace=telemetry is not None,
+                ):
+                    payload = data.pop("__telemetry__", None)
+                    if telemetry is not None:
+                        telemetry.add_row(i, payload)
+                    buffered[i] = RunReport.from_dict(data)
+                    while next_i in buffered:
+                        emit(next_i, buffered.pop(next_i))
+                        next_i += 1
+            finally:
+                if not self._cache_enabled:
+                    self.close()
         finally:
-            if not self._cache_enabled:
-                self.close()
+            if telemetry is not None:
+                uninstall_tracer(previous)
 
     def _run_fork_pool(
         self,
         specs: Sequence[RunSpec],
         jobs: int,
         emit: Callable[[int, RunReport], None],
+        telemetry: Any = None,
     ) -> None:
         import multiprocessing as mp
         from concurrent.futures import ProcessPoolExecutor
@@ -496,9 +584,12 @@ class Session:
             max_workers=min(jobs, len(specs)),
             mp_context=ctx,
             initializer=_init_worker,
-            initargs=(self.base_config, self._cache_enabled),
+            initargs=(self.base_config, self._cache_enabled, telemetry is not None),
         ) as pool:
             for i, data in enumerate(pool.map(_worker_run, payloads, chunksize=1)):
+                payload = data.pop("__telemetry__", None)
+                if telemetry is not None:
+                    telemetry.add_row(i, payload)
                 emit(i, RunReport.from_dict(data))
 
 
@@ -506,19 +597,35 @@ class Session:
 # Worker-process plumbing (module-level: must be picklable by reference)
 # ----------------------------------------------------------------------
 _WORKER_SESSION: Session | None = None
+_WORKER_TRACE = False
 
 
-def _init_worker(base_config: NCCConfig | None, cache: bool = True) -> None:
-    global _WORKER_SESSION
+def _init_worker(
+    base_config: NCCConfig | None, cache: bool = True, trace: bool = False
+) -> None:
+    global _WORKER_SESSION, _WORKER_TRACE
     _WORKER_SESSION = Session(base_config=base_config, cache=cache)
+    _WORKER_TRACE = trace
 
 
 def _worker_run(spec_data: dict) -> dict:
     global _WORKER_SESSION
     if _WORKER_SESSION is None:  # pragma: no cover - initializer always runs
         _WORKER_SESSION = Session()
-    report = _WORKER_SESSION.run(RunSpec.from_dict(spec_data))
-    return report.to_dict(timing=True)
+    if not _WORKER_TRACE:
+        return _WORKER_SESSION.run(RunSpec.from_dict(spec_data)).to_dict(timing=True)
+    counters_before = METRICS.snapshot()
+    tracer = Tracer()
+    previous = install_tracer(tracer)
+    try:
+        report = _WORKER_SESSION.run(RunSpec.from_dict(spec_data))
+    finally:
+        uninstall_tracer(previous)
+    payload = tracer.to_payload()
+    payload["counters"] = MetricRegistry.delta(counters_before, payload["counters"])
+    data = report.to_dict(timing=True)
+    data["__telemetry__"] = payload
+    return data
 
 
 def _dedup_axis(values: Sequence[Any]) -> list[Any]:

@@ -191,6 +191,42 @@ def _runnable_algorithm(name: str):
     return alg
 
 
+def _print_incidents(command: str, incidents: Sequence[dict]) -> None:
+    """Stderr one-liner when a run survived worker crashes (sharded shard
+    workers or sweep pool workers).  The canonical outputs stay silent
+    about recovery by design — this is the operator-facing surface."""
+    if not incidents:
+        return
+    kinds: dict[str, int] = {}
+    for inc in incidents:
+        kind = str(inc.get("kind", "incident"))
+        kinds[kind] = kinds.get(kind, 0) + 1
+    detail = ", ".join(f"{k} x{v}" for k, v in sorted(kinds.items()))
+    print(
+        f"{command}: survived {len(incidents)} incident(s): {detail}",
+        file=sys.stderr,
+    )
+
+
+def _traced_run(session: Session, spec: RunSpec, label: str, path: str):
+    """Run one spec under a fresh tracer and write the Chrome trace doc."""
+    from .telemetry.export import build_chrome_doc, payload_rows, write_chrome_trace
+    from .telemetry.metrics import METRICS, MetricRegistry
+    from .telemetry.tracer import Tracer, install_tracer, uninstall_tracer
+
+    counters_before = METRICS.snapshot()
+    tracer = Tracer(label=f"run-{label}", scope="run")
+    previous = install_tracer(tracer)
+    try:
+        report = session.run(spec)
+    finally:
+        uninstall_tracer(previous)
+    payload = tracer.to_payload()
+    payload["counters"] = MetricRegistry.delta(counters_before, payload["counters"])
+    write_chrome_trace(path, build_chrome_doc(payload_rows(payload)))
+    return report
+
+
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
@@ -233,15 +269,26 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("run: warning: --family is deprecated; use --scenario instead",
               file=sys.stderr)
         extras["family"] = args.family
+    session = Session()
     try:
         spec = RunSpec(
             alg.name, args.n, a=args.a, seed=args.seed, engine=args.engine,
             extras=extras, scenario=args.scenario, shards=args.shards,
         )
-        report = Session().run(spec)
+        if args.trace:
+            report = _traced_run(session, spec, alg.name, args.trace)
+        else:
+            report = session.run(spec)
     except ConfigurationError as exc:
         print(f"run: {exc}", file=sys.stderr)
         return 2
+    _print_incidents("run", session.last_incidents)
+    if args.trace:
+        print(
+            f"run: trace written to {args.trace} "
+            f"(summarize with `python -m repro trace {args.trace}`)",
+            file=sys.stderr,
+        )
     row = report.row
     key = alg.table1_key or alg.name
     bound = f" (bound {alg.bound})" if alg.bound else ""
@@ -380,6 +427,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print("sweep: --manifest requires --store", file=sys.stderr)
             return 2
     summary_out = sys.stderr if args.out == "-" else sys.stdout
+    telemetry = None
+    if args.telemetry is not None:
+        from .telemetry.sweep import SweepTelemetry
+
+        telemetry = SweepTelemetry(args.telemetry)
     try:
         with Session(pool=args.pool) as session:
             reports = session.run_many(
@@ -390,6 +442,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 manifest=manifest,
                 shards=shards,
                 max_rows=args.max_rows,
+                telemetry=telemetry,
             )
     except WorkerCrashError as exc:
         # The manifest (if any) journaled every completed row; resuming
@@ -401,6 +454,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         # clean error, not a traceback (`matrix` skips such cells instead).
         print(f"sweep: {exc}", file=sys.stderr)
         return 2
+    _print_incidents("sweep", session.last_sweep_incidents)
+    if telemetry is not None:
+        paths = telemetry.finalize()
+        print(
+            f"sweep: telemetry written to {args.telemetry} "
+            f"(summarize with `python -m repro trace {paths['trace']}`)",
+            file=sys.stderr,
+        )
     if store is not None:
         # Store-backed sweeps are the 10^3..10^4-run path: a per-row table
         # would be unreadable, so print an aggregate status line instead
@@ -605,6 +666,25 @@ def cmd_separation(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .telemetry.export import load_trace, summarize
+
+    try:
+        doc = load_trace(args.path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    print(summarize(doc))
+    if args.bounds:
+        from .telemetry.bounds import render_bounds
+
+        print()
+        print(render_bounds(doc))
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -640,6 +720,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard-worker count (implies --engine sharded; "
                             "never changes the run's output — a pure "
                             "performance knob)")
+    p_run.add_argument("--trace", default=None, metavar="PATH",
+                       help="record a telemetry trace of the run to PATH "
+                            "(Chrome trace-event JSON; never changes the "
+                            "run's output — view in Perfetto or summarize "
+                            "with `repro trace PATH`)")
     p_run.set_defaults(fn=cmd_run)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1 rows")
@@ -707,7 +792,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--max-rows", type=int, default=None, metavar="N",
                       help="run at most N rows this invocation, then stop "
                            "(the manifest stays resumable)")
+    p_sw.add_argument("--telemetry", default=None, metavar="DIR",
+                      help="record per-row telemetry and write a merged "
+                           "trace.json / events.jsonl / summary.txt into "
+                           "DIR (sidecar only — the canonical JSONL output "
+                           "is byte-identical with or without it)")
     p_sw.set_defaults(fn=cmd_sweep)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="summarize a telemetry trace (from `run --trace` or "
+             "`sweep --telemetry`)",
+    )
+    p_tr.add_argument("path", help="Chrome trace-event JSON file, e.g. "
+                                   "out.json or DIR/trace.json")
+    p_tr.add_argument("--bounds", action="store_true",
+                      help="compare measured rounds against each "
+                           "algorithm's registered Table 1 bound")
+    p_tr.set_defaults(fn=cmd_trace)
 
     p_q = sub.add_parser(
         "query",
@@ -784,7 +886,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     # argparse runs type= converters on string defaults too, so the
     # "32,64"-style defaults above arrive here already parsed.
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed stdout; this is a normal way to
+        # consume table output, not an error.  Point stdout at devnull so
+        # the interpreter's exit-time flush doesn't raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,8 +15,14 @@ pure function of the spec).  Three families of violation:
 * **Wall-clock / OS entropy** — ``time.time()``, ``datetime.now()``,
   ``os.urandom``, ``uuid.uuid1/4``, ``secrets.*`` outside the allowlist
   (the sweep manifest journals real timestamps; benchmarks measure real
-  time).  ``time.perf_counter``/``monotonic`` are fine: timings stay out
-  of canonical JSONL by schema design.
+  time).
+* **Monotonic-clock containment** — ``time.perf_counter``/``monotonic``
+  cannot perturb canonical bytes directly (timings stay out of canonical
+  JSONL by schema design), but a reading taken in library code is one
+  conditional away from becoming one.  All library timing flows through
+  the telemetry subsystem (``repro/telemetry/``) or the ``RunReport``
+  wall field stamped in ``api/session.py``; benchmarks and tests time
+  freely.
 * **Set-literal iteration** — ``for x in {...}`` in library code is
   hash-order dependent (string hashing is salted per process), so any
   set-literal walk feeding canonical output is a reproducibility bug.
@@ -46,6 +52,18 @@ WALLCLOCK_CALLS = ("time.time", "time.time_ns", "os.urandom",
 #: never does), and benchmarks measure real elapsed time.
 WALLCLOCK_ALLOWLIST = ("repro/api/manifest.py",)
 
+#: monotonic/perf-counter readings needing a containment entry.
+MONOTONIC_CALLS = ("time.perf_counter", "time.perf_counter_ns",
+                   "time.monotonic", "time.monotonic_ns")
+
+#: the one non-telemetry library module allowed to read the monotonic
+#: clock: ``Session.run`` stamps the RunReport wall field (a
+#: timing-extras key, excluded from canonical JSONL by schema design).
+MONOTONIC_ALLOWLIST = ("repro/api/session.py",)
+
+#: the telemetry package owns all other library timing.
+TELEMETRY_DIR = "telemetry"
+
 #: the one module allowed to call ``random.Random`` directly.
 SEEDING_MODULE = "repro/seeding.py"
 
@@ -61,9 +79,14 @@ class NCC001Determinism(Rule):
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         wallclock_ok = ctx.path_is(*WALLCLOCK_ALLOWLIST) or ctx.under("benchmarks")
+        monotonic_ok = (
+            not ctx.in_library
+            or ctx.path_is(*MONOTONIC_ALLOWLIST)
+            or ctx.under(TELEMETRY_DIR)
+        )
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call):
-                yield from self._check_call(ctx, node, wallclock_ok)
+                yield from self._check_call(ctx, node, wallclock_ok, monotonic_ok)
             elif isinstance(node, (ast.For, ast.AsyncFor)):
                 if isinstance(node.iter, ast.Set) and ctx.in_library:
                     yield self.finding(
@@ -85,9 +108,21 @@ class NCC001Determinism(Rule):
 
     # ------------------------------------------------------------------
     def _check_call(
-        self, ctx: FileContext, node: ast.Call, wallclock_ok: bool
+        self, ctx: FileContext, node: ast.Call, wallclock_ok: bool,
+        monotonic_ok: bool,
     ) -> Iterator[Finding]:
         func = node.func
+        if not monotonic_ok:
+            for dotted in MONOTONIC_CALLS:
+                if ctx.resolves_to(func, dotted):
+                    yield self.finding(
+                        ctx, node,
+                        f"{dotted}() in library code; timing belongs to the "
+                        "telemetry subsystem (repro/telemetry/) or the "
+                        "session wall stamp — canonical output must never "
+                        "depend on a clock reading",
+                    )
+                    return
         # random.Random / random.SystemRandom construction
         if ctx.resolves_to(func, "random.Random"):
             if not node.args and not node.keywords:

@@ -10,10 +10,12 @@ byte-deterministic.  Two checks:
   ``__post_init__``); anywhere else it is someone editing a frozen spec
   after construction, which silently breaks content-hash identity;
 * in the canonical-serialization modules (``api/schema.py``,
-  ``api/manifest.py``, ``api/store.py``) every ``json.dumps``/``dump``
-  call must pass ``sort_keys=True`` — Python dict order is insertion
-  order, so an unsorted dump bakes incidental construction order into
-  bytes that manifests and stores compare and content-hash.
+  ``api/manifest.py``, ``api/store.py``, and the telemetry trace writer
+  ``telemetry/export.py`` — trace documents are diffed across runs by
+  the determinism tests) every ``json.dumps``/``dump`` call must pass
+  ``sort_keys=True`` — Python dict order is insertion order, so an
+  unsorted dump bakes incidental construction order into bytes that
+  manifests and stores compare and content-hash.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ CANONICAL_MODULES = (
     "repro/api/schema.py",
     "repro/api/manifest.py",
     "repro/api/store.py",
+    "repro/telemetry/export.py",
 )
 
 

@@ -52,11 +52,15 @@ try:  # pragma: no cover - exercised only on numpy-free installs
 except ImportError:  # pragma: no cover
     _np = None
 
+from ..telemetry import tracer as _tracer
+from ..telemetry.metrics import METRICS
 from .engine import RoundEngine, RoundResult, register_engine
 from .message import BuilderBatches, InboxBatch, Message, MessageBatch
 from .message import _count_boxes
 
 HAVE_NUMPY = _np is not None
+
+_TYPED_FALLBACKS = METRICS.counter("ncc.typed_fallbacks")
 
 #: Below this many messages per round the fixed cost of the numpy round
 #: setup (~a few dozen array ops) exceeds the per-message walk, so small
@@ -447,10 +451,22 @@ class BatchedEngine(RoundEngine):
             # Mixed typed/object columns (or a typed round under a
             # numpy-free engine): box the typed sides — the object-fallback
             # contract — and continue on the generic list paths.
+            boxed = 0
             for i, p in enumerate(pcols):
                 if type(p) is not list:
                     _count_boxes(len(p))
+                    boxed += len(p)
                     pcols[i] = p.tolist()
+            if boxed:
+                _TYPED_FALLBACKS.inc()
+                tr = _tracer.CURRENT
+                if tr is not None:
+                    tr.event(
+                        "typed-fallback",
+                        boxed=boxed,
+                        messages=m_count,
+                        round=self.net._round,
+                    )
             for i, d in enumerate(dcols):
                 if type(d) is not list:
                     dcols[i] = d.tolist()

@@ -50,9 +50,16 @@ from typing import Iterable, Iterator, Mapping
 from ..config import DEFAULT_CONFIG, Enforcement, NCCConfig
 from ..errors import CapacityError, MessageSizeError, SimulationLimitError
 from ..rng import derived_rng
+from ..telemetry import tracer as _tracer
+from ..telemetry.metrics import METRICS
 from .engine import InboxT, RoundEngine, build_engine
 from .message import BatchBuilder, InboxBatch, Message, merge_round_inboxes
 from .stats import NetworkStats, Violation
+
+# Registry counters for the rare events the tracer also records; one int
+# add per violation, cheap enough to run unconditionally.
+_CAPACITY_VIOLATIONS = METRICS.counter("ncc.violations")
+_BITS_VIOLATIONS = METRICS.counter("ncc.bits_violations")
 
 OutgoingT = Mapping[int, list[Message]] | Iterable[Message] | BatchBuilder
 
@@ -110,10 +117,16 @@ class NCCNetwork:
         """Attribute all traffic inside the block to ``label`` (stackable)."""
         self._phase_stack.append(label)
         self.stats.record_phase_entry(label)
+        tr = _tracer.CURRENT
+        if tr is not None:
+            tr.begin("phase", label=label)
         try:
             yield
         finally:
             self._phase_stack.pop()
+            tr = _tracer.CURRENT
+            if tr is not None:
+                tr.end(rounds=self._round)
 
     # ------------------------------------------------------------------
     # The round
@@ -153,7 +166,21 @@ class NCCNetwork:
             if self.round_observer is None:
                 run_builder = self.engine.run_builder
                 if run_builder is not None:
-                    delivered, sent_messages, sent_bits = run_builder(outgoing)
+                    tr = _tracer.CURRENT
+                    if tr is None:
+                        delivered, sent_messages, sent_bits = run_builder(outgoing)
+                    else:
+                        t0 = tr.now()
+                        delivered, sent_messages, sent_bits = run_builder(outgoing)
+                        tr.add_span(
+                            "round",
+                            t0,
+                            tr.now(),
+                            round=self._round,
+                            phases="/".join(self._phase_stack),
+                            messages=sent_messages,
+                            bits=sent_bits,
+                        )
                     self._round += 1
                     self.stats.record_round(
                         tuple(self._phase_stack), sent_messages, sent_bits
@@ -189,7 +216,21 @@ class NCCNetwork:
     def _finish_round(self, per_sender: Mapping[int, list[Message]]) -> dict[int, InboxT]:
         """Engine dispatch + round bookkeeping shared by every submission
         form of :meth:`exchange`."""
-        delivered, sent_messages, sent_bits = self.engine.run_round(per_sender)
+        tr = _tracer.CURRENT
+        if tr is None:
+            delivered, sent_messages, sent_bits = self.engine.run_round(per_sender)
+        else:
+            t0 = tr.now()
+            delivered, sent_messages, sent_bits = self.engine.run_round(per_sender)
+            tr.add_span(
+                "round",
+                t0,
+                tr.now(),
+                round=self._round,
+                phases="/".join(self._phase_stack),
+                messages=sent_messages,
+                bits=sent_bits,
+            )
 
         if self.round_observer is not None:
             self.round_observer(self._round, per_sender)
@@ -239,6 +280,19 @@ class NCCNetwork:
     def _violate(self, kind: str, node: int, count: int) -> None:
         v = Violation(self._round, node, kind, count, self.capacity)
         self.stats.record_violation(v)
+        _CAPACITY_VIOLATIONS.inc()
+        tr = _tracer.CURRENT
+        if tr is not None:
+            # Recorded before the STRICT raise so the trace keeps the
+            # violation that aborted the run.
+            tr.event(
+                "violation",
+                kind=kind,
+                node=node,
+                count=count,
+                capacity=self.capacity,
+                round=self._round,
+            )
         if self.config.enforcement is Enforcement.STRICT:
             raise CapacityError(
                 f"node {node} {kind} capacity exceeded in round {self._round}: "
@@ -252,6 +306,17 @@ class NCCNetwork:
     def _violate_bits(self, m: Message, bits: int) -> None:
         v = Violation(self._round, m.src, "bits", bits, self.message_bits)
         self.stats.record_violation(v)
+        _BITS_VIOLATIONS.inc()
+        tr = _tracer.CURRENT
+        if tr is not None:
+            tr.event(
+                "bits-violation",
+                src=m.src,
+                dst=m.dst,
+                bits=bits,
+                budget=self.message_bits,
+                round=self._round,
+            )
         if self.config.enforcement is Enforcement.STRICT:
             raise MessageSizeError(
                 f"message {m.src}->{m.dst} ({m.kind!r}) payload {bits} bits "

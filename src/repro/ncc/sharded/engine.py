@@ -40,9 +40,14 @@ try:  # pragma: no cover - exercised only on numpy-free installs
 except ImportError:  # pragma: no cover
     _np = None
 
+from ...telemetry import tracer as _tracer
+from ...telemetry.metrics import METRICS
 from ..batched import BatchedEngine
 from ..engine import register_engine
 from ..message import InboxBatch
+
+_DEGRADATIONS = METRICS.counter("sharded.degradations")
+_SHARD_INCIDENTS = METRICS.counter("sharded.incidents")
 
 #: below this many messages in a clean typed round the block split + IPC
 #: round trip costs more than the single-process argsort, so the round
@@ -81,7 +86,34 @@ class ShardedEngine(BatchedEngine):
         #: byte-identical observable surface, crash recovery is not.
         self.incidents: list[dict] = []
         self._pool = None
-        self._disabled = _np is None
+        self._disabled = False
+        #: why the engine fell back to single-process batched delivery
+        #: (``None`` while fully sharded) — surfaced as the telemetry
+        #: ``sharded-degraded`` event's ``reason`` field.
+        self._disabled_reason: str | None = None
+        if _np is None:  # pragma: no cover - exercised only without numpy
+            self._degrade("numpy-unavailable")
+
+    def _degrade(self, reason: str) -> None:
+        """Fall back to single-process delivery, keeping the reason
+        observable (today's silent inheritance was satellite work of the
+        telemetry issue: degradation must carry *why*)."""
+        if self._disabled:
+            return
+        self._disabled = True
+        self._disabled_reason = reason
+        _DEGRADATIONS.inc()
+        tr = _tracer.CURRENT
+        if tr is not None:
+            tr.event("sharded-degraded", reason=reason, shards=self.shards)
+
+    def _record_incident(self, incident: dict) -> None:
+        """Journal a shard-worker crash and mirror it into telemetry."""
+        self.incidents.append(incident)
+        _SHARD_INCIDENTS.inc()
+        tr = _tracer.CURRENT
+        if tr is not None:
+            tr.event("shard-worker-crash", **incident)
 
     # ------------------------------------------------------------------
     def _ensure_pool(self):
@@ -94,11 +126,11 @@ class ShardedEngine(BatchedEngine):
 
         from ...api.pool import shared_memory_available
 
-        if (
-            multiprocessing.current_process().daemon
-            or not shared_memory_available()
-        ):
-            self._disabled = True
+        if multiprocessing.current_process().daemon:
+            self._degrade("daemonic-process")
+            return None
+        if not shared_memory_available():
+            self._degrade("no-shared-memory")
             return None
         from . import workers
 
@@ -160,11 +192,25 @@ class ShardedEngine(BatchedEngine):
                 (i, lo, dst.take(sel), src_flat.take(sel), sel, pay.take(sel))
             )
 
-        results = pool.shuffle(blocks, pay.dtype, self.incidents.append)
+        tr = _tracer.CURRENT
+        if tr is None:
+            results = pool.shuffle(blocks, pay.dtype, self._record_incident)
+        else:
+            t0 = tr.now()
+            results = pool.shuffle(blocks, pay.dtype, self._record_incident)
+            tr.add_span(
+                "shard-shuffle",
+                t0,
+                tr.now(),
+                blocks=len(blocks),
+                messages=m_count,
+                shards=k,
+                round=net._round,
+            )
         if pool.alive_workers == 0:
             # Every worker died: later rounds inherit the in-process
             # batched delivery instead of paying the split for nothing.
-            self._disabled = True
+            self._degrade("all-workers-dead")
 
         # Merge: concatenating the blocks' group tables and sorting on the
         # global flat index of each group's first message recovers the

@@ -41,7 +41,11 @@ from typing import Any, Callable
 import numpy as np
 
 from ...errors import ConfigurationError
+from ...telemetry import tracer as _tracer
+from ...telemetry.metrics import METRICS
 from .kernel import bucket_block
+
+_SHM_GROWTHS = METRICS.counter("sharded.shm_growths")
 
 #: times a single shard block may be requeued after killing a worker
 #: before the parent computes it in-process (mirrors api/pool.py).
@@ -277,9 +281,11 @@ class ShardPool:
         replies are copied out before the round ends)."""
         from multiprocessing import shared_memory
 
+        previous = 0
         for name, seg in list(self._segments.items()):
             if seg.size >= nbytes:
                 return seg
+            previous = seg.size
             del self._segments[name]
             try:
                 seg.close()
@@ -290,6 +296,12 @@ class ShardPool:
             create=True, size=max(nbytes * 3 // 2, 1 << 16)
         )
         self._segments[seg.name] = seg
+        _SHM_GROWTHS.inc()
+        tr = _tracer.CURRENT
+        if tr is not None:
+            tr.event(
+                "shm-grow", size=seg.size, previous=previous, requested=nbytes
+            )
         return seg
 
     # ------------------------------------------------------------------

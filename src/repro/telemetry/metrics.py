@@ -1,0 +1,106 @@
+"""Unified named counters over the stack's scattered module globals.
+
+Two kinds of entries live in the registry:
+
+* **Counters** — registry-owned integers for the rare events the tracer
+  also records (violations, sharded degradations, worker crashes, shm
+  growths, typed->object fallbacks).  ``Counter.inc`` is one integer add,
+  cheap enough to run unconditionally at incident frequency.
+* **Sources** — read-only callables wrapping counters that already exist
+  as module globals on hot paths (``message_construction_count`` /
+  ``payload_box_count`` in :mod:`repro.ncc.message`).  The hot-path
+  globals stay exactly where they are — the registry only *reads* them
+  at snapshot time, so the zero-construction/never-box accounting keeps
+  its single-int-add cost.
+
+``snapshot()`` returns a plain sorted dict, safe to ship over pool pipes
+and to embed in telemetry sidecar files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["Counter", "MetricRegistry", "METRICS"]
+
+
+class Counter:
+    """A named monotonically-increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, k: int = 1) -> None:
+        self.value += k
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class MetricRegistry:
+    """Named counters + read-only sources with a sorted snapshot API."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._sources: dict[str, Callable[[], int]] = {}
+        self._defaults_installed = False
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter registered under ``name``."""
+        c = self._counters.get(name)
+        if c is None:
+            if name in self._sources:
+                raise ValueError(f"{name!r} is already registered as a source")
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def register_source(self, name: str, fn: Callable[[], int]) -> None:
+        """Expose an externally-owned counter read-only under ``name``."""
+        if name in self._counters:
+            raise ValueError(f"{name!r} is already registered as a counter")
+        self._sources[name] = fn
+
+    def _install_default_sources(self) -> None:
+        # Imported lazily: metrics sits below the engine modules on the
+        # import graph, so pulling ncc.message at module-import time would
+        # risk a cycle through the package __init__ chain.
+        from ..ncc.message import message_construction_count, payload_box_count
+
+        self._sources.setdefault(
+            "ncc.messages_constructed", message_construction_count
+        )
+        self._sources.setdefault("ncc.payload_boxes", payload_box_count)
+        self._defaults_installed = True
+
+    def snapshot(self) -> dict[str, int]:
+        """All registered values, keyed by name, sorted for stable output."""
+        if not self._defaults_installed:
+            self._install_default_sources()
+        out = {name: c.value for name, c in self._counters.items()}
+        for name, fn in self._sources.items():
+            out[name] = int(fn())
+        return dict(sorted(out.items()))
+
+    @staticmethod
+    def delta(before: dict[str, int], after: dict[str, int]) -> dict[str, int]:
+        """Counter movement between two snapshots (new names count from 0)."""
+        return dict(
+            sorted(
+                (name, after[name] - before.get(name, 0))
+                for name in after
+                if after[name] != before.get(name, 0)
+            )
+        )
+
+    def describe(self) -> dict[str, Any]:  # pragma: no cover - debugging aid
+        return {
+            "counters": sorted(self._counters),
+            "sources": sorted(self._sources),
+        }
+
+
+#: The process-wide registry every instrumented module shares.
+METRICS = MetricRegistry()

@@ -1,0 +1,70 @@
+"""Sweep-level telemetry: merge per-row worker traces into one directory.
+
+A :class:`SweepTelemetry` owns the parent-process tracer (pool publish /
+dispatch / crash events land there) and collects one trace payload per
+sweep row.  Serial rows are traced in-process; pool rows are traced
+inside the worker and shipped back over the existing result pipes as a
+``"__telemetry__"`` sidecar key that the session strips before the
+canonical ``RunReport`` is built — the report JSONL stays byte-identical
+with telemetry on or off.
+
+``finalize()`` writes three sidecar artifacts into the output directory:
+
+``trace.json``
+    One merged Chrome trace-event document; each row is its own
+    Perfetto process track (pid = row index + 1, parent = pid 0).
+``events.jsonl``
+    The same records flattened to one JSON object per line.
+``summary.txt``
+    The human digest (:func:`repro.telemetry.export.summarize`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from .export import (
+    build_chrome_doc,
+    payload_rows,
+    summarize,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from .tracer import Tracer
+
+__all__ = ["SweepTelemetry"]
+
+
+class SweepTelemetry:
+    """Collects parent + per-row traces for one ``Session.run_many``."""
+
+    def __init__(self, outdir: str):
+        self.outdir = str(outdir)
+        self.tracer = Tracer(label="sweep-parent", scope="sweep")
+        self.rows: dict[int, dict[str, Any]] = {}
+
+    def add_row(self, idx: int, payload: dict[str, Any] | None) -> None:
+        """Attach one row's trace payload (rows may arrive out of order)."""
+        if payload:
+            self.rows[int(idx)] = payload
+
+    def build_doc(self) -> dict[str, Any]:
+        rows = payload_rows(self.tracer, sorted(self.rows.items()))
+        return build_chrome_doc(rows)
+
+    def finalize(self) -> dict[str, str]:
+        """Write ``trace.json`` / ``events.jsonl`` / ``summary.txt``."""
+        os.makedirs(self.outdir, exist_ok=True)
+        doc = self.build_doc()
+        paths = {
+            "trace": os.path.join(self.outdir, "trace.json"),
+            "events": os.path.join(self.outdir, "events.jsonl"),
+            "summary": os.path.join(self.outdir, "summary.txt"),
+        }
+        write_chrome_trace(paths["trace"], doc)
+        write_events_jsonl(paths["events"], doc)
+        with open(paths["summary"], "w", encoding="utf-8") as fh:
+            fh.write(summarize(doc))
+            fh.write("\n")
+        return paths

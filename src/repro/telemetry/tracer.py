@@ -1,0 +1,160 @@
+"""The process-local tracer and its module-global hot slot.
+
+Instrumented sites across the engines, the shard pool, and the sweep
+service all follow one pattern::
+
+    tr = tracer.CURRENT
+    if tr is not None:
+        tr.event("sharded-degraded", reason="no-shared-memory")
+
+``CURRENT`` is a plain module attribute: the disabled path costs one
+attribute load and an ``is None`` test, which is what keeps the tracer a
+no-op hook when nobody asked for telemetry (the overhead gate in
+``benchmarks/bench_primitives.py`` holds it under 3% of a whole typed
+aggregation run).  Hooks fire at *round/phase/incident* frequency, never
+per message — the per-message hot loops stay untouched.
+
+Determinism contract
+--------------------
+A tracer records an ordered list of spans and events.  The **structure**
+of that list — kinds, names, and field dicts, in order — is a pure
+function of the run (``tests/test_telemetry.py`` pins this); only the
+``perf_counter`` timestamps vary between runs.  Timestamps never leave
+the telemetry sidecar files: canonical ``RunReport`` JSONL is produced
+without consulting the tracer at all.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "CURRENT",
+    "SPAN",
+    "EVENT",
+    "Tracer",
+    "current_tracer",
+    "install_tracer",
+    "tracing",
+    "uninstall_tracer",
+]
+
+#: Record kinds inside :attr:`Tracer.records`.
+SPAN = "span"
+EVENT = "event"
+
+#: The hot slot.  ``None`` means telemetry is off and every instrumented
+#: site short-circuits.  Mutated only via :func:`install_tracer` /
+#: :func:`uninstall_tracer` (or the :func:`tracing` context manager).
+CURRENT: "Tracer | None" = None
+
+
+class Tracer:
+    """Records spans and events for one process (or one sweep row).
+
+    Records are plain tuples ``(kind, name, ts, dur, fields)`` with
+    ``ts``/``dur`` in seconds relative to the tracer's epoch (``dur`` is
+    ``None`` for instant events).  Completed spans append at *end* time,
+    so the record order is completion order — deterministic whenever the
+    traced run is.
+    """
+
+    __slots__ = ("epoch", "records", "meta", "_stack")
+
+    def __init__(self, **meta: Any):
+        self.epoch = time.perf_counter()
+        self.records: list[tuple[str, str, float, float | None, dict[str, Any]]] = []
+        self.meta: dict[str, Any] = dict(meta)
+        self._stack: list[tuple[str, float, dict[str, Any]]] = []
+
+    # -- clock ---------------------------------------------------------
+    def now(self) -> float:
+        return time.perf_counter()
+
+    # -- instants ------------------------------------------------------
+    def event(self, name: str, **fields: Any) -> None:
+        """Record an instant event (violation, degradation, crash, ...)."""
+        self.records.append(
+            (EVENT, name, time.perf_counter() - self.epoch, None, fields)
+        )
+
+    # -- spans ---------------------------------------------------------
+    def begin(self, name: str, **fields: Any) -> None:
+        """Open a nested span (paired with :meth:`end`)."""
+        self._stack.append((name, time.perf_counter(), fields))
+
+    def end(self, **extra: Any) -> None:
+        """Close the innermost open span.
+
+        Tolerates an empty stack (a tracer installed mid-phase sees the
+        exit without the matching enter) by recording nothing.
+        """
+        if not self._stack:
+            return
+        name, t0, fields = self._stack.pop()
+        if extra:
+            fields = {**fields, **extra}
+        t1 = time.perf_counter()
+        self.records.append((SPAN, name, t0 - self.epoch, t1 - t0, fields))
+
+    def add_span(self, name: str, t0: float, t1: float, **fields: Any) -> None:
+        """Record a completed span from explicit ``perf_counter`` stamps."""
+        self.records.append((SPAN, name, t0 - self.epoch, t1 - t0, fields))
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[None]:
+        self.begin(name, **fields)
+        try:
+            yield
+        finally:
+            self.end()
+
+    # -- export --------------------------------------------------------
+    def structure(self) -> list[tuple[str, str, dict[str, Any]]]:
+        """The timestamp-free view pinned by the determinism tests."""
+        return [(kind, name, fields) for kind, name, _, _, fields in self.records]
+
+    def to_payload(self) -> dict[str, Any]:
+        """A picklable snapshot (ships over the worker pool pipes).
+
+        Includes the process-wide counter snapshot so merged sweep
+        telemetry can attribute boxes/constructions per row.
+        """
+        from .metrics import METRICS
+
+        return {
+            "meta": dict(self.meta),
+            "records": [list(r) for r in self.records],
+            "counters": METRICS.snapshot(),
+        }
+
+
+def current_tracer() -> Tracer | None:
+    return CURRENT
+
+
+def install_tracer(tr: Tracer) -> Tracer | None:
+    """Install ``tr`` as the process-local tracer; returns the previous one."""
+    global CURRENT
+    previous = CURRENT
+    CURRENT = tr
+    return previous
+
+
+def uninstall_tracer(previous: Tracer | None = None) -> None:
+    """Restore ``previous`` (default: disable tracing entirely)."""
+    global CURRENT
+    CURRENT = previous
+
+
+@contextmanager
+def tracing(**meta: Any) -> Iterator[Tracer]:
+    """Install a fresh tracer for the block and restore the old slot after."""
+    tr = Tracer(**meta)
+    previous = install_tracer(tr)
+    try:
+        yield tr
+    finally:
+        uninstall_tracer(previous)

@@ -40,6 +40,13 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         help="round engine to replay the suite under "
              "(both = parametrize every test over the built-in engines)",
     )
+    parser.addoption(
+        "--tracing",
+        action="store_true",
+        default=False,
+        help="replay the suite with a live telemetry tracer installed "
+             "(certifies the instrumentation hooks never change behavior)",
+    )
 
 
 def pytest_configure(config: pytest.Config) -> None:
@@ -74,6 +81,27 @@ def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
         metafunc.parametrize(
             "_round_engine", modes, ids=[f"engine-{m}" for m in modes], indirect=True
         )
+
+
+@pytest.fixture(autouse=True)
+def _tracing_replay(request: pytest.FixtureRequest):
+    """Under ``--tracing``, run every test with a fresh tracer installed.
+
+    Tracing is observational by contract (ROADMAP: canonical output is a
+    pure function of the spec); replaying the suite with the hooks live
+    certifies no instrumented site leaks into behavior.
+    """
+    if not request.config.getoption("--tracing"):
+        yield None
+        return
+    from repro.telemetry import Tracer, install_tracer, uninstall_tracer
+
+    tracer = Tracer(label=request.node.name, scope="pytest")
+    previous = install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        uninstall_tracer(previous)
 
 
 @pytest.fixture(autouse=True)

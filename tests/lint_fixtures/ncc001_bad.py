@@ -22,6 +22,10 @@ def wallclock():
     return time.time(), datetime.datetime.now(), os.urandom(8)
 
 
+def library_timing():
+    return time.perf_counter()  # timing belongs to repro/telemetry/
+
+
 def set_iteration():
     out = []
     for x in {3, 1, 2}:  # set-literal iteration order is salted

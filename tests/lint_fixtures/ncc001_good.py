@@ -11,10 +11,10 @@ def tagged(seed, n):
     return derived_rng("fixture", seed, n)
 
 
-def monotonic_ok():
-    import time
-
-    return time.monotonic(), time.perf_counter()  # durations, not identity
+def wall_from_report(report):
+    # reading a *recorded* timing-extras field is fine; taking a clock
+    # reading here would not be (see the bad twin's library_timing)
+    return report.extras.get("wall")
 
 
 def sorted_iteration():

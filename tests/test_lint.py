@@ -72,7 +72,7 @@ class TestRuleCorpus:
             f.message for f in findings_for(fixture("ncc001_bad.py"), "NCC001")
         )
         for needle in ("unseeded", "seeding", "interpreter-global",
-                       "wall-clock", "set literal"):
+                       "wall-clock", "set literal", "telemetry"):
             assert needle in msgs
 
     def test_ncc002_fallbacks_are_exempt(self):
@@ -100,6 +100,45 @@ class TestRuleCorpus:
             "_POOL = None\n"
         )
         assert run_paths([str(good)]).findings == []
+
+    def test_ncc001_clock_containment_scoping(self, tmp_path):
+        # perf_counter/monotonic are confined to the telemetry package,
+        # the session wall stamp, and benchmarks; any other library module
+        # taking a clock reading is flagged.
+        body = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        cases = {
+            "src/repro/telemetry/fixture_tracer.py": [],
+            "src/repro/api/session.py": [],
+            "benchmarks/bench_fixture.py": [],
+            "tests/test_fixture_timing.py": [],
+            "src/repro/ncc/fixture_engine.py": ["NCC001"],
+            "src/repro/api/fixture_pool.py": ["NCC001"],
+        }
+        for i, (scoped, want) in enumerate(cases.items()):
+            mod = tmp_path / f"clock{i}.py"
+            mod.write_text(f"# reprolint: path={scoped}\n{body}")
+            found = findings_for(str(mod), "NCC001")
+            assert [f.rule for f in found] == want, (scoped, found)
+
+    def test_ncc004_covers_trace_exporter(self, tmp_path):
+        # Trace documents are compared across runs by the determinism
+        # tests, so the telemetry exporter joins the canonical-JSON scope.
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "# reprolint: path=src/repro/telemetry/export.py\n"
+            "import json\n"
+            "def dump(doc):\n"
+            "    return json.dumps(doc)\n"
+        )
+        assert [f.rule for f in findings_for(str(bad), "NCC004")] == ["NCC004"]
+        good = tmp_path / "good.py"
+        good.write_text(
+            "# reprolint: path=src/repro/telemetry/export.py\n"
+            "import json\n"
+            "def dump(doc):\n"
+            "    return json.dumps(doc, sort_keys=True)\n"
+        )
+        assert findings_for(str(good), "NCC004") == []
 
     def test_ncc002_covers_sharded_engine(self, tmp_path):
         # The sharded delivery modules are hot-path: Message construction
@@ -246,7 +285,7 @@ class TestCliWorkflow:
         # Bootstrap: adopting a missing baseline grandfathers everything.
         assert main([bad, "--baseline", base, "--update-baseline"]) == 0
         adopted = baseline_mod.load(base)
-        assert adopted == {f"{bad}::NCC001": 7}
+        assert adopted == {f"{bad}::NCC001": 8}
         # Same findings are now baselined: green.
         assert main([bad, "--baseline", base]) == 0
         # The violations get fixed (lint the good twin): entries go stale —

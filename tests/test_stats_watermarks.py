@@ -1,0 +1,123 @@
+"""Watermark audit: ``max_sent/received_per_round`` on every delivery path.
+
+Satellite of the telemetry issue: the per-round watermark statistics
+must be maintained by *every* delivery path — the reference engine's
+canonical walks, the batched engine's object and deferred typed-column
+deliveries, the whole-round typed bulk, and the sharded block shuffle —
+and agree with an independent recomputation from the submitted traffic.
+A path that forgets the watermark would silently under-report peak load
+in diagnostics while every other observable stays correct, so the pin
+here is recomputation, not engine-vs-engine diffing alone.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import Enforcement, NCCConfig, NCCNetwork
+from repro.ncc.message import BatchBuilder, Message
+from repro.ncc.sharded import CUTOFF_EXTRA
+
+np = pytest.importorskip("numpy")
+
+N = 32
+
+#: Three rounds with deliberately different skew: a fan-out round (one
+#: hot sender), a fan-in round (one hot receiver), and a balanced
+#: permutation round.  (src, dst) pairs; payloads derived below.
+ROUNDS = [
+    [(0, d) for d in range(1, 6)],
+    [(s, 7) for s in range(1, 7)],
+    [(s, (s + 1) % N) for s in range(N)],
+]
+
+
+def expected_watermarks(rounds):
+    """Independent recomputation straight from the submitted pairs."""
+    max_sent = max_recv = 0
+    for pairs in rounds:
+        sent = Counter(s for s, _ in pairs)
+        recv = Counter(d for _, d in pairs)
+        max_sent = max(max_sent, max(sent.values()))
+        max_recv = max(max_recv, max(recv.values()))
+    return max_sent, max_recv
+
+
+def _network(engine):
+    extras = {CUTOFF_EXTRA: 1} if engine == "sharded" else {}
+    cfg = NCCConfig(
+        seed=1, enforcement=Enforcement.COUNT, engine=engine,
+        shards=2 if engine == "sharded" else 0, extras=extras,
+    )
+    return NCCNetwork(N, cfg)
+
+
+def _payload(s, d):
+    return s * 1000 + d
+
+
+def _submit(nw, pairs, form):
+    if form == "list":
+        nw.exchange([Message(s, d, _payload(s, d)) for s, d in pairs])
+    elif form == "mapping":
+        by_src = {}
+        for s, d in pairs:
+            by_src.setdefault(s, []).append(Message(s, d, _payload(s, d)))
+        nw.exchange(by_src)
+    elif form == "builder-object":
+        b = BatchBuilder()
+        for s, d in pairs:
+            b.add(s, d, _payload(s, d))
+        nw.exchange(b)
+    elif form == "builder-typed":
+        b = BatchBuilder(kind="t", dtype=np.int64)
+        by_src = {}
+        for s, d in pairs:
+            by_src.setdefault(s, []).append(d)
+        for s in sorted(by_src):
+            dsts = by_src[s]
+            b.add_array(s, dsts, [_payload(s, d) for d in dsts])
+        nw.exchange(b)
+    elif form == "typed-bulk":
+        b = BatchBuilder(kind="t", dtype=np.int64)
+        src = np.asarray([s for s, _ in pairs], dtype=np.int64)
+        dst = np.asarray([d for _, d in pairs], dtype=np.int64)
+        b.add_arrays(src, dst, src * 1000 + dst)
+        nw.exchange(b)
+    else:  # pragma: no cover - parametrization guard
+        raise AssertionError(form)
+
+
+ENGINES = ("reference", "batched", "sharded")
+FORMS = ("list", "mapping", "builder-object", "builder-typed", "typed-bulk")
+
+
+class TestWatermarkRecomputation:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("form", FORMS)
+    def test_watermarks_match_submitted_traffic(self, engine, form):
+        nw = _network(engine)
+        for pairs in ROUNDS:
+            _submit(nw, pairs, form)
+        want_sent, want_recv = expected_watermarks(ROUNDS)
+        assert nw.stats.max_sent_per_round == want_sent, (engine, form)
+        assert nw.stats.max_received_per_round == want_recv, (engine, form)
+
+    @pytest.mark.parametrize("form", FORMS)
+    def test_engines_agree_on_watermarks(self, form):
+        values = set()
+        for engine in ENGINES:
+            nw = _network(engine)
+            for pairs in ROUNDS:
+                _submit(nw, pairs, form)
+            values.add(
+                (nw.stats.max_sent_per_round, nw.stats.max_received_per_round)
+            )
+        assert len(values) == 1, values
+
+    def test_summary_carries_watermarks(self):
+        nw = _network("reference")
+        _submit(nw, ROUNDS[0], "list")
+        summary = nw.stats.summary()
+        assert summary["max_sent_per_round"] == 5
+        assert summary["max_received_per_round"] == 1
